@@ -1,0 +1,52 @@
+"""Bench: host-side throughput of the reproduction's components.
+
+Not a paper table — this measures the Python implementation itself
+(records simulated per host second for the engine, generator and
+functional simulator), which is what a user of this library cares
+about when sizing their own experiments.
+"""
+
+from repro.core import PAPER_4WIDE_PERFECT, ReSimEngine
+from repro.functional import SimBpred
+from repro.workloads import SyntheticWorkload, get_profile, kernel_program
+
+
+def test_engine_host_throughput(benchmark):
+    """Engine-only: records per host second on a prepared trace."""
+    generation = SyntheticWorkload(get_profile("gzip"),
+                                   seed=7).generate(10_000)
+
+    def simulate():
+        return ReSimEngine(PAPER_4WIDE_PERFECT,
+                           generation.records).run().major_cycles
+
+    cycles = benchmark(simulate)
+    rate = len(generation.records) / benchmark.stats.stats.mean
+    print(f"\nengine: {rate / 1e3:.1f}k records/s host throughput "
+          f"({cycles} simulated cycles)")
+    assert cycles > 0
+
+
+def test_generator_host_throughput(benchmark):
+    """Synthetic trace generation: instructions per host second."""
+    def generate():
+        workload = SyntheticWorkload(get_profile("bzip2"), seed=7)
+        return workload.generate(10_000).total_records
+
+    records = benchmark(generate)
+    rate = records / benchmark.stats.stats.mean
+    print(f"\ngenerator: {rate / 1e3:.1f}k records/s host throughput")
+    assert records >= 10_000
+
+
+def test_functional_tracer_host_throughput(benchmark):
+    """sim-bpred over a real kernel: instructions per host second."""
+    program = kernel_program("matmul")
+
+    def trace():
+        return SimBpred().generate(program).total_records
+
+    records = benchmark(trace)
+    rate = records / benchmark.stats.stats.mean
+    print(f"\nsim-bpred: {rate / 1e3:.1f}k records/s host throughput")
+    assert records > 9000

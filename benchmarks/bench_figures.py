@@ -1,0 +1,65 @@
+"""Bench: regenerate Figures 2, 3 and 4 — the minor-cycle pipelines.
+
+Prints each organization's timing diagram at the paper's 4-wide
+configuration and the latency series across widths, then asserts the
+formulas (2N+3, N+4, N+3), the validity constraints, and the
+throughput ratios the organizations imply.
+
+The timed quantity is the end-to-end projection of one engine run
+through all three pipeline models — the analysis loop of Section IV.
+"""
+
+import pytest
+
+from repro.core import PAPER_4WIDE_PERFECT, ReSimEngine
+from repro.core.minorpipe import (
+    ImprovedPipeline,
+    OptimizedPipeline,
+    SimplePipeline,
+    select_pipeline,
+)
+from repro.fpga.device import VIRTEX5_LX50T
+from repro.perf.throughput import ThroughputModel
+from repro.workloads import SyntheticWorkload, get_profile
+
+
+def test_figures_2_3_4_pipelines(benchmark):
+    pipelines = [SimplePipeline(4), ImprovedPipeline(4),
+                 OptimizedPipeline(4)]
+    for pipeline in pipelines:
+        pipeline.validate()
+        print("\n" + pipeline.render())
+
+    print("\nlatency series (minor cycles per major cycle):")
+    print(f"{'N':>3} {'simple':>7} {'improved':>9} {'optimized':>10}")
+    for width in (1, 2, 4, 8, 16):
+        simple = SimplePipeline(width).minor_cycles_per_major
+        improved = ImprovedPipeline(width).minor_cycles_per_major
+        optimized = OptimizedPipeline(width).minor_cycles_per_major
+        print(f"{width:>3} {simple:>7} {improved:>9} {optimized:>10}")
+        assert simple == 2 * width + 3
+        assert improved == width + 4
+        assert optimized == width + 3
+
+    # The paper's two evaluation latencies.
+    assert OptimizedPipeline(4).minor_cycles_per_major == 7
+    assert ImprovedPipeline(2).minor_cycles_per_major == 6
+    # Configuration-driven selection matches the paper.
+    assert select_pipeline(4, 3).name == "optimized"
+    assert select_pipeline(2, 2).name == "improved"
+
+    generation = SyntheticWorkload(get_profile("gzip"),
+                                   seed=7).generate(8000)
+    result = ReSimEngine(PAPER_4WIDE_PERFECT, generation.records).run()
+
+    def project_all():
+        return [
+            ThroughputModel(VIRTEX5_LX50T, pipeline).report(result).mips
+            for pipeline in pipelines
+        ]
+
+    simple_mips, improved_mips, optimized_mips = benchmark(project_all)
+    print(f"\ngzip MIPS by organization: simple {simple_mips:.2f}, "
+          f"improved {improved_mips:.2f}, optimized {optimized_mips:.2f}")
+    assert optimized_mips / simple_mips == pytest.approx(11 / 7)
+    assert optimized_mips / improved_mips == pytest.approx(8 / 7)

@@ -1,0 +1,55 @@
+"""Bench: the Section VI multi-core extension study.
+
+Not a paper table — the paper poses multi-core support as future work
+("it is possible to fit multiple ReSim instances in a single FPGA and
+simulate multi-core systems").  This bench quantifies the design
+point: instances per device, aggregate simulated MIPS, and the trace-
+channel saturation the paper's Table 3 bandwidth analysis predicts.
+"""
+
+import pytest
+
+from repro.core import PAPER_4WIDE_PERFECT
+from repro.fpga.device import VIRTEX4_LX100, VIRTEX4_LX40
+from repro.multicore import MultiCoreSimulator, TraceChannel
+
+BENCHMARKS = ["gzip", "bzip2", "parser", "vortex", "vpr"]
+
+
+def test_multicore_scaling(benchmark):
+    simulator = MultiCoreSimulator(
+        PAPER_4WIDE_PERFECT, VIRTEX4_LX100, TraceChannel(6.4)
+    )
+    # Placement: the paper's size claim scaled to the larger part.
+    assert MultiCoreSimulator(
+        PAPER_4WIDE_PERFECT, VIRTEX4_LX40
+    ).max_instances == 1
+    assert simulator.max_instances == 4
+
+    def scaling():
+        return simulator.scaling_study(BENCHMARKS, budget=4000)
+
+    results = benchmark.pedantic(scaling, rounds=1, iterations=1)
+
+    print(f"\n{'cores':>6} {'demand Gb/s':>12} {'service':>8} "
+          f"{'aggregate MIPS':>15}")
+    for result in results:
+        print(f"{result.instances:>6} "
+              f"{result.aggregate_demand_gbps:>12.2f} "
+              f"{result.service_fraction:>8.2f} "
+              f"{result.aggregate_mips:>15.2f}")
+
+    # Unconstrained throughput scales ~linearly with instances.
+    unconstrained = [r.aggregate_mips_unconstrained for r in results]
+    assert unconstrained[-1] > 3.0 * unconstrained[0]
+    # Per-instance demand is in the paper's ~1 Gb/s regime, so four
+    # instances approach the 6.4 Gb/s link.
+    per_instance = results[0].aggregate_demand_gbps
+    assert 0.7 < per_instance < 1.5
+    # A GigE-class link saturates with a single instance running a
+    # paper-average-demand benchmark (bzip2 ≈ 1.15 Gb/s; gzip, the
+    # lightest at ≈0.95 Gb/s, just squeezes through).
+    gige = MultiCoreSimulator(
+        PAPER_4WIDE_PERFECT, VIRTEX4_LX100, TraceChannel(1.0)
+    ).run(["bzip2"], budget=4000)
+    assert gige.bandwidth_limited

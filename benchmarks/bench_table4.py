@@ -1,0 +1,53 @@
+"""Bench: regenerate Table 4 — FPGA area cost on xc4vlx40.
+
+Per-stage/structure slices, 4-input LUTs and BRAMs as percentages of
+the full design, plus the totals excluding caches (paper: 12 273
+slices / 17 175 LUTs / 7 BRAMs) and the FAST area comparison (29 230
+slices / 172 BRAMs — 2.4x and 24x ReSim).
+
+The timed quantity is a full area estimation sweep across widths (the
+kind of query a design-space exploration makes repeatedly).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import PAPER_4WIDE_PERFECT
+from repro.fpga.area import AreaEstimator
+from repro.perf.comparison import FAST_AREA_BRAMS, FAST_AREA_SLICES
+
+PAPER_SLICE_PCT = {"fetch": 25, "dispatch": 9, "issue": 5, "lsq": 14,
+                   "writeback": 3, "commit": 2, "rename": 3, "rob": 13,
+                   "lsq_store": 6, "bpred": 2, "dcache": 17, "icache": 1}
+
+
+def test_table4_area_breakdown(benchmark):
+    config = replace(PAPER_4WIDE_PERFECT, perfect_memory=False)
+    report = AreaEstimator(config).estimate()
+    print("\n" + report.render())
+    print(f"\npaper totals: 12273 slices / 17175 LUTs / 7 BRAMs")
+    slice_ratio = FAST_AREA_SLICES / report.total_slices
+    bram_ratio = FAST_AREA_BRAMS / report.total_brams
+    print(f"FAST is {slice_ratio:.1f}x the slices and {bram_ratio:.0f}x "
+          f"the BRAMs (paper: 2.4x / 24x)")
+
+    # Calibration anchors.
+    assert report.total_slices == pytest.approx(12_273, rel=0.02)
+    assert report.total_luts == pytest.approx(17_175, rel=0.02)
+    assert report.total_brams == 7
+    for component, expected in PAPER_SLICE_PCT.items():
+        assert report.percentage(component, "slices") == \
+            pytest.approx(expected, abs=1.5), component
+    assert slice_ratio == pytest.approx(2.4, abs=0.15)
+    assert bram_ratio == pytest.approx(24.0, abs=1.0)
+
+    def estimate_sweep():
+        totals = []
+        for width in (1, 2, 4, 8):
+            swept = replace(config, width=width)
+            totals.append(AreaEstimator(swept).estimate().total_slices)
+        return totals
+
+    totals = benchmark(estimate_sweep)
+    assert totals == sorted(totals)  # area grows with width

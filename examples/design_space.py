@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the 'reconfigurable' in ReSim.
+
+The point of a parameterizable hardware simulator is sweeping design
+parameters quickly.  This example sweeps three axes the paper
+parameterizes and reports both *simulated-processor* effects (IPC) and
+*simulator* effects (FPGA area, instances per device):
+
+1. branch predictor geometry (the paper's generated-VHDL component) —
+   also writes the generated VHDL for the chosen design point;
+2. reorder-buffer size;
+3. superscalar width, including how many ReSim instances of each width
+   fit on one device (the paper's multi-core direction).
+
+Run:  python examples/design_space.py [--budget N] [--vhdl-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from pathlib import Path
+
+from repro import (
+    PAPER_4WIDE_PERFECT,
+    PredictorConfig,
+    ReSimEngine,
+    VIRTEX4_LX40,
+    generate_branch_predictor_vhdl,
+)
+from repro.fpga.area import AreaEstimator
+from repro.fpga.device import VIRTEX4_LX100
+from repro.workloads import SyntheticWorkload, get_profile
+
+
+def sweep_predictor(budget: int) -> PredictorConfig:
+    """Compare predictor schemes on the branchy 'parser' workload."""
+    print("== predictor sweep (parser, 4-wide, perfect memory) ==")
+    print(f"{'scheme':<26s} {'IPC':>6s} {'mispredict':>11s} {'BP BRAMs':>9s}")
+    best: tuple[float, PredictorConfig] | None = None
+    for scheme, kwargs in (
+        ("nottaken", {}),
+        ("bimodal", {"bimodal_size": 2048}),
+        ("gshare", {"history_length": 10, "l2_size": 4096}),
+        ("twolevel", {}),  # the paper's configuration
+        ("twolevel", {"l1_size": 16, "history_length": 10,
+                      "l2_size": 16384}),
+    ):
+        predictor = PredictorConfig(scheme=scheme, **kwargs)
+        config = replace(PAPER_4WIDE_PERFECT, predictor=predictor)
+        workload = SyntheticWorkload(get_profile("parser"), seed=7,
+                                     predictor_config=predictor)
+        trace = workload.generate(budget)
+        result = ReSimEngine(config, trace.records).run()
+        area = AreaEstimator(config).estimate()
+        brams = area.stage("bpred").brams
+        label = f"{scheme}({','.join(map(str, kwargs.values()))})"
+        print(f"{label:<26s} {result.ipc:6.3f} "
+              f"{result.stats.misprediction_rate:11.4f} {brams:9d}")
+        if best is None or result.ipc > best[0]:
+            best = (result.ipc, predictor)
+    assert best is not None
+    return best[1]
+
+
+def sweep_rob(budget: int) -> None:
+    """Reorder-buffer size: ILP window vs. area."""
+    print("\n== reorder-buffer sweep (bzip2, 4-wide, perfect memory) ==")
+    print(f"{'ROB':>4s} {'IPC':>6s} {'RB slices':>10s} {'total slices':>13s}")
+    for rob in (8, 16, 32, 64):
+        config = replace(PAPER_4WIDE_PERFECT, rob_entries=rob)
+        workload = SyntheticWorkload(get_profile("bzip2"), seed=7,
+                                     rob_entries=rob)
+        trace = workload.generate(budget)
+        result = ReSimEngine(config, trace.records).run()
+        area = AreaEstimator(config).estimate()
+        print(f"{rob:>4d} {result.ipc:6.3f} "
+              f"{area.stage('rob').slices:>10d} {area.total_slices:>13d}")
+
+
+def sweep_width(budget: int) -> None:
+    """Superscalar width: IPC vs. area vs. multi-instance capacity."""
+    print("\n== width sweep (gzip, perfect memory) ==")
+    # Instance counts compare like with like: the area model emits
+    # Virtex-4 slices, so both parts here are Virtex-4.
+    print(f"{'N':>3s} {'IPC':>6s} {'slices':>8s} "
+          f"{'fit on LX40':>12s} {'fit on LX100':>13s}")
+    for width in (1, 2, 4, 8):
+        config = replace(
+            PAPER_4WIDE_PERFECT, width=width,
+            mem_read_ports=max(1, width // 2),
+        )
+        workload = SyntheticWorkload(get_profile("gzip"), seed=7)
+        trace = workload.generate(budget)
+        result = ReSimEngine(config, trace.records).run()
+        area = AreaEstimator(config).estimate()
+        fit_v4 = VIRTEX4_LX40.instances_fit(area.total_slices,
+                                            area.total_brams)
+        fit_large = VIRTEX4_LX100.instances_fit(area.total_slices,
+                                                area.total_brams)
+        print(f"{width:>3d} {result.ipc:6.3f} {area.total_slices:>8d} "
+              f"{fit_v4:>12d} {fit_large:>13d}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=20_000)
+    parser.add_argument("--vhdl-dir", type=Path, default=None,
+                        help="write generated predictor VHDL here")
+    args = parser.parse_args()
+
+    best_predictor = sweep_predictor(args.budget)
+    sweep_rob(args.budget)
+    sweep_width(args.budget)
+
+    if args.vhdl_dir is not None:
+        args.vhdl_dir.mkdir(parents=True, exist_ok=True)
+        sources = generate_branch_predictor_vhdl(best_predictor)
+        for entity, source in sources.items():
+            path = args.vhdl_dir / f"{entity}.vhd"
+            path.write_text(source)
+            print(f"wrote {path}")
+    else:
+        sources = generate_branch_predictor_vhdl(best_predictor)
+        total = sum(source.count("\n") for source in sources.values())
+        print(f"\n(best predictor VHDL: {len(sources)} entities, "
+              f"{total} lines; pass --vhdl-dir to write them)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Regenerate every table of the paper's evaluation section.
+
+Usage:
+    python examples/reproduce_tables.py             # all tables
+    python examples/reproduce_tables.py table1      # one table
+    python examples/reproduce_tables.py table3 --budget 50000
+
+The rendering lives in :mod:`repro.perf.tables` (also reachable as
+``resim tables``); this script is the runnable front end.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.perf.tables import render_all
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("tables", nargs="*", metavar="TABLE",
+                        help="tables to regenerate: table1..table4 "
+                             "(default: all)")
+    parser.add_argument("--budget", type=int, default=30_000,
+                        help="instructions per benchmark")
+    args = parser.parse_args()
+    try:
+        render_all(args.tables, args.budget)
+    except KeyError as error:
+        parser.error(str(error.args[0]))
+
+
+if __name__ == "__main__":
+    main()

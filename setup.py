@@ -1,0 +1,15 @@
+"""Setuptools shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed in environments without the ``wheel`` package
+(offline boxes where PEP 660 editable builds are unavailable) via::
+
+    python setup.py develop
+
+or the equivalent ``pip install -e . --no-build-isolation`` where wheel
+is available.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,117 @@
+"""ReSim — a trace-driven, reconfigurable ILP processor simulator.
+
+A complete Python reproduction of *"ReSim, a Trace-Driven,
+Reconfigurable ILP Processor Simulator"* (Fytraki & Pnevmatikatos,
+DATE 2009), including every substrate the paper depends on:
+
+* a SimpleScalar-PISA-like integer ISA with assembler and functional
+  simulators (:mod:`repro.isa`, :mod:`repro.functional`);
+* the tagged B/M/O trace format with wrong-path blocks
+  (:mod:`repro.trace`);
+* parametric branch prediction — two-level/gshare/bimodal/combining
+  direction predictors, BTB, RAS (:mod:`repro.bpred`) — plus the VHDL
+  generator the paper describes (:mod:`repro.fpga.vhdlgen`);
+* tag-only cache models (:mod:`repro.cache`);
+* **the ReSim engine itself**: the trace-driven out-of-order timing
+  core and its minor-cycle pipeline organizations
+  (:mod:`repro.core`);
+* FPGA device/area/frequency models standing in for the Xilinx flow
+  (:mod:`repro.fpga`);
+* throughput/bandwidth/comparison models regenerating the paper's
+  Tables 1-4 (:mod:`repro.perf`);
+* synthetic SPECINT workload profiles and real assembly kernels
+  (:mod:`repro.workloads`), and an independent baseline timing
+  simulator for cross-validation (:mod:`repro.baseline`).
+
+Quick start
+-----------
+>>> from repro import (PAPER_4WIDE_PERFECT, ReSimEngine,
+...                    SyntheticWorkload, get_profile)
+>>> workload = SyntheticWorkload(get_profile("gzip"), seed=7)
+>>> trace = workload.generate(10_000)
+>>> result = ReSimEngine(PAPER_4WIDE_PERFECT, trace.records).run()
+>>> 0.5 < result.ipc < 4.0
+True
+
+See ``examples/`` for runnable end-to-end scenarios and
+``EXPERIMENTS.md`` for the paper-vs-measured record.
+"""
+
+from repro.bpred import BranchPredictorUnit, PredictorConfig
+from repro.cache import CacheConfig, MemorySystem, PerfectMemory
+from repro.core import (
+    PAPER_2WIDE_CACHE,
+    PAPER_4WIDE_PERFECT,
+    ProcessorConfig,
+    ReSimEngine,
+    SimulationResult,
+    select_pipeline,
+)
+from repro.fpga import (
+    AreaEstimator,
+    FrequencyModel,
+    VIRTEX4_LX40,
+    VIRTEX5_LX50T,
+    generate_branch_predictor_vhdl,
+)
+from repro.functional import SimBpred, SimFast
+from repro.isa import Program, assemble
+from repro.perf import ThroughputModel, evaluate_benchmark, evaluate_suite
+from repro.cosim import OnTheFlyCosimulation
+from repro.multicore import MultiCoreSimulator, TraceChannel
+from repro.trace import (
+    decode_trace,
+    encode_trace,
+    measure_trace,
+    read_trace_file,
+    write_trace_file,
+)
+from repro.workloads import (
+    KERNELS,
+    SPECINT_PROFILES,
+    SyntheticWorkload,
+    get_profile,
+    kernel_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AreaEstimator",
+    "BranchPredictorUnit",
+    "CacheConfig",
+    "FrequencyModel",
+    "KERNELS",
+    "MemorySystem",
+    "MultiCoreSimulator",
+    "OnTheFlyCosimulation",
+    "PAPER_2WIDE_CACHE",
+    "PAPER_4WIDE_PERFECT",
+    "PerfectMemory",
+    "PredictorConfig",
+    "ProcessorConfig",
+    "Program",
+    "ReSimEngine",
+    "SPECINT_PROFILES",
+    "SimBpred",
+    "SimFast",
+    "SimulationResult",
+    "SyntheticWorkload",
+    "ThroughputModel",
+    "TraceChannel",
+    "VIRTEX4_LX40",
+    "VIRTEX5_LX50T",
+    "__version__",
+    "assemble",
+    "decode_trace",
+    "encode_trace",
+    "evaluate_benchmark",
+    "evaluate_suite",
+    "generate_branch_predictor_vhdl",
+    "get_profile",
+    "kernel_program",
+    "measure_trace",
+    "read_trace_file",
+    "select_pipeline",
+    "write_trace_file",
+]

@@ -1,0 +1,249 @@
+"""Dataflow-scheduling baseline timing model.
+
+Instead of stepping a pipeline state machine cycle by cycle, this
+model assigns each correct-path instruction a set of event times by
+*scheduling*:
+
+* ``fetch_time`` — width instructions per cycle, +1 cycle bubble after
+  every taken branch, misfetch/misprediction penalties as fetch-time
+  offsets (a mispredicted branch stalls fetch until it resolves, i.e.
+  until its own completion, plus the recovery penalty);
+* ``dispatch_time`` — fetch + fixed front-end depth, gated by the
+  reorder-buffer window (instruction i waits for i − ROB to commit)
+  and the LSQ window for memory ops;
+* ``issue_time`` — max(dispatch, operand readiness) pushed forward by
+  functional-unit and memory-port contention (per-cycle occupancy
+  maps);
+* ``complete_time`` — issue + latency (D-cache modelled with its own
+  tag arrays, accessed in issue order);
+* ``commit_time`` — in-order, width per cycle, no earlier than
+  completion + 1.
+
+The resulting cycle count tracks the ReSimEngine within a documented
+tolerance (see ``tests/test_cross_validation.py``) while sharing no
+structural code with it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cache.cache import Cache
+from repro.core.config import ProcessorConfig
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.opcodes import FuClass
+from repro.isa.program import TEXT_BASE
+from repro.trace.record import (
+    BranchRecord,
+    MemoryRecord,
+    TraceRecord,
+)
+
+#: Fixed front-end depth (fetch → dispatch), in cycles: one for the
+#: IFQ hand-off, one for the decouple buffer.
+FRONT_END_DEPTH = 2
+
+
+@dataclass
+class BaselineResult:
+    """Cycle count and derived rates from one baseline run."""
+
+    cycles: int
+    instructions: int
+    branches: int
+    mispredictions: int
+    misfetches: int
+    dcache_misses: int
+    icache_misses: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class OutOrderBaseline:
+    """Independent timing model for cross-validation and baselining."""
+
+    def __init__(self, config: ProcessorConfig) -> None:
+        self._config = config
+
+    def run(self, trace: Sequence[TraceRecord]) -> BaselineResult:
+        """Schedule every correct-path record; wrong-path records only
+        contribute fetch stall (they are consumed while the faulting
+        branch resolves)."""
+        config = self._config
+        width = config.width
+
+        icache = None if config.perfect_memory else Cache(config.icache)
+        dcache = None if config.perfect_memory else Cache(config.dcache)
+
+        # Per-cycle occupancy maps for contention resolution.
+        fu_busy: dict[FuClass, dict[int, int]] = {
+            FuClass.ALU: defaultdict(int),
+            FuClass.MUL: defaultdict(int),
+            FuClass.DIV: defaultdict(int),
+        }
+        fu_count = {
+            FuClass.ALU: config.alu_count,
+            FuClass.MUL: config.mul_count,
+            FuClass.DIV: config.div_count,
+        }
+        fu_latency = {
+            FuClass.ALU: config.alu_latency,
+            FuClass.MUL: config.mul_latency,
+            FuClass.DIV: config.div_latency,
+        }
+        read_ports: dict[int, int] = defaultdict(int)
+        issue_slots: dict[int, int] = defaultdict(int)
+        commit_slots: dict[int, int] = defaultdict(int)
+        fetch_slots: dict[int, int] = defaultdict(int)
+
+        #: architectural register → completion time of latest producer
+        reg_ready: dict[int, int] = defaultdict(int)
+
+        commit_times: list[int] = []
+        mem_commit_times: list[int] = []
+
+        fetch_cycle = 1
+        pc = TEXT_BASE
+        line_buffer = -1
+        instructions = branches = mispredictions = misfetches = 0
+        dcache_misses = icache_misses = 0
+        last_store_issue = 0
+
+        records = list(trace)
+        index = 0
+        while index < len(records):
+            record = records[index]
+            if record.tag:
+                index += 1  # wrong path: timing folded into the stall below
+                continue
+
+            # ---- fetch ------------------------------------------------
+            while fetch_slots[fetch_cycle] >= width:
+                fetch_cycle += 1
+            if icache is not None:
+                # One I-cache access per fetch line; the PC is
+                # reconstructed from sequential flow plus branch
+                # targets, exactly as the trace-driven engine does.
+                line = pc // config.icache.block_bytes
+                if line != line_buffer:
+                    hit, _ = icache.access(pc)
+                    line_buffer = line
+                    if not hit:
+                        icache_misses += 1
+                        fetch_cycle += config.memory_latency
+            this_fetch = fetch_cycle
+            fetch_slots[this_fetch] += 1
+            instructions += 1
+
+            # ---- dispatch (window-gated) -------------------------------
+            dispatch = this_fetch + FRONT_END_DEPTH
+            rob_index = len(commit_times)
+            if rob_index >= config.rob_entries:
+                dispatch = max(dispatch,
+                               commit_times[rob_index - config.rob_entries])
+            if isinstance(record, MemoryRecord):
+                mem_index = len(mem_commit_times)
+                if mem_index >= config.lsq_entries:
+                    dispatch = max(
+                        dispatch,
+                        mem_commit_times[mem_index - config.lsq_entries],
+                    )
+
+            # ---- operand readiness -------------------------------------
+            # An instruction may issue in the very cycle its producer
+            # broadcasts (the engine's wakeup→issue same-cycle path),
+            # but no earlier than one cycle after dispatch.
+            ready = dispatch + 1
+            for register in record.src_registers():
+                ready = max(ready, reg_ready[register])
+
+            # ---- issue with contention ---------------------------------
+            issue = ready
+            if isinstance(record, MemoryRecord) and not record.is_store:
+                # Disambiguation: wait until the youngest older store
+                # has resolved its address (its issue cycle) plus the
+                # refresh round.
+                issue = max(issue, last_store_issue + 1)
+                while (read_ports[issue] >= config.mem_read_ports
+                       or issue_slots[issue] >= width):
+                    issue += 1
+                read_ports[issue] += 1
+                latency = 1
+                if dcache is not None:
+                    hit, _ = dcache.access(record.address)
+                    if not hit:
+                        dcache_misses += 1
+                        latency = 1 + config.memory_latency
+            else:
+                unit = (record.fu if record.fu in (FuClass.MUL, FuClass.DIV)
+                        else FuClass.ALU)
+                latency = fu_latency[unit]
+                while (fu_busy[unit][issue] >= fu_count[unit]
+                       or issue_slots[issue] >= width):
+                    issue += 1
+                fu_busy[unit][issue] += 1
+                if unit is FuClass.DIV:  # unpipelined divider
+                    for offset in range(1, latency):
+                        fu_busy[unit][issue + offset] += 1
+            issue_slots[issue] += 1
+            complete = issue + latency
+
+            # ---- writeback: producers visible --------------------------
+            for register in record.dest_registers():
+                reg_ready[register] = complete
+
+            if isinstance(record, MemoryRecord) and record.is_store:
+                last_store_issue = issue
+                if dcache is not None:
+                    hit, _ = dcache.access(record.address, is_write=True)
+                    if not hit:
+                        dcache_misses += 1
+
+            # ---- commit ------------------------------------------------
+            commit = complete + 1
+            if commit_times:
+                commit = max(commit, commit_times[-1])
+            while commit_slots[commit] >= width:
+                commit += 1
+            commit_slots[commit] += 1
+            commit_times.append(commit)
+            if isinstance(record, MemoryRecord):
+                mem_commit_times.append(commit)
+
+            # ---- control flow ------------------------------------------
+            next_pc = pc + INSTRUCTION_BYTES
+            if isinstance(record, BranchRecord) and record.taken:
+                next_pc = record.target
+            if isinstance(record, BranchRecord):
+                branches += 1
+                tagged_block = (index + 1 < len(records)
+                                and records[index + 1].tag)
+                if tagged_block:
+                    # Fetch is occupied by the wrong path until this
+                    # branch resolves at commit, then pays the penalty.
+                    mispredictions += 1
+                    fetch_cycle = max(
+                        fetch_cycle,
+                        commit + config.misspeculation_penalty,
+                    )
+                elif record.taken:
+                    # Control-flow bubble: no further fetch this cycle.
+                    fetch_cycle = max(fetch_cycle, this_fetch + 1)
+            pc = next_pc
+            index += 1
+
+        cycles = commit_times[-1] if commit_times else 0
+        return BaselineResult(
+            cycles=cycles,
+            instructions=instructions,
+            branches=branches,
+            mispredictions=mispredictions,
+            misfetches=misfetches,
+            dcache_misses=dcache_misses,
+            icache_misses=icache_misses,
+        )
+

@@ -1,0 +1,46 @@
+"""Branch prediction substrate.
+
+The paper's ReSim contains a fully parametric branch predictor made of
+three cooperating structures (Section III): a **direction predictor**
+(the evaluation uses a two-level scheme with a 4-entry branch history
+table, 8-bit history registers and a 4096-entry PHT), a direct-mapped
+512-entry **Branch Target Buffer**, and a 16-entry **Return Address
+Stack**.  A script generates VHDL for any parameter combination — our
+equivalent lives in :mod:`repro.fpga.vhdlgen` and consumes the same
+:class:`PredictorConfig` used here.
+
+Update discipline
+-----------------
+All predictor state is updated in *architectural program order* (ReSim
+updates the predictor at Commit, per Section III).  The trace generator
+uses the same discipline, which guarantees the central trace-driven
+invariant: the generator and ReSim see identical predictor state at
+every branch, so the wrong-path blocks injected into the trace are
+exactly the ones ReSim's own predictions will follow.
+"""
+
+from repro.bpred.base import DirectionPredictor, Prediction
+from repro.bpred.bimodal import BimodalPredictor
+from repro.bpred.btb import BranchTargetBuffer
+from repro.bpred.combining import CombiningPredictor
+from repro.bpred.perfect import PerfectPredictor
+from repro.bpred.ras import ReturnAddressStack
+from repro.bpred.static_ import AlwaysNotTaken, AlwaysTaken
+from repro.bpred.twolevel import TwoLevelPredictor
+from repro.bpred.unit import BranchPredictorUnit, PredictorConfig, build_direction_predictor
+
+__all__ = [
+    "AlwaysNotTaken",
+    "AlwaysTaken",
+    "BimodalPredictor",
+    "BranchPredictorUnit",
+    "BranchTargetBuffer",
+    "CombiningPredictor",
+    "DirectionPredictor",
+    "PerfectPredictor",
+    "Prediction",
+    "PredictorConfig",
+    "ReturnAddressStack",
+    "TwoLevelPredictor",
+    "build_direction_predictor",
+]

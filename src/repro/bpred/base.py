@@ -1,0 +1,69 @@
+"""Direction-predictor interface and shared helpers.
+
+Direction predictors answer one question — will this conditional branch
+be taken? — and are updated with the resolved outcome in program order.
+All the classic SimpleScalar predictor families implement this
+interface, so the ReSim fetch stage and the trace generator can use any
+of them interchangeably.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Outcome of one branch-predictor consultation.
+
+    Attributes
+    ----------
+    taken:
+        Predicted direction (always True for unconditional control flow).
+    target:
+        Predicted target address, or ``None`` when no target source
+        (BTB, RAS) could supply one.  A taken prediction without a
+        target cannot redirect fetch.
+    """
+
+    taken: bool
+    target: int | None = None
+
+
+def saturating_update(counter: int, taken: bool, maximum: int = 3) -> int:
+    """Advance a saturating counter (default 2-bit) toward the outcome."""
+    if taken:
+        return min(counter + 1, maximum)
+    return max(counter - 1, 0)
+
+
+def counter_predicts_taken(counter: int, maximum: int = 3) -> bool:
+    """A counter in the upper half of its range predicts taken."""
+    return counter > maximum // 2
+
+
+class DirectionPredictor(abc.ABC):
+    """Predicts conditional-branch directions.
+
+    Implementations must be *deterministic state machines*: given the
+    same sequence of ``predict``/``update`` calls they must produce the
+    same answers.  The trace-driven consistency invariant (generator and
+    ReSim agreeing on every prediction) depends on it.
+    """
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the conditional branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome (called in program order)."""
+
+    def reset(self) -> None:
+        """Restore power-on state; subclasses with state must override."""
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in reports and generated VHDL."""
+        return type(self).__name__

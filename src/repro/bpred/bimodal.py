@@ -1,0 +1,60 @@
+"""Bimodal (one-level) direction predictor.
+
+A table of 2-bit saturating counters indexed by low PC bits — the
+`sim-bpred` "bimod" predictor.  ReSim's parametric branch predictor
+generator supports it as the simplest non-static option.
+"""
+
+from __future__ import annotations
+
+from repro.bpred.base import (
+    DirectionPredictor,
+    counter_predicts_taken,
+    saturating_update,
+)
+from repro.isa.instruction import INSTRUCTION_BYTES
+
+
+class BimodalPredictor(DirectionPredictor):
+    """PC-indexed table of 2-bit saturating counters.
+
+    Parameters
+    ----------
+    table_size:
+        Number of counters; must be a power of two.
+    initial_counter:
+        Power-on counter value; SimpleScalar initializes to weakly
+        taken (2), which we follow.
+    """
+
+    def __init__(self, table_size: int = 2048, initial_counter: int = 2) -> None:
+        if table_size <= 0 or table_size & (table_size - 1):
+            raise ValueError(f"table_size must be a power of two, got {table_size}")
+        if not 0 <= initial_counter <= 3:
+            raise ValueError("initial_counter must be a 2-bit value")
+        self._size = table_size
+        self._initial = initial_counter
+        self._counters = [initial_counter] * table_size
+
+    @property
+    def table_size(self) -> int:
+        return self._size
+
+    def _index(self, pc: int) -> int:
+        # Instruction addresses are 8-byte aligned; drop the alignment
+        # bits so neighbouring branches use neighbouring counters.
+        return (pc // INSTRUCTION_BYTES) & (self._size - 1)
+
+    def predict(self, pc: int) -> bool:
+        return counter_predicts_taken(self._counters[self._index(pc)])
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        self._counters[index] = saturating_update(self._counters[index], taken)
+
+    def reset(self) -> None:
+        self._counters = [self._initial] * self._size
+
+    @property
+    def name(self) -> str:
+        return f"bimod:{self._size}"

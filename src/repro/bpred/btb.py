@@ -1,0 +1,99 @@
+"""Branch Target Buffer.
+
+ReSim's evaluation uses a direct-mapped, 512-entry BTB (Section V.C);
+the generator supports arbitrary set counts and associativity, so this
+model is set-associative with LRU replacement and degenerates to
+direct-mapped when ``assoc == 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import INSTRUCTION_BYTES
+
+
+@dataclass
+class _BtbEntry:
+    tag: int
+    target: int
+    lru: int  # larger = more recently used
+
+
+class BranchTargetBuffer:
+    """Set-associative branch target cache.
+
+    Parameters
+    ----------
+    entries:
+        Total entry count; power of two.
+    assoc:
+        Ways per set; must divide ``entries``.
+    """
+
+    def __init__(self, entries: int = 512, assoc: int = 1) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        if assoc <= 0 or entries % assoc:
+            raise ValueError(f"assoc {assoc} must divide entries {entries}")
+        self._entries = entries
+        self._assoc = assoc
+        self._sets = entries // assoc
+        self._table: list[list[_BtbEntry]] = [[] for _ in range(self._sets)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def entries(self) -> int:
+        return self._entries
+
+    @property
+    def assoc(self) -> int:
+        return self._assoc
+
+    @property
+    def sets(self) -> int:
+        return self._sets
+
+    def _index_tag(self, pc: int) -> tuple[int, int]:
+        word = pc // INSTRUCTION_BYTES
+        return word & (self._sets - 1), word // self._sets
+
+    def lookup(self, pc: int) -> int | None:
+        """Return the cached target for ``pc``, or None on miss."""
+        index, tag = self._index_tag(pc)
+        self._clock += 1
+        for entry in self._table[index]:
+            if entry.tag == tag:
+                entry.lru = self._clock
+                self.hits += 1
+                return entry.target
+        self.misses += 1
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install or refresh the target for a taken branch at ``pc``."""
+        index, tag = self._index_tag(pc)
+        self._clock += 1
+        ways = self._table[index]
+        for entry in ways:
+            if entry.tag == tag:
+                entry.target = target
+                entry.lru = self._clock
+                return
+        if len(ways) >= self._assoc:
+            victim = min(range(len(ways)), key=lambda i: ways[i].lru)
+            del ways[victim]
+        ways.append(_BtbEntry(tag=tag, target=target, lru=self._clock))
+
+    def reset(self) -> None:
+        self._table = [[] for _ in range(self._sets)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,82 @@
+"""Combining (tournament) predictor — SimpleScalar's ``comb``.
+
+A meta-predictor table of 2-bit counters chooses, per branch, between
+two component predictors (classically bimodal and two-level).  Included
+because ReSim's predictor generator is meant to cover the SimpleScalar
+predictor menu; the paper's evaluation itself uses the plain two-level
+configuration.
+"""
+
+from __future__ import annotations
+
+from repro.bpred.base import (
+    DirectionPredictor,
+    counter_predicts_taken,
+    saturating_update,
+)
+from repro.isa.instruction import INSTRUCTION_BYTES
+
+
+class CombiningPredictor(DirectionPredictor):
+    """Tournament of two direction predictors with a meta chooser.
+
+    Parameters
+    ----------
+    first, second:
+        Component predictors.  The meta table picks ``first`` when its
+        counter is in the taken half.  Both components are trained on
+        every update, as in SimpleScalar.
+    meta_size:
+        Number of 2-bit chooser counters; power of two.
+    """
+
+    def __init__(
+        self,
+        first: DirectionPredictor,
+        second: DirectionPredictor,
+        meta_size: int = 1024,
+    ) -> None:
+        if meta_size <= 0 or meta_size & (meta_size - 1):
+            raise ValueError(f"meta_size must be a power of two, got {meta_size}")
+        self._first = first
+        self._second = second
+        self._meta_size = meta_size
+        self._meta = [2] * meta_size
+
+    @property
+    def meta_size(self) -> int:
+        return self._meta_size
+
+    @property
+    def components(self) -> tuple[DirectionPredictor, DirectionPredictor]:
+        return (self._first, self._second)
+
+    def _index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & (self._meta_size - 1)
+
+    def predict(self, pc: int) -> bool:
+        if counter_predicts_taken(self._meta[self._index(pc)]):
+            return self._first.predict(pc)
+        return self._second.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        first_guess = self._first.predict(pc)
+        second_guess = self._second.predict(pc)
+        # Train the chooser only when the components disagree: move
+        # toward whichever was right.
+        if first_guess != second_guess:
+            index = self._index(pc)
+            self._meta[index] = saturating_update(
+                self._meta[index], first_guess == taken
+            )
+        self._first.update(pc, taken)
+        self._second.update(pc, taken)
+
+    def reset(self) -> None:
+        self._meta = [2] * self._meta_size
+        self._first.reset()
+        self._second.reset()
+
+    @property
+    def name(self) -> str:
+        return f"comb({self._first.name},{self._second.name}):{self._meta_size}"

@@ -1,0 +1,52 @@
+"""Perfect branch prediction.
+
+The paper's FAST comparison (Table 1, right) simulates a 2-issue
+processor with a *perfect* branch predictor: every direction and target
+is correct, so no wrong-path blocks appear in the trace and fetch never
+stalls for control-flow reasons.
+
+A perfect predictor needs the actual outcome at prediction time; the
+:class:`~repro.bpred.unit.BranchPredictorUnit` supplies it from the
+trace record, and this class simply echoes it back.  ``predict``
+without a supplied outcome is an error by construction.
+"""
+
+from __future__ import annotations
+
+from repro.bpred.base import DirectionPredictor
+
+
+class PerfectPredictor(DirectionPredictor):
+    """Oracle direction predictor.
+
+    The owning unit calls :meth:`set_oracle` with the actual outcome
+    before each ``predict``; this keeps the
+    :class:`~repro.bpred.base.DirectionPredictor` interface uniform so
+    the rest of the pipeline does not special-case perfection.
+    """
+
+    def __init__(self) -> None:
+        self._outcome: bool | None = None
+
+    def set_oracle(self, taken: bool) -> None:
+        """Provide the actual direction for the next ``predict`` call."""
+        self._outcome = taken
+
+    def predict(self, pc: int) -> bool:
+        if self._outcome is None:
+            raise RuntimeError(
+                "PerfectPredictor.predict called without an oracle outcome"
+            )
+        outcome = self._outcome
+        self._outcome = None
+        return outcome
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    def reset(self) -> None:
+        self._outcome = None
+
+    @property
+    def name(self) -> str:
+        return "perfect"

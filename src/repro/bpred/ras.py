@@ -1,0 +1,62 @@
+"""Return Address Stack.
+
+ReSim's evaluation configuration uses a 16-entry RAS (Section V.C).
+The model is the standard circular stack: pushes beyond capacity
+overwrite the oldest entry (no stall — this is a predictor, not a
+correctness structure), pops from empty return ``None``.
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address predictor stack."""
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self._depth = depth
+        self._stack: list[int] = [0] * depth
+        self._top = 0      # index of next push slot
+        self._count = 0    # valid entries, saturates at depth
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, return_address: int) -> None:
+        """Record the return address of a call."""
+        self._stack[self._top] = return_address
+        self._top = (self._top + 1) % self._depth
+        self._count = min(self._count + 1, self._depth)
+        self.pushes += 1
+
+    def pop(self) -> int | None:
+        """Predict the target of a return; None if the stack is empty."""
+        self.pops += 1
+        if self._count == 0:
+            self.underflows += 1
+            return None
+        self._top = (self._top - 1) % self._depth
+        self._count -= 1
+        return self._stack[self._top]
+
+    def peek(self) -> int | None:
+        """Inspect the predicted return target without popping."""
+        if self._count == 0:
+            return None
+        return self._stack[(self._top - 1) % self._depth]
+
+    def reset(self) -> None:
+        self._stack = [0] * self._depth
+        self._top = 0
+        self._count = 0
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0

@@ -1,0 +1,39 @@
+"""Static direction predictors (``taken`` / ``nottaken``).
+
+The degenerate ends of the predictor menu — useful as baselines in the
+design-space example and as the cheapest option in the VHDL generator.
+The module is named ``static_`` to avoid shadowing the builtin-flavoured
+word in imports.
+"""
+
+from __future__ import annotations
+
+from repro.bpred.base import DirectionPredictor
+
+
+class AlwaysTaken(DirectionPredictor):
+    """Predicts every conditional branch taken."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    @property
+    def name(self) -> str:
+        return "taken"
+
+
+class AlwaysNotTaken(DirectionPredictor):
+    """Predicts every conditional branch not taken."""
+
+    def predict(self, pc: int) -> bool:
+        return False
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    @property
+    def name(self) -> str:
+        return "nottaken"

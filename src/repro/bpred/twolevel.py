@@ -1,0 +1,116 @@
+"""Two-level adaptive direction predictor (the paper's configuration).
+
+The evaluation configuration in Section V.C: *"The Branch History Table
+size, History Register length and PHT are 4, 8 and 4096 respectively"*
+— i.e. a first level of 4 history registers, each 8 bits long, indexing
+a second-level pattern history table of 4096 two-bit counters.
+
+With ``l1_size == 1`` this is GAg (one global history register); with
+``xor=True`` and ``l1_size == 1`` it becomes gshare.  Larger first
+levels give the per-address (PAg/PAs) family.  This mirrors
+SimpleScalar's ``2lev`` predictor parameterization, which the paper
+inherits.
+"""
+
+from __future__ import annotations
+
+from repro.bpred.base import (
+    DirectionPredictor,
+    counter_predicts_taken,
+    saturating_update,
+)
+from repro.isa.instruction import INSTRUCTION_BYTES
+
+
+class TwoLevelPredictor(DirectionPredictor):
+    """Two-level adaptive predictor (GAg / PAg / gshare family).
+
+    Parameters
+    ----------
+    l1_size:
+        Number of history registers in the branch history table (BHT);
+        power of two.
+    history_length:
+        Bits per history register.
+    l2_size:
+        Number of 2-bit counters in the pattern history table (PHT);
+        power of two, at least ``2**history_length`` when the history
+        is to be fully discriminated.
+    xor:
+        If True, XOR the history with PC bits when forming the PHT
+        index (gshare) instead of concatenating.
+    """
+
+    def __init__(
+        self,
+        l1_size: int = 4,
+        history_length: int = 8,
+        l2_size: int = 4096,
+        xor: bool = False,
+    ) -> None:
+        for label, value in (("l1_size", l1_size), ("l2_size", l2_size)):
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{label} must be a power of two, got {value}")
+        if not 1 <= history_length <= 30:
+            raise ValueError(f"history_length out of range: {history_length}")
+        self._l1_size = l1_size
+        self._history_length = history_length
+        self._l2_size = l2_size
+        self._xor = xor
+        self._history = [0] * l1_size
+        self._pht = [2] * l2_size  # weakly taken, as in SimpleScalar
+
+    # -- parameters (read by the VHDL generator and area model) -------
+
+    @property
+    def l1_size(self) -> int:
+        return self._l1_size
+
+    @property
+    def history_length(self) -> int:
+        return self._history_length
+
+    @property
+    def l2_size(self) -> int:
+        return self._l2_size
+
+    @property
+    def uses_xor(self) -> bool:
+        return self._xor
+
+    # -- prediction ----------------------------------------------------
+
+    def _l1_index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & (self._l1_size - 1)
+
+    def _l2_index(self, pc: int) -> int:
+        history = self._history[self._l1_index(pc)]
+        pc_bits = pc // INSTRUCTION_BYTES
+        if self._xor:
+            index = history ^ pc_bits
+        else:
+            # SimpleScalar concatenates: history bits fill the low end,
+            # PC bits extend above them when the PHT is large enough.
+            index = history | (pc_bits << self._history_length)
+        return index & (self._l2_size - 1)
+
+    def predict(self, pc: int) -> bool:
+        return counter_predicts_taken(self._pht[self._l2_index(pc)])
+
+    def update(self, pc: int, taken: bool) -> None:
+        l2 = self._l2_index(pc)
+        self._pht[l2] = saturating_update(self._pht[l2], taken)
+        l1 = self._l1_index(pc)
+        mask = (1 << self._history_length) - 1
+        self._history[l1] = ((self._history[l1] << 1) | int(taken)) & mask
+
+    def reset(self) -> None:
+        self._history = [0] * self._l1_size
+        self._pht = [2] * self._l2_size
+
+    @property
+    def name(self) -> str:
+        flavour = "gshare" if self._xor else "2lev"
+        return (
+            f"{flavour}:{self._l1_size}:{self._history_length}:{self._l2_size}"
+        )

@@ -1,0 +1,100 @@
+"""Replacement policies for the set-associative cache model.
+
+Policies are per-cache objects consulted with the set index and the
+list of resident ways; they return the victim way.  LRU is the paper's
+(and SimpleScalar's) default; FIFO and random round out the usual menu
+and exercise the policy interface in tests.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.utils.rng import XorShiftRNG
+
+
+class ReplacementPolicy(abc.ABC):
+    """Chooses a victim way within one set."""
+
+    @abc.abstractmethod
+    def on_access(self, set_index: int, way: int) -> None:
+        """Note a hit (or fill) on ``way`` of ``set_index``."""
+
+    @abc.abstractmethod
+    def victim(self, set_index: int, occupied_ways: int) -> int:
+        """Pick the way to evict from a full set of ``occupied_ways``."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all access history."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used, tracked with a per-set logical clock."""
+
+    def __init__(self, sets: int, assoc: int) -> None:
+        self._assoc = assoc
+        self._stamps: list[list[int]] = [[0] * assoc for _ in range(sets)]
+        self._clock = 0
+
+    def on_access(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamps[set_index][way] = self._clock
+
+    def victim(self, set_index: int, occupied_ways: int) -> int:
+        stamps = self._stamps[set_index][:occupied_ways]
+        return min(range(occupied_ways), key=stamps.__getitem__)
+
+    def reset(self) -> None:
+        for stamps in self._stamps:
+            for way in range(self._assoc):
+                stamps[way] = 0
+        self._clock = 0
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out: evict in fill order, ignore hits."""
+
+    def __init__(self, sets: int, assoc: int) -> None:
+        self._next: list[int] = [0] * sets
+        self._assoc = assoc
+
+    def on_access(self, set_index: int, way: int) -> None:
+        pass  # hits do not affect FIFO order
+
+    def victim(self, set_index: int, occupied_ways: int) -> int:
+        way = self._next[set_index] % occupied_ways
+        self._next[set_index] = (self._next[set_index] + 1) % self._assoc
+        return way
+
+    def reset(self) -> None:
+        self._next = [0] * len(self._next)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim from a deterministic PRNG stream."""
+
+    def __init__(self, sets: int, assoc: int, seed: int = 0xCACE) -> None:
+        self._seed = seed
+        self._rng = XorShiftRNG(seed)
+
+    def on_access(self, set_index: int, way: int) -> None:
+        pass
+
+    def victim(self, set_index: int, occupied_ways: int) -> int:
+        return self._rng.randint(0, occupied_ways - 1)
+
+    def reset(self) -> None:
+        self._rng = XorShiftRNG(self._seed)
+
+
+def make_policy(name: str, sets: int, assoc: int) -> ReplacementPolicy:
+    """Instantiate a policy by its SimpleScalar-style letter or name."""
+    key = name.lower()
+    if key in ("l", "lru"):
+        return LruPolicy(sets, assoc)
+    if key in ("f", "fifo"):
+        return FifoPolicy(sets, assoc)
+    if key in ("r", "random"):
+        return RandomPolicy(sets, assoc)
+    raise ValueError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,235 @@
+"""Command-line interface: the ReSim toolflow without writing Python.
+
+Subcommands mirror how the paper's system is used:
+
+* ``trace``    — generate a tagged trace (synthetic benchmark or
+  assembled kernel) and write it to a trace file;
+* ``simulate`` — run a trace file (or generate one on the fly) through
+  the timing engine and print statistics + FPGA-projected MIPS;
+* ``tables``   — regenerate the paper's Tables 1-4;
+* ``area``     — print the Table 4 area breakdown for a configuration;
+* ``vhdl``     — emit the parametric branch-predictor VHDL;
+* ``multicore``— the Section VI study: instances per device and
+  aggregate throughput under the shared trace channel.
+
+Entry point: ``python -m repro.cli <subcommand>`` or the installed
+``resim`` script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core.config import PAPER_2WIDE_CACHE, PAPER_4WIDE_PERFECT
+from repro.core.engine import ReSimEngine
+from repro.core.minorpipe import select_pipeline
+from repro.fpga.area import AreaEstimator
+from repro.fpga.device import DEVICES, VIRTEX4_LX40, VIRTEX5_LX50T
+from repro.fpga.vhdlgen import generate_branch_predictor_vhdl
+from repro.functional.sim_bpred import SimBpred
+from repro.multicore.simulator import MultiCoreSimulator, TraceChannel
+from repro.perf.throughput import ThroughputModel
+from repro.trace.fileio import read_trace_file, write_trace_file
+from repro.workloads.kernels import KERNELS, kernel_program
+from repro.workloads.profiles import SPECINT_PROFILES, get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+CONFIGS = {
+    "4wide-perfect": PAPER_4WIDE_PERFECT,
+    "2wide-cache": PAPER_2WIDE_CACHE,
+}
+
+
+def _config(name: str):
+    try:
+        return CONFIGS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown config {name!r}; choose from {', '.join(CONFIGS)}"
+        )
+
+
+def _device(name: str):
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown device {name!r}; choose from {', '.join(DEVICES)}"
+        )
+
+
+def _generate_records(args, config):
+    """Shared workload selection for `trace` and `simulate`."""
+    if args.workload in SPECINT_PROFILES:
+        workload = SyntheticWorkload(
+            get_profile(args.workload), seed=args.seed,
+            predictor_config=config.predictor,
+            rob_entries=config.rob_entries,
+            ifq_entries=config.ifq_entries,
+        )
+        generation = workload.generate(args.budget)
+        return generation.records, None
+    if args.workload in KERNELS:
+        program = kernel_program(args.workload)
+        tracer = SimBpred(
+            predictor_config=config.predictor,
+            rob_entries=config.rob_entries,
+            ifq_entries=config.ifq_entries,
+        )
+        generation = tracer.generate(program)
+        return generation.records, program.entry
+    raise SystemExit(
+        f"unknown workload {args.workload!r}; benchmarks: "
+        f"{', '.join(SPECINT_PROFILES)}; kernels: {', '.join(KERNELS)}"
+    )
+
+
+def cmd_trace(args) -> int:
+    config = _config(args.config)
+    records, __ = _generate_records(args, config)
+    written = write_trace_file(
+        args.output, records, predictor=config.predictor,
+        benchmark=args.workload, seed=args.seed,
+    )
+    print(f"wrote {len(records)} records ({written} bytes) "
+          f"to {args.output}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    config = _config(args.config)
+    start_pc = None
+    if args.trace_file:
+        header, records = read_trace_file(args.trace_file)
+        stored = header.predictor_config
+        if stored is not None and stored != config.predictor:
+            print("warning: trace was generated with a different "
+                  "predictor configuration; Tag bits may not match "
+                  "this engine's predictions", file=sys.stderr)
+    else:
+        records, start_pc = _generate_records(args, config)
+    engine = ReSimEngine(
+        config, records,
+        **({"start_pc": start_pc} if start_pc is not None else {}),
+    )
+    result = engine.run()
+    print(result.stats.report())
+    pipeline = select_pipeline(config.width, config.memory_ports)
+    print(f"\ninternal pipeline: {pipeline.name} "
+          f"(major = {pipeline.minor_cycles_per_major} minor cycles)")
+    for device in (VIRTEX4_LX40, VIRTEX5_LX50T):
+        report = ThroughputModel(device).report(result)
+        print(f"  {device.name:12s} {report.mips:7.2f} MIPS")
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.perf.tables import render_all  # heavy import, lazy
+    try:
+        render_all(args.tables or None, args.budget)
+    except KeyError as error:
+        raise SystemExit(str(error.args[0]))
+    return 0
+
+
+def cmd_area(args) -> int:
+    config = _config(args.config)
+    if args.with_caches:
+        config = replace(config, perfect_memory=False)
+    report = AreaEstimator(config, device_name=args.device).estimate()
+    print(report.render())
+    return 0
+
+
+def cmd_vhdl(args) -> int:
+    config = _config(args.config)
+    sources = generate_branch_predictor_vhdl(config.predictor)
+    output = Path(args.output_dir)
+    output.mkdir(parents=True, exist_ok=True)
+    for entity, source in sources.items():
+        path = output / f"{entity}.vhd"
+        path.write_text(source)
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_multicore(args) -> int:
+    config = _config(args.config)
+    device = _device(args.device)
+    simulator = MultiCoreSimulator(
+        config, device, TraceChannel(args.channel_gbps)
+    )
+    print(f"{device.name}: up to {simulator.max_instances} instance(s)")
+    benchmarks = args.benchmarks or list(SPECINT_PROFILES)
+    count = min(len(benchmarks), max(1, simulator.max_instances))
+    result = simulator.run(benchmarks[:count], budget=args.budget,
+                           seed=args.seed)
+    print(result.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="resim", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--config", default="4wide-perfect",
+                       help=f"processor config ({', '.join(CONFIGS)})")
+        p.add_argument("--budget", type=int, default=20_000)
+        p.add_argument("--seed", type=int, default=7)
+
+    trace = sub.add_parser("trace", help="generate a trace file")
+    add_common(trace)
+    trace.add_argument("workload", help="benchmark profile or kernel name")
+    trace.add_argument("output", help="output trace file path")
+    trace.set_defaults(func=cmd_trace)
+
+    simulate = sub.add_parser("simulate", help="run the timing engine")
+    add_common(simulate)
+    simulate.add_argument("workload", nargs="?", default="gzip")
+    simulate.add_argument("--trace-file", default=None,
+                          help="simulate a stored trace instead")
+    simulate.set_defaults(func=cmd_simulate)
+
+    tables = sub.add_parser("tables", help="regenerate paper tables")
+    tables.add_argument("tables", nargs="*", metavar="TABLE")
+    tables.add_argument("--budget", type=int, default=30_000)
+    tables.set_defaults(func=cmd_tables)
+
+    area = sub.add_parser("area", help="Table 4 area breakdown")
+    area.add_argument("--config", default="4wide-perfect")
+    area.add_argument("--device", default="xc4vlx40")
+    area.add_argument("--with-caches", action="store_true",
+                      help="include cache tag structures")
+    area.set_defaults(func=cmd_area)
+
+    vhdl = sub.add_parser("vhdl", help="emit branch-predictor VHDL")
+    vhdl.add_argument("--config", default="4wide-perfect")
+    vhdl.add_argument("output_dir")
+    vhdl.set_defaults(func=cmd_vhdl)
+
+    multicore = sub.add_parser("multicore",
+                               help="Section VI multi-core study")
+    add_common(multicore)
+    multicore.add_argument("--device", default="xc4vlx100")
+    multicore.add_argument("--channel-gbps", type=float, default=6.4)
+    multicore.add_argument("benchmarks", nargs="*", metavar="BENCH")
+    multicore.set_defaults(func=cmd_multicore)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

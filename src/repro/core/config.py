@@ -1,0 +1,135 @@
+"""Simulated-processor configuration.
+
+All the knobs of Section V.C in one frozen dataclass, with the two
+configurations evaluated in Table 1 provided as constants:
+
+* :data:`PAPER_4WIDE_PERFECT` — 4-issue, perfect memory, two-level
+  branch predictor (Table 1 left; N+3 = 7 minor cycles);
+* :data:`PAPER_2WIDE_CACHE` — 2-issue, 32 KB L1 I/D caches, perfect
+  branch prediction, the FAST-comparison setup (Table 1 right;
+  N+4 = 6 minor cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.bpred.unit import PAPER_PREDICTOR, PERFECT_PREDICTOR, PredictorConfig
+from repro.cache.cache import CacheConfig
+from repro.isa.opcodes import FuClass
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Full parameter set of the simulated out-of-order processor.
+
+    Defaults reproduce the paper's evaluation machine: 4-way, 16
+    reorder-buffer entries, 8 LSQ entries, four 1-cycle ALUs, one
+    3-cycle multiplier, one 10-cycle divider, misfetch and
+    mis-speculation penalties of 3 cycles.
+    """
+
+    width: int = 4                 # fetch/dispatch/issue/commit width N
+    ifq_entries: int = 4
+    rob_entries: int = 16
+    lsq_entries: int = 8
+
+    alu_count: int = 4
+    alu_latency: int = 1
+    mul_count: int = 1
+    mul_latency: int = 3
+    div_count: int = 1
+    div_latency: int = 10
+
+    mem_read_ports: int = 2        # loads issued to memory per cycle
+    mem_write_ports: int = 1       # stores released at commit per cycle
+
+    misfetch_penalty: int = 3
+    misspeculation_penalty: int = 3
+
+    predictor: PredictorConfig = PAPER_PREDICTOR
+
+    perfect_memory: bool = True
+    icache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(name="il1")
+    )
+    dcache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(name="dl1")
+    )
+    memory_latency: int = 18
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("width", self.width),
+            ("ifq_entries", self.ifq_entries),
+            ("rob_entries", self.rob_entries),
+            ("lsq_entries", self.lsq_entries),
+            ("alu_count", self.alu_count),
+            ("mem_read_ports", self.mem_read_ports),
+            ("mem_write_ports", self.mem_write_ports),
+        ):
+            if value <= 0:
+                raise ValueError(f"{label} must be positive, got {value}")
+        if self.rob_entries < self.width:
+            raise ValueError("reorder buffer smaller than machine width")
+        for label, value in (
+            ("misfetch_penalty", self.misfetch_penalty),
+            ("misspeculation_penalty", self.misspeculation_penalty),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def memory_ports(self) -> int:
+        """Total memory ports, the quantity the optimized pipeline bounds."""
+        return self.mem_read_ports + self.mem_write_ports
+
+    @property
+    def supports_optimized_pipeline(self) -> bool:
+        """Figure 4's N+3 organization needs at most N−1 memory ports."""
+        return self.memory_ports <= self.width - 1
+
+    def fu_latency(self, fu: FuClass) -> int:
+        """Execution latency for one functional-unit class."""
+        if fu is FuClass.MUL:
+            return self.mul_latency
+        if fu is FuClass.DIV:
+            return self.div_latency
+        return self.alu_latency  # ALU ops, branches, store address gen
+
+    def fu_count(self, fu: FuClass) -> int:
+        """Number of units of one class."""
+        if fu is FuClass.MUL:
+            return self.mul_count
+        if fu is FuClass.DIV:
+            return self.div_count
+        return self.alu_count
+
+    def describe(self) -> str:
+        memory = ("perfect memory" if self.perfect_memory else
+                  f"{self.icache.size_bytes // 1024}KB L1 I/D")
+        return (
+            f"{self.width}-way OoO, ROB {self.rob_entries}, "
+            f"LSQ {self.lsq_entries}, {memory}, "
+            f"{self.predictor.describe()}"
+        )
+
+    def with_width(self, width: int) -> "ProcessorConfig":
+        """Same machine at a different superscalar width."""
+        return replace(self, width=width)
+
+
+#: Table 1, left: 4-issue, perfect memory, two-level branch predictor.
+PAPER_4WIDE_PERFECT = ProcessorConfig()
+
+#: Table 1, right: 2-issue, 32 KB 8-way 64 B L1 caches, perfect BP —
+#: the configuration used for the comparison with FAST.
+PAPER_2WIDE_CACHE = ProcessorConfig(
+    width=2,
+    mem_read_ports=1,
+    mem_write_ports=1,
+    predictor=PERFECT_PREDICTOR,
+    perfect_memory=False,
+)

@@ -1,0 +1,102 @@
+"""Functional-unit pool.
+
+The paper's configuration: four ALUs (1 cycle), one multiplier
+(3 cycles), one divider (10 cycles).  ALU and multiplier are modelled
+as pipelined (a unit accepts a new operation every cycle); the divider
+is unpipelined and stays busy for its full latency — the conventional
+arrangement, which SimpleScalar's resource configuration also uses.
+
+Branches and store address generation occupy ALU slots; loads occupy a
+memory read port instead (tracked by the engine, not here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ProcessorConfig
+from repro.isa.opcodes import FuClass
+
+
+@dataclass
+class _UnitClass:
+    count: int
+    latency: int
+    pipelined: bool
+    issued_this_cycle: int = 0
+    busy_until: list[int] | None = None  # per-unit, unpipelined only
+
+    def reset_cycle(self) -> None:
+        self.issued_this_cycle = 0
+
+
+class FunctionalUnitPool:
+    """Tracks per-cycle and multi-cycle functional-unit occupancy."""
+
+    def __init__(self, config: ProcessorConfig) -> None:
+        self._classes: dict[FuClass, _UnitClass] = {
+            FuClass.ALU: _UnitClass(
+                count=config.alu_count, latency=config.alu_latency,
+                pipelined=True,
+            ),
+            FuClass.MUL: _UnitClass(
+                count=config.mul_count, latency=config.mul_latency,
+                pipelined=True,
+            ),
+            FuClass.DIV: _UnitClass(
+                count=config.div_count, latency=config.div_latency,
+                pipelined=False,
+                busy_until=[0] * config.div_count,
+            ),
+        }
+
+    @staticmethod
+    def unit_for(fu: FuClass) -> FuClass:
+        """Which unit class executes a given operation class.
+
+        Branches, NOPs and store address generation use ALU slots;
+        loads are handled by memory ports and take no unit here.
+        """
+        if fu in (FuClass.MUL, FuClass.DIV):
+            return fu
+        return FuClass.ALU
+
+    def begin_cycle(self) -> None:
+        """Reset per-cycle issue counters (call once per major cycle)."""
+        for unit in self._classes.values():
+            unit.reset_cycle()
+
+    def can_issue(self, fu: FuClass, cycle: int) -> bool:
+        """Is a unit of the right class available this cycle?"""
+        unit = self._classes[self.unit_for(fu)]
+        if unit.pipelined:
+            return unit.issued_this_cycle < unit.count
+        if unit.issued_this_cycle >= unit.count:
+            return False
+        assert unit.busy_until is not None
+        return any(until <= cycle for until in unit.busy_until)
+
+    def issue(self, fu: FuClass, cycle: int) -> int:
+        """Claim a unit; returns the operation latency.
+
+        Raises
+        ------
+        RuntimeError
+            If no unit is available (callers must check
+            :meth:`can_issue` first — the Issue stage does).
+        """
+        unit = self._classes[self.unit_for(fu)]
+        if not self.can_issue(fu, cycle):
+            raise RuntimeError(f"no {fu.value} unit available in cycle {cycle}")
+        unit.issued_this_cycle += 1
+        if not unit.pipelined:
+            assert unit.busy_until is not None
+            for index, until in enumerate(unit.busy_until):
+                if until <= cycle:
+                    unit.busy_until[index] = cycle + unit.latency
+                    break
+        return unit.latency
+
+    def latency(self, fu: FuClass) -> int:
+        """Latency of the class that would execute ``fu``."""
+        return self._classes[self.unit_for(fu)].latency

@@ -1,0 +1,107 @@
+"""In-flight dynamic instruction state.
+
+One :class:`InFlightOp` exists per trace record between Fetch and
+Commit (or squash).  Since ReSim is trace-driven it tracks *timing
+state only* — no values, just readiness, occupancy, and completion
+bookkeeping.  The ``completed_cycle`` field implements the paper's
+same-major-cycle flag: *"We use a flag to prevent Commit from
+considering such instructions within the same major cycle — despite
+the fact that the instructions may be marked completed."*
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import FuClass
+from repro.trace.record import BranchRecord, MemoryRecord, TraceRecord
+
+
+class OpState(enum.Enum):
+    """Lifecycle of an in-flight instruction."""
+
+    DISPATCHED = "dispatched"   # in ROB, waiting for operands/resources
+    ISSUED = "issued"           # executing on a functional unit
+    COMPLETED = "completed"     # result broadcast, awaiting commit
+    COMMITTED = "committed"
+    SQUASHED = "squashed"       # wrong-path, removed at recovery
+
+
+@dataclass
+class InFlightOp:
+    """Timing state of one dynamic instruction."""
+
+    seq: int                     # global fetch order, unique
+    record: TraceRecord
+    pc: int
+    state: OpState = OpState.DISPATCHED
+    fetched_cycle: int = -1
+    dispatched_cycle: int = -1
+    issued_cycle: int = -1
+    execution_done_cycle: int = -1  # when the FU result is available
+    completed_cycle: int = -1       # when Writeback broadcast it
+    committed_cycle: int = -1
+
+    #: Sequence numbers of producers this op still waits on.
+    waiting_on: set[int] = field(default_factory=set)
+
+    #: LSQ bookkeeping (memory ops only).
+    address_ready: bool = False
+    memory_ready: bool = False   # lsq_refresh verdict: may access memory
+    forwarded: bool = False      # load value satisfied from an older store
+
+    #: Fetch-time predictor resolution (branches only); consumed by
+    #: Commit for predictor training and by the statistics unit.
+    branch_resolution: object | None = None
+
+    @property
+    def is_wrong_path(self) -> bool:
+        return self.record.tag
+
+    @property
+    def fu(self) -> FuClass:
+        return self.record.fu
+
+    @property
+    def is_load(self) -> bool:
+        return self.record.fu is FuClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.record.fu is FuClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return isinstance(self.record, MemoryRecord)
+
+    @property
+    def is_branch(self) -> bool:
+        return isinstance(self.record, BranchRecord)
+
+    @property
+    def address(self) -> int:
+        """Effective address (memory records carry it in the trace)."""
+        assert isinstance(self.record, MemoryRecord)
+        return self.record.address
+
+    @property
+    def operands_ready(self) -> bool:
+        return not self.waiting_on
+
+    def committable(self, cycle: int) -> bool:
+        """Eligible for commit in ``cycle``.
+
+        Completed strictly earlier — the paper's flag keeps an
+        instruction that completed via the early Writeback minor-cycle
+        from committing within the same major cycle.
+        """
+        return (self.state is OpState.COMPLETED
+                and self.completed_cycle < cycle)
+
+    def __repr__(self) -> str:
+        return (
+            f"InFlightOp(seq={self.seq}, fu={self.fu.value}, "
+            f"state={self.state.value}, pc={self.pc:#x}, "
+            f"tag={self.record.tag})"
+        )

@@ -1,0 +1,297 @@
+"""ReSim's internal minor-cycle pipeline organizations (Figures 2-4).
+
+ReSim executes the simulated processor *serially*: one **major cycle**
+(simulated cycle) decomposes into several **minor cycles**, each
+performing one stage-slot operation.  The paper develops three
+organizations:
+
+========== ==================== ============================== =========
+figure      class                key idea                        latency
+========== ==================== ============================== =========
+Figure 2    SimplePipeline       WB → Lsq_refresh → N x (Issue,  2N+3
+                                 Cache-Access) strictly chained
+Figure 3    ImprovedPipeline     Writeback overlapped with Issue N+4
+                                 via pipelined control (WB one
+                                 cycle early); cache access
+                                 before writeback
+Figure 4    OptimizedPipeline    Lsq_refresh overlaps the first   N+3
+                                 Issue slot (no load may issue
+                                 in slot 0); requires <= N-1
+                                 memory ports
+========== ==================== ============================== =========
+
+These models serve three purposes:
+
+* the **latency formulas** convert the engine's major-cycle counts into
+  minor cycles, and with an FPGA device's minor-cycle frequency into
+  simulated wall-clock time and MIPS (Tables 1-3);
+* the **schedules** regenerate the figures as ASCII timing diagrams
+  (``render()``), with one column per minor cycle and one row per
+  pipeline stage;
+* the schedules are *checked*: a validator asserts that the
+  architectural dependence chain of Section IV — Writeback before
+  Lsq_refresh before load Issue within the simulated cycle, one
+  operation per hardware block per minor cycle — holds for every N
+  (the property tests sweep widths).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One stage-slot operation placed on a minor cycle."""
+
+    stage: str        # e.g. "issue", "writeback", "lsq_refresh", "cache"
+    slot: int         # which of the N serial slots (0-based); -1 = whole
+    minor_cycle: int  # offset within the major cycle
+
+
+class MinorPipeline(abc.ABC):
+    """One organization of ReSim's internal pipeline.
+
+    Parameters
+    ----------
+    width:
+        Simulated superscalar width N.
+    """
+
+    name = "abstract"
+    figure = "-"
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self._width = width
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    @abc.abstractmethod
+    def minor_cycles_per_major(self) -> int:
+        """Latency of one major cycle, in minor cycles."""
+
+    @abc.abstractmethod
+    def schedule(self) -> list[ScheduledOp]:
+        """Stage-slot operations of one major cycle."""
+
+    # ------------------------------------------------------------------
+
+    def total_minor_cycles(self, major_cycles: int) -> int:
+        """Minor cycles needed to simulate ``major_cycles``.
+
+        ReSim pipelines *across* major cycles (stage k of major cycle
+        i+1 overlaps stage k+1 of major cycle i), so in steady state
+        each major cycle costs exactly ``minor_cycles_per_major``; the
+        pipeline fill adds a one-time start-up of the same length.
+        """
+        if major_cycles < 0:
+            raise ValueError("major_cycles must be non-negative")
+        if major_cycles == 0:
+            return 0
+        return (major_cycles * self.minor_cycles_per_major
+                + self.minor_cycles_per_major)
+
+    def validate(self) -> None:
+        """Check structural and architectural constraints.
+
+        * at most one operation per stage resource per minor cycle;
+        * all operations fit inside the major cycle;
+        * Writeback effects precede Lsq_refresh, which precedes the
+          first load-capable Issue slot (the Section IV dependence
+          chain) — each organization states which issue slots may
+          carry loads via :meth:`first_load_slot`.
+        """
+        ops = self.schedule()
+        limit = self.minor_cycles_per_major
+        seen: set[tuple[str, int]] = set()
+        for op in ops:
+            if not 0 <= op.minor_cycle < limit:
+                raise AssertionError(
+                    f"{self.name}: {op} outside major cycle of {limit}"
+                )
+            key = (op.stage, op.minor_cycle)
+            if key in seen:
+                raise AssertionError(
+                    f"{self.name}: structural hazard on {key}"
+                )
+            seen.add(key)
+
+        refresh = [op for op in ops if op.stage == "lsq_refresh"]
+        if len(refresh) != 1:
+            raise AssertionError(
+                f"{self.name}: Lsq_refresh must run exactly once per "
+                f"major cycle, found {len(refresh)}"
+            )
+        first_load_issue = min(
+            (op.minor_cycle for op in ops
+             if op.stage == "issue" and op.slot >= self.first_load_slot()),
+            default=None,
+        )
+        if first_load_issue is not None:
+            if refresh[0].minor_cycle > first_load_issue:
+                raise AssertionError(
+                    f"{self.name}: load issue at minor cycle "
+                    f"{first_load_issue} precedes Lsq_refresh at "
+                    f"{refresh[0].minor_cycle}"
+                )
+
+    def first_load_slot(self) -> int:
+        """First issue slot allowed to carry a load (0-based)."""
+        return 0
+
+    def render(self) -> str:
+        """ASCII timing diagram of one major cycle (the paper figure)."""
+        ops = self.schedule()
+        stages: list[str] = []
+        for op in ops:
+            label = op.stage if op.slot < 0 else f"{op.stage}{op.slot}"
+            if label not in stages:
+                stages.append(label)
+        width = self.minor_cycles_per_major
+        label_width = max(len(s) for s in stages) + 2
+        header = " " * label_width + "".join(
+            f"{i:>4}" for i in range(width)
+        )
+        lines = [
+            f"{self.name} pipeline ({self.figure}), N={self._width}: "
+            f"major cycle = {width} minor cycles",
+            header,
+        ]
+        for label in stages:
+            row = ["   ."] * width
+            for op in ops:
+                op_label = op.stage if op.slot < 0 else f"{op.stage}{op.slot}"
+                if op_label == label:
+                    row[op.minor_cycle] = "   X"
+            lines.append(f"{label:<{label_width}}" + "".join(row))
+        return "\n".join(lines)
+
+
+class SimplePipeline(MinorPipeline):
+    """Figure 2: strictly serial chain, major cycle = 2N+3.
+
+    Within a major cycle: Writeback first (broadcast and wakeup), then
+    Lsq_refresh, then N Issue slots each followed by its D-Cache access
+    minor cycle (Issue is split in two steps regardless of instruction
+    type to keep the major cycle a fixed length), plus a bookkeeping
+    slot at the end.
+    """
+
+    name = "simple"
+    figure = "Figure 2"
+
+    @property
+    def minor_cycles_per_major(self) -> int:
+        return 2 * self._width + 3
+
+    def schedule(self) -> list[ScheduledOp]:
+        ops = [
+            ScheduledOp(stage="writeback", slot=-1, minor_cycle=0),
+            ScheduledOp(stage="lsq_refresh", slot=-1, minor_cycle=1),
+        ]
+        for slot in range(self._width):
+            ops.append(ScheduledOp(
+                stage="issue", slot=slot, minor_cycle=2 + 2 * slot
+            ))
+            ops.append(ScheduledOp(
+                stage="cache", slot=slot, minor_cycle=3 + 2 * slot
+            ))
+        ops.append(ScheduledOp(
+            stage="bookkeep", slot=-1, minor_cycle=2 * self._width + 2
+        ))
+        return ops
+
+
+class ImprovedPipeline(MinorPipeline):
+    """Figure 3: pipelined control, major cycle = N+4.
+
+    Writeback is performed one minor cycle *before* the corresponding
+    completion in the simulated pipeline (classic pipelined-control
+    scheduling of the broadcast bus), so the N Issue slots no longer
+    wait for it serially; a cache access precedes writeback to decide
+    whether the writeback must be postponed on a miss, and the final
+    minor cycle performs the bookkeeping whose effects Lsq_refresh
+    observes at the start of the next major cycle.
+    """
+
+    name = "improved"
+    figure = "Figure 3"
+
+    @property
+    def minor_cycles_per_major(self) -> int:
+        return self._width + 4
+
+    def schedule(self) -> list[ScheduledOp]:
+        ops = [ScheduledOp(stage="lsq_refresh", slot=-1, minor_cycle=0)]
+        for slot in range(self._width):
+            ops.append(ScheduledOp(
+                stage="issue", slot=slot, minor_cycle=1 + slot
+            ))
+        ops.append(ScheduledOp(
+            stage="cache", slot=-1, minor_cycle=self._width + 1
+        ))
+        ops.append(ScheduledOp(
+            stage="writeback", slot=-1, minor_cycle=self._width + 2
+        ))
+        ops.append(ScheduledOp(
+            stage="bookkeep", slot=-1, minor_cycle=self._width + 3
+        ))
+        return ops
+
+
+class OptimizedPipeline(MinorPipeline):
+    """Figure 4: Lsq_refresh overlaps the first Issue slot; N+3.
+
+    Because a typical N-wide processor provides fewer than N memory
+    ports, disallowing load issue in slot 0 costs nothing — and then
+    Lsq_refresh (whose result only load issue consumes) can run in
+    parallel with that first slot.  Valid for configurations with at
+    most N-1 memory ports
+    (:attr:`repro.core.config.ProcessorConfig.supports_optimized_pipeline`).
+    """
+
+    name = "optimized"
+    figure = "Figure 4"
+
+    @property
+    def minor_cycles_per_major(self) -> int:
+        return self._width + 3
+
+    def first_load_slot(self) -> int:
+        return 1  # slot 0 may not carry a load
+
+    def schedule(self) -> list[ScheduledOp]:
+        ops = [ScheduledOp(stage="lsq_refresh", slot=-1, minor_cycle=0)]
+        for slot in range(self._width):
+            ops.append(ScheduledOp(
+                stage="issue", slot=slot, minor_cycle=slot
+            ))
+        ops.append(ScheduledOp(
+            stage="cache", slot=-1, minor_cycle=self._width
+        ))
+        ops.append(ScheduledOp(
+            stage="writeback", slot=-1, minor_cycle=self._width + 1
+        ))
+        ops.append(ScheduledOp(
+            stage="bookkeep", slot=-1, minor_cycle=self._width + 2
+        ))
+        return ops
+
+
+def select_pipeline(width: int, memory_ports: int) -> MinorPipeline:
+    """Pick the fastest valid organization for a configuration.
+
+    The optimized (N+3) organization requires at most N-1 memory
+    ports; otherwise the improved (N+4) one applies.  This matches the
+    paper's evaluation: the 4-issue perfect-memory machine runs at
+    N+3 = 7 minor cycles, the 2-issue cache configuration at N+4 = 6.
+    """
+    if memory_ports <= width - 1:
+        return OptimizedPipeline(width)
+    return ImprovedPipeline(width)

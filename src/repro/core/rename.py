@@ -1,0 +1,66 @@
+"""Rename table: architectural register → in-flight producer.
+
+Accessed at Dispatch (Section III: "Dispatch allocates Load/Store
+Queue and Reorder Buffer entries, and accesses the Rename Table").
+Each entry points at the most recent in-flight producer of a register;
+a dispatching consumer records a dependence if that producer has not
+completed yet, then overwrites the entries of its own destinations.
+
+Recovery is the simple whole-flush case: mis-speculation recovery runs
+when the faulting branch is the oldest instruction (it is committing),
+so *every* younger in-flight op is wrong-path and any entry pointing at
+one can safely revert to "ready in the register file".
+"""
+
+from __future__ import annotations
+
+from repro.core.inflight import InFlightOp, OpState
+from repro.trace.record import TRACE_REG_LIMIT
+
+
+class RenameTable:
+    """Maps each trace-namespace register to its in-flight producer."""
+
+    def __init__(self) -> None:
+        self._producer: list[InFlightOp | None] = [None] * TRACE_REG_LIMIT
+
+    def producer_of(self, register: int) -> InFlightOp | None:
+        """Most recent in-flight producer, or None if the register file
+        already holds the value."""
+        return self._producer[register]
+
+    def pending_dependency(self, register: int) -> InFlightOp | None:
+        """The producer a new consumer must wait on, if any."""
+        producer = self._producer[register]
+        if producer is None:
+            return None
+        if producer.state in (OpState.COMPLETED, OpState.COMMITTED):
+            return None
+        return producer
+
+    def define(self, register: int, op: InFlightOp) -> None:
+        """Record ``op`` as the newest producer of ``register``."""
+        self._producer[register] = op
+
+    def retire(self, op: InFlightOp) -> None:
+        """Clear entries still owned by a committing op."""
+        for register, producer in enumerate(self._producer):
+            if producer is op:
+                self._producer[register] = None
+
+    def squash_wrong_path(self) -> int:
+        """Drop every entry owned by a wrong-path op (recovery).
+
+        Returns the number of entries cleared.  Valid because recovery
+        happens at the mispredicted branch's commit, when all younger
+        in-flight ops are tagged wrong-path.
+        """
+        cleared = 0
+        for register, producer in enumerate(self._producer):
+            if producer is not None and producer.is_wrong_path:
+                self._producer[register] = None
+                cleared += 1
+        return cleared
+
+    def reset(self) -> None:
+        self._producer = [None] * TRACE_REG_LIMIT

@@ -1,0 +1,170 @@
+"""Simulation statistics unit.
+
+Mirrors Section V.B: ReSim collects the counters found in
+SimpleScalar's ``sim-outorder`` — total instructions, memory ops,
+branches, cache hits, IFQ/ROB/LSQ occupancy, detailed branch outcomes
+— in **64-bit hardware registers** ("To avoid overflow problems we use
+64-bits registers for statistics").  :class:`Counter64` reproduces the
+register width, wrapping modulo 2^64 exactly as the hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_MASK64 = (1 << 64) - 1
+
+
+class Counter64:
+    """A 64-bit hardware statistics register (wraps modulo 2^64)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = value & _MASK64
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def increment(self, amount: int = 1) -> None:
+        self._value = (self._value + amount) & _MASK64
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter64({self._value})"
+
+
+@dataclass
+class OccupancySampler:
+    """Accumulates per-cycle occupancy of one hardware structure."""
+
+    total: int = 0
+    samples: int = 0
+    peak: int = 0
+
+    def sample(self, occupancy: int) -> None:
+        self.total += occupancy
+        self.samples += 1
+        if occupancy > self.peak:
+            self.peak = occupancy
+
+    @property
+    def average(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+
+@dataclass
+class SimulationStatistics:
+    """Everything ReSim counts during a run."""
+
+    # Headline counters.
+    major_cycles: Counter64 = field(default_factory=Counter64)
+    committed_instructions: Counter64 = field(default_factory=Counter64)
+    fetched_instructions: Counter64 = field(default_factory=Counter64)
+    fetched_wrong_path: Counter64 = field(default_factory=Counter64)
+    discarded_wrong_path: Counter64 = field(default_factory=Counter64)
+    trace_records_consumed: Counter64 = field(default_factory=Counter64)
+
+    # Instruction classes (committed).
+    committed_branches: Counter64 = field(default_factory=Counter64)
+    committed_loads: Counter64 = field(default_factory=Counter64)
+    committed_stores: Counter64 = field(default_factory=Counter64)
+
+    # Branch behaviour.
+    mispredictions: Counter64 = field(default_factory=Counter64)
+    misfetches: Counter64 = field(default_factory=Counter64)
+    taken_branches: Counter64 = field(default_factory=Counter64)
+    prediction_divergence: Counter64 = field(default_factory=Counter64)
+
+    # Memory behaviour.
+    load_forwards: Counter64 = field(default_factory=Counter64)
+    dcache_accesses: Counter64 = field(default_factory=Counter64)
+    dcache_misses: Counter64 = field(default_factory=Counter64)
+    icache_accesses: Counter64 = field(default_factory=Counter64)
+    icache_misses: Counter64 = field(default_factory=Counter64)
+
+    # Stall accounting (fetch).
+    fetch_stall_cycles: Counter64 = field(default_factory=Counter64)
+    misfetch_stall_cycles: Counter64 = field(default_factory=Counter64)
+    recovery_stall_cycles: Counter64 = field(default_factory=Counter64)
+
+    # Structure occupancy (Section V.B: "statistics about IFQ,
+    # Reorder Buffer and LSQ").
+    ifq_occupancy: OccupancySampler = field(default_factory=OccupancySampler)
+    rob_occupancy: OccupancySampler = field(default_factory=OccupancySampler)
+    lsq_occupancy: OccupancySampler = field(default_factory=OccupancySampler)
+
+    # -- derived -------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per major cycle."""
+        cycles = int(self.major_cycles)
+        return int(self.committed_instructions) / cycles if cycles else 0.0
+
+    @property
+    def fetch_throughput(self) -> float:
+        """Fetched (correct + wrong path) instructions per major cycle."""
+        cycles = int(self.major_cycles)
+        return int(self.fetched_instructions) / cycles if cycles else 0.0
+
+    @property
+    def trace_throughput(self) -> float:
+        """All trace records consumed (fetched or discarded) per cycle.
+
+        This is the Table 3 notion of throughput: the *total trace
+        instruction demands*, counting wrong-path records that ReSim
+        skips at recovery as well as the ones it actually fetched.
+        """
+        cycles = int(self.major_cycles)
+        return int(self.trace_records_consumed) / cycles if cycles else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Mispredictions per committed branch."""
+        branches = int(self.committed_branches)
+        return int(self.mispredictions) / branches if branches else 0.0
+
+    @property
+    def dcache_miss_rate(self) -> float:
+        accesses = int(self.dcache_accesses)
+        return int(self.dcache_misses) / accesses if accesses else 0.0
+
+    @property
+    def icache_miss_rate(self) -> float:
+        accesses = int(self.icache_accesses)
+        return int(self.icache_misses) / accesses if accesses else 0.0
+
+    def report(self) -> str:
+        """Multi-line human-readable statistics dump."""
+        lines = [
+            f"major cycles            : {int(self.major_cycles)}",
+            f"committed instructions  : {int(self.committed_instructions)}"
+            f"  (IPC {self.ipc:.3f})",
+            f"fetched instructions    : {int(self.fetched_instructions)}"
+            f"  ({int(self.fetched_wrong_path)} wrong-path)",
+            f"trace records consumed  : {int(self.trace_records_consumed)}"
+            f"  ({int(self.discarded_wrong_path)} discarded)",
+            f"branches                : {int(self.committed_branches)}"
+            f"  ({int(self.taken_branches)} taken)",
+            f"mispredictions          : {int(self.mispredictions)}"
+            f"  (rate {self.misprediction_rate:.4f})",
+            f"misfetches              : {int(self.misfetches)}",
+            f"loads / stores          : {int(self.committed_loads)} /"
+            f" {int(self.committed_stores)}"
+            f"  ({int(self.load_forwards)} forwarded)",
+            f"I-cache                 : {int(self.icache_accesses)} accesses,"
+            f" miss rate {self.icache_miss_rate:.4f}",
+            f"D-cache                 : {int(self.dcache_accesses)} accesses,"
+            f" miss rate {self.dcache_miss_rate:.4f}",
+            f"IFQ / ROB / LSQ avg occ : {self.ifq_occupancy.average:.2f} /"
+            f" {self.rob_occupancy.average:.2f} /"
+            f" {self.lsq_occupancy.average:.2f}",
+            f"fetch stalls (cycles)   : {int(self.fetch_stall_cycles)}"
+            f"  (misfetch {int(self.misfetch_stall_cycles)},"
+            f" recovery {int(self.recovery_stall_cycles)})",
+        ]
+        return "\n".join(lines)

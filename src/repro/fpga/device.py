@@ -1,0 +1,103 @@
+"""FPGA device descriptions.
+
+The two devices of the paper's evaluation plus a couple of neighbours
+for design-space exploration.  The *achieved minor-cycle frequency* is
+the paper's measured synthesis result for the two evaluated parts
+(84 MHz on Virtex-4, 105 MHz on Virtex-5) and a documented estimate
+for the others (scaled by the family speed ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resources and achieved timing of one FPGA part.
+
+    Attributes
+    ----------
+    slices:
+        Total logic slices on the part.
+    luts_per_slice:
+        4 on Virtex-4 (4-input LUTs), 4 on Virtex-5 in *6-input* LUT
+        terms (Virtex-5 slices hold four 6-LUTs; the paper reports
+        4-input-LUT counts from the V4 flow, which is what the area
+        model produces).
+    bram_blocks:
+        Number of block RAMs (18 kb blocks on V4, 36 kb on V5).
+    minor_cycle_mhz:
+        Achieved frequency for ReSim's minor-cycle clock.
+    measured:
+        True when the frequency is the paper's synthesis result rather
+        than a scaled estimate.
+    """
+
+    name: str
+    family: str
+    slices: int
+    luts_per_slice: int
+    bram_blocks: int
+    bram_kbits: int
+    minor_cycle_mhz: float
+    measured: bool = True
+
+    @property
+    def total_luts(self) -> int:
+        return self.slices * self.luts_per_slice
+
+    def utilization(self, slices_used: int) -> float:
+        """Fraction of the device's slices a design occupies."""
+        return slices_used / self.slices
+
+    def instances_fit(self, slices_per_instance: int,
+                      bram_per_instance: int) -> int:
+        """How many independent ReSim instances fit on the part.
+
+        The paper's multi-core direction: "it is possible to fit
+        multiple ReSim instances in a single FPGA and simulate
+        multi-core systems".
+        """
+        if slices_per_instance <= 0:
+            raise ValueError("slices_per_instance must be positive")
+        by_slices = self.slices // slices_per_instance
+        by_bram = (self.bram_blocks // bram_per_instance
+                   if bram_per_instance > 0 else by_slices)
+        return max(0, min(by_slices, by_bram))
+
+
+#: Virtex-4 LX40: the paper's primary implementation target (84 MHz).
+VIRTEX4_LX40 = FpgaDevice(
+    name="xc4vlx40", family="Virtex-4",
+    slices=18_432, luts_per_slice=2, bram_blocks=96, bram_kbits=18,
+    minor_cycle_mhz=84.0,
+)
+
+#: Virtex-5 LX50T: the paper's second target (105 MHz).
+VIRTEX5_LX50T = FpgaDevice(
+    name="xc5vlx50t", family="Virtex-5",
+    slices=7_200, luts_per_slice=4, bram_blocks=60, bram_kbits=36,
+    minor_cycle_mhz=105.0,
+)
+
+#: Larger V4 part (frequency identical to LX40 — same fabric).
+VIRTEX4_LX100 = FpgaDevice(
+    name="xc4vlx100", family="Virtex-4",
+    slices=49_152, luts_per_slice=2, bram_blocks=240, bram_kbits=18,
+    minor_cycle_mhz=84.0, measured=False,
+)
+
+#: Larger V5 part for multi-instance experiments.
+VIRTEX5_LX110T = FpgaDevice(
+    name="xc5vlx110t", family="Virtex-5",
+    slices=17_280, luts_per_slice=4, bram_blocks=148, bram_kbits=36,
+    minor_cycle_mhz=105.0, measured=False,
+)
+
+#: Registry by name.
+DEVICES: dict[str, FpgaDevice] = {
+    device.name: device
+    for device in (VIRTEX4_LX40, VIRTEX5_LX50T, VIRTEX4_LX100,
+                   VIRTEX5_LX110T)
+}

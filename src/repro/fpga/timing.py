@@ -1,0 +1,109 @@
+"""Frequency model and the serial-vs-parallel fetch ablation.
+
+Two facts anchor this module to the paper:
+
+* measured minor-cycle frequencies: **84 MHz** (Virtex-4) and
+  **105 MHz** (Virtex-5) for the serial design;
+* the Section IV ablation that motivated serial execution: a truly
+  parallel 4-wide Fetch stage cost **4x the area** and was **22 %
+  slower** than fetching a single instruction per minor cycle, because
+  of wide multi-ported access to the IFQ/RF/RB/rename table (FPGA
+  memories offer at most two ports).
+
+The ablation model generalizes the measured 4-wide data point: a
+parallel N-wide structure replicates the logic N times and lengthens
+the critical path by a factor calibrated to the paper's measurement
+(22 % for N = 4, growing logarithmically with the port/mux fan-in).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fpga.device import FpgaDevice
+
+#: The paper's measured slowdown of the 4-wide parallel fetch unit.
+PAPER_PARALLEL_SLOWDOWN_4WIDE = 0.22
+
+
+@dataclass(frozen=True)
+class FetchAblation:
+    """Serial vs. parallel fetch comparison at one width."""
+
+    width: int
+    serial_luts: int
+    parallel_luts: int
+    serial_mhz: float
+    parallel_mhz: float
+
+    @property
+    def area_ratio(self) -> float:
+        """Parallel/serial area cost (the paper: 4x at N=4)."""
+        return self.parallel_luts / self.serial_luts
+
+    @property
+    def slowdown(self) -> float:
+        """Fractional frequency loss of the parallel unit."""
+        return 1.0 - self.parallel_mhz / self.serial_mhz
+
+
+class FrequencyModel:
+    """Minor-cycle clock model for one device."""
+
+    def __init__(self, device: FpgaDevice) -> None:
+        self._device = device
+
+    @property
+    def device(self) -> FpgaDevice:
+        return self._device
+
+    @property
+    def minor_cycle_mhz(self) -> float:
+        """Achieved minor-cycle frequency of the serial design."""
+        return self._device.minor_cycle_mhz
+
+    def major_cycle_mhz(self, minor_cycles_per_major: int) -> float:
+        """Rate at which simulated cycles complete."""
+        if minor_cycles_per_major <= 0:
+            raise ValueError("minor_cycles_per_major must be positive")
+        return self.minor_cycle_mhz / minor_cycles_per_major
+
+    def parallel_slowdown(self, width: int) -> float:
+        """Estimated frequency loss of a parallel N-wide structure.
+
+        Calibrated to the paper's measured 22 % at N=4; modelled as
+        logarithmic in the mux/port fan-in (one extra 2:1 mux level
+        per doubling).
+        """
+        if width <= 1:
+            return 0.0
+        return PAPER_PARALLEL_SLOWDOWN_4WIDE * (math.log2(width) / 2.0)
+
+    def simulated_seconds(self, major_cycles: int,
+                          minor_cycles_per_major: int) -> float:
+        """Wall-clock seconds ReSim needs for ``major_cycles``."""
+        minors = major_cycles * minor_cycles_per_major
+        return minors / (self.minor_cycle_mhz * 1e6)
+
+
+def parallel_fetch_ablation(width: int, serial_fetch_luts: int,
+                            device: FpgaDevice) -> FetchAblation:
+    """Model the Section IV experiment at an arbitrary width.
+
+    ``serial_fetch_luts`` comes from the area model's fetch estimate;
+    the parallel variant replicates decode/bookkeeping per slot and
+    pays the multi-port penalty in frequency.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    model = FrequencyModel(device)
+    serial_mhz = model.minor_cycle_mhz
+    parallel_mhz = serial_mhz * (1.0 - model.parallel_slowdown(width))
+    return FetchAblation(
+        width=width,
+        serial_luts=serial_fetch_luts,
+        parallel_luts=serial_fetch_luts * width,
+        serial_mhz=serial_mhz,
+        parallel_mhz=parallel_mhz,
+    )

@@ -1,0 +1,340 @@
+"""Instruction semantics for the PISA-like ISA.
+
+:meth:`Executor.step` executes exactly one instruction and returns a
+:class:`StepResult` describing everything the trace generator needs:
+control-flow outcome (taken? target?), memory behaviour (address, size,
+store?), and the retired instruction itself.
+
+Deviations from strict MIPS semantics, chosen for simulator robustness
+and documented here once:
+
+* ``add``/``addi``/``sub`` wrap instead of trapping on overflow;
+* division by zero yields HI = LO = 0 instead of being undefined;
+* there are no branch delay slots (SimpleScalar's PISA also dropped
+  them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.functional.state import MachineState, to_signed, to_unsigned
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import BranchKind, Opcode
+from repro.isa.program import Program
+
+
+class ExecutionError(RuntimeError):
+    """Raised when execution leaves the text segment or hits bad state."""
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Everything observable about one executed instruction."""
+
+    pc: int
+    instruction: Instruction
+    next_pc: int
+    taken: bool = False           # branches only
+    target: int = 0               # actual target for branches (taken or not)
+    mem_address: int = 0          # memory ops only
+    mem_size: int = 0
+    is_store: bool = False
+    exited: bool = False
+
+    @property
+    def branch_kind(self) -> BranchKind:
+        return self.instruction.branch_kind
+
+
+# Syscall numbers follow the SPIM convention.
+SYSCALL_PRINT_INT = 1
+SYSCALL_PRINT_STRING = 4
+SYSCALL_READ_INT = 5
+SYSCALL_SBRK = 9
+SYSCALL_EXIT = 10
+
+
+class Executor:
+    """Executes instructions against a :class:`MachineState`.
+
+    Parameters
+    ----------
+    inputs:
+        Values returned by successive ``read_int`` syscalls (exhausted
+        inputs return 0) — lets kernels consume "input data"
+        deterministically.
+    """
+
+    def __init__(self, inputs: list[int] | None = None) -> None:
+        self._inputs = list(inputs or [])
+        self._input_cursor = 0
+        self._brk = 0  # lazily initialised heap break
+
+    # ------------------------------------------------------------------
+
+    def step(self, state: MachineState) -> StepResult:
+        """Execute the instruction at ``state.pc``; advance the state."""
+        if state.exited:
+            raise ExecutionError("machine has already exited")
+        pc = state.pc
+        program = state.program
+        if not program.has_instruction(pc):
+            raise ExecutionError(f"PC {pc:#010x} outside text segment")
+        instr = program.instruction_at(pc)
+        handler = _HANDLERS.get(instr.op)
+        if handler is None:
+            raise ExecutionError(f"unimplemented opcode {instr.op}")
+        result = handler(self, state, pc, instr)
+        state.pc = result.next_pc
+        if result.exited:
+            state.exited = True
+        return result
+
+    def run(self, state: MachineState, max_instructions: int = 10_000_000):
+        """Yield step results until exit or the instruction budget ends."""
+        executed = 0
+        while not state.exited and executed < max_instructions:
+            yield self.step(state)
+            executed += 1
+        if not state.exited and executed >= max_instructions:
+            raise ExecutionError(
+                f"instruction budget of {max_instructions} exhausted"
+            )
+
+    # ------------------------------------------------------------------
+    # Helpers shared by handlers
+    # ------------------------------------------------------------------
+
+    def _sequential(self, pc: int, instr: Instruction) -> StepResult:
+        return StepResult(pc=pc, instruction=instr,
+                          next_pc=pc + INSTRUCTION_BYTES)
+
+    def _branch(self, pc: int, instr: Instruction, taken: bool,
+                target: int) -> StepResult:
+        next_pc = target if taken else pc + INSTRUCTION_BYTES
+        return StepResult(pc=pc, instruction=instr, next_pc=next_pc,
+                          taken=taken, target=target)
+
+    def _syscall(self, state: MachineState, pc: int,
+                 instr: Instruction) -> StepResult:
+        number = state.read_reg(2)  # $v0
+        arg = state.read_reg(4)     # $a0
+        exited = False
+        if number == SYSCALL_PRINT_INT:
+            state.output.append(str(to_signed(arg)))
+        elif number == SYSCALL_PRINT_STRING:
+            state.output.append(state.read_cstring(arg))
+        elif number == SYSCALL_READ_INT:
+            value = 0
+            if self._input_cursor < len(self._inputs):
+                value = self._inputs[self._input_cursor]
+                self._input_cursor += 1
+            state.write_reg(2, value)
+        elif number == SYSCALL_SBRK:
+            if self._brk == 0:
+                self._brk = state.program.data_base + max(
+                    4096, len(state.program.data) + 4096
+                )
+            state.write_reg(2, self._brk)
+            self._brk += arg
+        elif number == SYSCALL_EXIT:
+            exited = True
+        else:
+            raise ExecutionError(f"unknown syscall {number} at {pc:#010x}")
+        return StepResult(pc=pc, instruction=instr,
+                          next_pc=pc + INSTRUCTION_BYTES, exited=exited)
+
+
+# ----------------------------------------------------------------------
+# Per-opcode handlers.  Each takes (executor, state, pc, instr).
+# ----------------------------------------------------------------------
+
+def _alu_r(op):
+    def handler(ex: Executor, st: MachineState, pc: int, i: Instruction):
+        a = st.read_reg(i.rs)
+        b = st.read_reg(i.rt)
+        st.write_reg(i.rd, op(a, b))
+        return ex._sequential(pc, i)
+    return handler
+
+
+def _alu_i(op):
+    def handler(ex: Executor, st: MachineState, pc: int, i: Instruction):
+        a = st.read_reg(i.rs)
+        st.write_reg(i.rt, op(a, i.imm))
+        return ex._sequential(pc, i)
+    return handler
+
+
+def _shift(op):
+    def handler(ex: Executor, st: MachineState, pc: int, i: Instruction):
+        st.write_reg(i.rd, op(st.read_reg(i.rt), i.imm & 31))
+        return ex._sequential(pc, i)
+    return handler
+
+
+def _shift_v(op):
+    def handler(ex: Executor, st: MachineState, pc: int, i: Instruction):
+        st.write_reg(i.rd, op(st.read_reg(i.rt), st.read_reg(i.rs) & 31))
+        return ex._sequential(pc, i)
+    return handler
+
+
+def _load(size: int, signed: bool):
+    def handler(ex: Executor, st: MachineState, pc: int, i: Instruction):
+        address = to_unsigned(st.read_reg(i.rs) + i.imm)
+        st.write_reg(i.rt, st.load(address, size, signed))
+        return StepResult(pc=pc, instruction=i,
+                          next_pc=pc + INSTRUCTION_BYTES,
+                          mem_address=address, mem_size=size)
+    return handler
+
+
+def _store(size: int):
+    def handler(ex: Executor, st: MachineState, pc: int, i: Instruction):
+        address = to_unsigned(st.read_reg(i.rs) + i.imm)
+        st.store(address, st.read_reg(i.rt), size)
+        return StepResult(pc=pc, instruction=i,
+                          next_pc=pc + INSTRUCTION_BYTES,
+                          mem_address=address, mem_size=size, is_store=True)
+    return handler
+
+
+def _cond(test):
+    def handler(ex: Executor, st: MachineState, pc: int, i: Instruction):
+        taken = test(to_signed(st.read_reg(i.rs)), to_signed(st.read_reg(i.rt)))
+        target = pc + INSTRUCTION_BYTES + i.imm
+        return ex._branch(pc, i, taken, target)
+    return handler
+
+
+def _mult(signed: bool):
+    def handler(ex: Executor, st: MachineState, pc: int, i: Instruction):
+        convert = to_signed if signed else to_unsigned
+        product = convert(st.read_reg(i.rs)) * convert(st.read_reg(i.rt))
+        product &= (1 << 64) - 1
+        st.lo = product & 0xFFFFFFFF
+        st.hi = (product >> 32) & 0xFFFFFFFF
+        return ex._sequential(pc, i)
+    return handler
+
+
+def _divide(signed: bool):
+    def handler(ex: Executor, st: MachineState, pc: int, i: Instruction):
+        convert = to_signed if signed else to_unsigned
+        a = convert(st.read_reg(i.rs))
+        b = convert(st.read_reg(i.rt))
+        if b == 0:
+            st.lo = 0
+            st.hi = 0
+        else:
+            quotient = int(a / b)  # C-style truncation toward zero
+            st.lo = quotient
+            st.hi = a - quotient * b
+        return ex._sequential(pc, i)
+    return handler
+
+
+def _jump(ex: Executor, st: MachineState, pc: int, i: Instruction):
+    return ex._branch(pc, i, taken=True, target=to_unsigned(i.imm << 3))
+
+
+def _jal(ex: Executor, st: MachineState, pc: int, i: Instruction):
+    st.write_reg(31, pc + INSTRUCTION_BYTES)
+    return ex._branch(pc, i, taken=True, target=to_unsigned(i.imm << 3))
+
+
+def _jr(ex: Executor, st: MachineState, pc: int, i: Instruction):
+    return ex._branch(pc, i, taken=True, target=st.read_reg(i.rs))
+
+
+def _jalr(ex: Executor, st: MachineState, pc: int, i: Instruction):
+    target = st.read_reg(i.rs)
+    st.write_reg(i.rd, pc + INSTRUCTION_BYTES)
+    return ex._branch(pc, i, taken=True, target=target)
+
+
+def _mfhi(ex, st, pc, i):
+    st.write_reg(i.rd, st.hi)
+    return ex._sequential(pc, i)
+
+
+def _mflo(ex, st, pc, i):
+    st.write_reg(i.rd, st.lo)
+    return ex._sequential(pc, i)
+
+
+def _mthi(ex, st, pc, i):
+    st.hi = st.read_reg(i.rs)
+    return ex._sequential(pc, i)
+
+
+def _mtlo(ex, st, pc, i):
+    st.lo = st.read_reg(i.rs)
+    return ex._sequential(pc, i)
+
+
+def _nop(ex, st, pc, i):
+    return ex._sequential(pc, i)
+
+
+def _syscall(ex: Executor, st: MachineState, pc: int, i: Instruction):
+    return ex._syscall(st, pc, i)
+
+
+_HANDLERS = {
+    Opcode.ADD: _alu_r(lambda a, b: a + b),
+    Opcode.ADDU: _alu_r(lambda a, b: a + b),
+    Opcode.SUB: _alu_r(lambda a, b: a - b),
+    Opcode.SUBU: _alu_r(lambda a, b: a - b),
+    Opcode.AND: _alu_r(lambda a, b: a & b),
+    Opcode.OR: _alu_r(lambda a, b: a | b),
+    Opcode.XOR: _alu_r(lambda a, b: a ^ b),
+    Opcode.NOR: _alu_r(lambda a, b: ~(a | b)),
+    Opcode.SLT: _alu_r(lambda a, b: int(to_signed(a) < to_signed(b))),
+    Opcode.SLTU: _alu_r(lambda a, b: int(to_unsigned(a) < to_unsigned(b))),
+    Opcode.SLLV: _shift_v(lambda v, s: v << s),
+    Opcode.SRLV: _shift_v(lambda v, s: to_unsigned(v) >> s),
+    Opcode.SRAV: _shift_v(lambda v, s: to_signed(v) >> s),
+    Opcode.SLL: _shift(lambda v, s: v << s),
+    Opcode.SRL: _shift(lambda v, s: to_unsigned(v) >> s),
+    Opcode.SRA: _shift(lambda v, s: to_signed(v) >> s),
+    Opcode.MULT: _mult(signed=True),
+    Opcode.MULTU: _mult(signed=False),
+    Opcode.DIV: _divide(signed=True),
+    Opcode.DIVU: _divide(signed=False),
+    Opcode.MFHI: _mfhi,
+    Opcode.MFLO: _mflo,
+    Opcode.MTHI: _mthi,
+    Opcode.MTLO: _mtlo,
+    Opcode.ADDI: _alu_i(lambda a, imm: a + imm),
+    Opcode.ADDIU: _alu_i(lambda a, imm: a + imm),
+    Opcode.ANDI: _alu_i(lambda a, imm: a & (imm & 0xFFFF)),
+    Opcode.ORI: _alu_i(lambda a, imm: a | (imm & 0xFFFF)),
+    Opcode.XORI: _alu_i(lambda a, imm: a ^ (imm & 0xFFFF)),
+    Opcode.SLTI: _alu_i(lambda a, imm: int(to_signed(a) < imm)),
+    Opcode.SLTIU: _alu_i(lambda a, imm: int(to_unsigned(a) < to_unsigned(imm))),
+    Opcode.LUI: _alu_i(lambda a, imm: (imm & 0xFFFF) << 16),
+    Opcode.LB: _load(1, signed=True),
+    Opcode.LBU: _load(1, signed=False),
+    Opcode.LH: _load(2, signed=True),
+    Opcode.LHU: _load(2, signed=False),
+    Opcode.LW: _load(4, signed=True),
+    Opcode.SB: _store(1),
+    Opcode.SH: _store(2),
+    Opcode.SW: _store(4),
+    Opcode.BEQ: _cond(lambda a, b: a == b),
+    Opcode.BNE: _cond(lambda a, b: a != b),
+    Opcode.BLEZ: _cond(lambda a, b: a <= 0),
+    Opcode.BGTZ: _cond(lambda a, b: a > 0),
+    Opcode.BLTZ: _cond(lambda a, b: a < 0),
+    Opcode.BGEZ: _cond(lambda a, b: a >= 0),
+    Opcode.J: _jump,
+    Opcode.JAL: _jal,
+    Opcode.JR: _jr,
+    Opcode.JALR: _jalr,
+    Opcode.NOP: _nop,
+    Opcode.SYSCALL: _syscall,
+    Opcode.BREAK: _nop,
+}

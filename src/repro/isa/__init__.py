@@ -1,0 +1,51 @@
+"""A SimpleScalar-PISA-like integer ISA.
+
+ReSim is *almost ISA independent*: because it is trace-driven, only the
+trace format matters, and the paper notes it "supports all SimpleScalar
+ISAs, i.e. PISA, Alpha, etc.".  The trace, however, has to come from a
+functional simulator, and the paper uses a modified SimpleScalar
+(``sim-bpred``) for that.  This package provides the equivalent
+substrate: a PISA-flavoured integer instruction set (SPECint needs no
+floating point), a two-pass assembler with the usual pseudo-instructions,
+and a binary codec for the fixed 64-bit PISA-style instruction word.
+
+Public API
+----------
+* :class:`~repro.isa.opcodes.Opcode` / :class:`~repro.isa.opcodes.FuClass`
+* :class:`~repro.isa.instruction.Instruction`
+* :class:`~repro.isa.assembler.Assembler` and :func:`~repro.isa.assembler.assemble`
+* :class:`~repro.isa.program.Program`
+* register name tables in :mod:`repro.isa.registers`
+"""
+
+from repro.isa.assembler import Assembler, AssemblyError, assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import FuClass, Opcode, OPCODE_INFO
+from repro.isa.program import Program
+from repro.isa.registers import (
+    HI,
+    LO,
+    REG_COUNT,
+    REG_NAMES,
+    ZERO,
+    register_index,
+    register_name,
+)
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "FuClass",
+    "HI",
+    "Instruction",
+    "LO",
+    "Opcode",
+    "OPCODE_INFO",
+    "Program",
+    "REG_COUNT",
+    "REG_NAMES",
+    "ZERO",
+    "assemble",
+    "register_index",
+    "register_name",
+]

@@ -1,0 +1,489 @@
+"""Two-pass assembler for the PISA-like ISA.
+
+The assembler accepts the familiar MIPS/SPIM dialect:
+
+* ``.text`` / ``.data`` section switches;
+* labels (``loop:``), ``.word``, ``.half``, ``.byte``, ``.space``,
+  ``.asciiz``, ``.align`` data directives;
+* the common pseudo-instructions (``li``, ``la``, ``move``, ``b``,
+  ``beqz``/``bnez``, ``blt``/``bgt``/``ble``/``bge``, ``not``, ``neg``,
+  ``mul`` (three-operand), ``seq``-free subset);
+* ``#`` comments.
+
+Pass 1 expands pseudo-instructions into fixed-size stubs and assigns
+addresses; pass 2 resolves symbols into immediates.  Branch immediates
+are stored as *byte offsets relative to the next instruction*; jump
+targets as absolute byte addresses scaled by the 8-byte instruction
+size (see :mod:`repro.isa.instruction`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import Format, MNEMONIC_TO_OPCODE, OPCODE_INFO, Opcode
+from repro.isa.program import DATA_BASE, Program, TEXT_BASE
+from repro.isa.registers import register_index
+
+
+class AssemblyError(ValueError):
+    """Raised on any syntax or semantic error, with a line number."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+@dataclass
+class _Stub:
+    """A not-yet-resolved instruction from pass 1."""
+
+    line: int
+    opcode: Opcode
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: int = 0
+    symbol: str | None = None      # unresolved label reference
+    symbol_mode: str = ""          # "branch" | "jump" | "hi" | "lo" | "abs"
+
+
+_STRING_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+_MEM_OPERAND_RE = re.compile(r"^(-?\w*)\((\$\w+)\)$")
+
+
+def _parse_int(token: str, line: int) -> int:
+    """Parse a decimal/hex/char immediate."""
+    token = token.strip()
+    try:
+        if token.startswith("'") and token.endswith("'") and len(token) >= 3:
+            body = token[1:-1]
+            unescaped = body.encode().decode("unicode_escape")
+            if len(unescaped) != 1:
+                raise ValueError
+            return ord(unescaped)
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(line, f"bad immediate {token!r}") from None
+
+
+def _unescape(text: str, line: int) -> bytes:
+    try:
+        return text.encode().decode("unicode_escape").encode("latin-1")
+    except (UnicodeDecodeError, UnicodeEncodeError):
+        raise AssemblyError(line, f"bad string literal {text!r}") from None
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self) -> None:
+        self._stubs: list[_Stub] = []
+        self._data = bytearray()
+        self._symbols: dict[str, int] = {}
+        self._section = "text"
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def assemble(self, source: str) -> Program:
+        """Assemble ``source`` and return the program image."""
+        self._stubs = []
+        self._data = bytearray()
+        self._symbols = {}
+        self._section = "text"
+
+        for line_number, raw in enumerate(source.splitlines(), start=1):
+            self._process_line(raw, line_number)
+
+        instructions = [
+            self._resolve(stub, index) for index, stub in enumerate(self._stubs)
+        ]
+        entry = self._symbols.get("main", TEXT_BASE)
+        return Program(
+            instructions=instructions,
+            data=self._data,
+            symbols=dict(self._symbols),
+            entry=entry,
+        )
+
+    # ------------------------------------------------------------------
+    # Pass 1: line handling
+    # ------------------------------------------------------------------
+
+    def _text_pc(self) -> int:
+        return TEXT_BASE + INSTRUCTION_BYTES * len(self._stubs)
+
+    def _data_pc(self) -> int:
+        return DATA_BASE + len(self._data)
+
+    def _define_label(self, name: str, line: int) -> None:
+        if not _LABEL_RE.match(name):
+            raise AssemblyError(line, f"bad label name {name!r}")
+        if name in self._symbols:
+            raise AssemblyError(line, f"duplicate label {name!r}")
+        address = self._text_pc() if self._section == "text" else self._data_pc()
+        self._symbols[name] = address
+
+    def _process_line(self, raw: str, line: int) -> None:
+        text = raw.split("#", 1)[0].strip()
+        if not text:
+            return
+        # Leading labels (possibly several).
+        while ":" in text:
+            head, _, rest = text.partition(":")
+            head = head.strip()
+            if not head or not _LABEL_RE.match(head):
+                break
+            self._define_label(head, line)
+            text = rest.strip()
+        if not text:
+            return
+        if text.startswith("."):
+            self._process_directive(text, line)
+        else:
+            self._process_instruction(text, line)
+
+    def _process_directive(self, text: str, line: int) -> None:
+        parts = text.split(None, 1)
+        directive = parts[0]
+        rest = parts[1].strip() if len(parts) > 1 else ""
+        if directive == ".text":
+            self._section = "text"
+        elif directive == ".data":
+            self._section = "data"
+        elif directive == ".globl":
+            pass  # all labels are global in this assembler
+        elif directive == ".align":
+            amount = 1 << _parse_int(rest, line)
+            if self._section != "data":
+                raise AssemblyError(line, ".align only supported in .data")
+            while len(self._data) % amount:
+                self._data.append(0)
+        elif directive == ".space":
+            if self._section != "data":
+                raise AssemblyError(line, ".space only supported in .data")
+            self._data.extend(b"\x00" * _parse_int(rest, line))
+        elif directive in (".word", ".half", ".byte"):
+            if self._section != "data":
+                raise AssemblyError(line, f"{directive} only supported in .data")
+            size = {".word": 4, ".half": 2, ".byte": 1}[directive]
+            for token in rest.split(","):
+                token = token.strip()
+                if token in self._symbols:
+                    value = self._symbols[token]
+                else:
+                    value = _parse_int(token, line)
+                self._data.extend(
+                    (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+                )
+        elif directive == ".asciiz":
+            match = _STRING_RE.search(rest)
+            if not match or self._section != "data":
+                raise AssemblyError(line, "bad .asciiz directive")
+            self._data.extend(_unescape(match.group(1), line))
+            self._data.append(0)
+        else:
+            raise AssemblyError(line, f"unknown directive {directive!r}")
+
+    # ------------------------------------------------------------------
+    # Pass 1: instructions and pseudo-instruction expansion
+    # ------------------------------------------------------------------
+
+    def _emit(self, line: int, opcode: Opcode, **fields) -> None:
+        self._stubs.append(_Stub(line=line, opcode=opcode, **fields))
+
+    def _reg(self, token: str, line: int) -> int:
+        try:
+            return register_index(token.strip())
+        except KeyError as exc:
+            raise AssemblyError(line, str(exc)) from None
+
+    def _split_operands(self, rest: str) -> list[str]:
+        return [tok.strip() for tok in rest.split(",")] if rest else []
+
+    def _imm_or_symbol(self, token: str, line: int, mode: str) -> tuple[int, str | None]:
+        """Return (imm, symbol): numeric immediates resolve now."""
+        token = token.strip()
+        if re.match(r"^-?(0[xX][0-9a-fA-F]+|\d+|'.*')$", token):
+            return _parse_int(token, line), None
+        if not _LABEL_RE.match(token):
+            raise AssemblyError(line, f"bad operand {token!r}")
+        return 0, token
+
+    def _process_instruction(self, text: str, line: int) -> None:
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1].strip() if len(parts) > 1 else ""
+        ops = self._split_operands(rest)
+
+        if self._section != "text":
+            raise AssemblyError(line, "instruction outside .text section")
+
+        handler = getattr(self, f"_pseudo_{mnemonic}", None)
+        if handler is not None:
+            handler(ops, line)
+            return
+        if mnemonic not in MNEMONIC_TO_OPCODE:
+            raise AssemblyError(line, f"unknown mnemonic {mnemonic!r}")
+        self._native(MNEMONIC_TO_OPCODE[mnemonic], ops, line)
+
+    def _native(self, opcode: Opcode, ops: list[str], line: int) -> None:
+        info = OPCODE_INFO[opcode]
+
+        if opcode in (Opcode.NOP, Opcode.SYSCALL, Opcode.BREAK):
+            self._expect(ops, 0, line)
+            self._emit(line, opcode)
+            return
+
+        if info.is_mem:  # op rt, imm(rs)  |  op rt, label
+            self._expect(ops, 2, line)
+            rt = self._reg(ops[0], line)
+            match = _MEM_OPERAND_RE.match(ops[1].replace(" ", ""))
+            if match:
+                offset_text, base = match.groups()
+                imm = _parse_int(offset_text, line) if offset_text else 0
+                self._emit(line, opcode, rt=rt, rs=self._reg(base, line), imm=imm)
+            else:
+                imm, symbol = self._imm_or_symbol(ops[1], line, "abs")
+                if symbol is None:
+                    raise AssemblyError(line, "memory operand needs base register or label")
+                # Label-direct addressing expands like real MIPS
+                # assemblers: lui $at, hi(label); op rt, lo(label)($at).
+                self._emit(line, Opcode.LUI, rt=1, symbol=symbol,
+                           symbol_mode="hi")
+                self._emit(line, opcode, rt=rt, rs=1, symbol=symbol,
+                           symbol_mode="lo")
+            return
+
+        if opcode in (Opcode.BEQ, Opcode.BNE):
+            self._expect(ops, 3, line)
+            imm, symbol = self._imm_or_symbol(ops[2], line, "branch")
+            self._emit(
+                line, opcode,
+                rs=self._reg(ops[0], line), rt=self._reg(ops[1], line),
+                imm=imm, symbol=symbol, symbol_mode="branch",
+            )
+            return
+
+        if opcode in (Opcode.BLEZ, Opcode.BGTZ, Opcode.BLTZ, Opcode.BGEZ):
+            self._expect(ops, 2, line)
+            imm, symbol = self._imm_or_symbol(ops[1], line, "branch")
+            self._emit(
+                line, opcode, rs=self._reg(ops[0], line),
+                imm=imm, symbol=symbol, symbol_mode="branch",
+            )
+            return
+
+        if opcode in (Opcode.J, Opcode.JAL):
+            self._expect(ops, 1, line)
+            imm, symbol = self._imm_or_symbol(ops[0], line, "jump")
+            self._emit(line, opcode, imm=imm, symbol=symbol, symbol_mode="jump")
+            return
+
+        if opcode is Opcode.JR:
+            self._expect(ops, 1, line)
+            self._emit(line, opcode, rs=self._reg(ops[0], line))
+            return
+
+        if opcode is Opcode.JALR:
+            # jalr rs  |  jalr rd, rs
+            if len(ops) == 1:
+                self._emit(line, opcode, rd=31, rs=self._reg(ops[0], line))
+            else:
+                self._expect(ops, 2, line)
+                self._emit(line, opcode, rd=self._reg(ops[0], line),
+                           rs=self._reg(ops[1], line))
+            return
+
+        if opcode in (Opcode.SLL, Opcode.SRL, Opcode.SRA):
+            self._expect(ops, 3, line)
+            self._emit(
+                line, opcode,
+                rd=self._reg(ops[0], line), rt=self._reg(ops[1], line),
+                imm=_parse_int(ops[2], line),
+            )
+            return
+
+        if opcode in (Opcode.MULT, Opcode.MULTU, Opcode.DIV, Opcode.DIVU):
+            self._expect(ops, 2, line)
+            self._emit(line, opcode, rs=self._reg(ops[0], line),
+                       rt=self._reg(ops[1], line))
+            return
+
+        if opcode in (Opcode.MFHI, Opcode.MFLO):
+            self._expect(ops, 1, line)
+            self._emit(line, opcode, rd=self._reg(ops[0], line))
+            return
+
+        if opcode in (Opcode.MTHI, Opcode.MTLO):
+            self._expect(ops, 1, line)
+            self._emit(line, opcode, rs=self._reg(ops[0], line))
+            return
+
+        if opcode is Opcode.LUI:
+            self._expect(ops, 2, line)
+            self._emit(line, opcode, rt=self._reg(ops[0], line),
+                       imm=_parse_int(ops[1], line))
+            return
+
+        if info.format is Format.I:  # addi rt, rs, imm
+            self._expect(ops, 3, line)
+            self._emit(
+                line, opcode,
+                rt=self._reg(ops[0], line), rs=self._reg(ops[1], line),
+                imm=_parse_int(ops[2], line),
+            )
+            return
+
+        # Plain R format: op rd, rs, rt
+        self._expect(ops, 3, line)
+        self._emit(
+            line, opcode,
+            rd=self._reg(ops[0], line), rs=self._reg(ops[1], line),
+            rt=self._reg(ops[2], line),
+        )
+
+    def _expect(self, ops: list[str], count: int, line: int) -> None:
+        if len(ops) != count:
+            raise AssemblyError(
+                line, f"expected {count} operand(s), got {len(ops)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Pseudo-instructions
+    # ------------------------------------------------------------------
+
+    def _pseudo_li(self, ops: list[str], line: int) -> None:
+        """li rt, imm32 — one or two native instructions."""
+        self._expect(ops, 2, line)
+        rt = self._reg(ops[0], line)
+        value = _parse_int(ops[1], line) & 0xFFFFFFFF
+        if value < 0x8000:
+            self._emit(line, Opcode.ADDIU, rt=rt, rs=0, imm=value)
+        elif value >= 0xFFFF8000:  # small negative
+            self._emit(line, Opcode.ADDIU, rt=rt, rs=0,
+                       imm=value - 0x100000000)
+        else:
+            self._emit(line, Opcode.LUI, rt=rt, imm=(value >> 16) & 0xFFFF)
+            if value & 0xFFFF:
+                self._emit(line, Opcode.ORI, rt=rt, rs=rt, imm=value & 0xFFFF)
+
+    def _pseudo_la(self, ops: list[str], line: int) -> None:
+        """la rt, label — lui/ori pair resolved in pass 2."""
+        self._expect(ops, 2, line)
+        rt = self._reg(ops[0], line)
+        __, symbol = self._imm_or_symbol(ops[1], line, "abs")
+        if symbol is None:
+            self._pseudo_li(ops, line)
+            return
+        self._emit(line, Opcode.LUI, rt=rt, symbol=symbol, symbol_mode="hi")
+        self._emit(line, Opcode.ORI, rt=rt, rs=rt, symbol=symbol, symbol_mode="lo")
+
+    def _pseudo_move(self, ops: list[str], line: int) -> None:
+        self._expect(ops, 2, line)
+        self._emit(line, Opcode.ADDU, rd=self._reg(ops[0], line),
+                   rs=self._reg(ops[1], line), rt=0)
+
+    def _pseudo_b(self, ops: list[str], line: int) -> None:
+        self._expect(ops, 1, line)
+        imm, symbol = self._imm_or_symbol(ops[0], line, "branch")
+        self._emit(line, Opcode.BEQ, rs=0, rt=0, imm=imm,
+                   symbol=symbol, symbol_mode="branch")
+
+    def _pseudo_beqz(self, ops: list[str], line: int) -> None:
+        self._expect(ops, 2, line)
+        imm, symbol = self._imm_or_symbol(ops[1], line, "branch")
+        self._emit(line, Opcode.BEQ, rs=self._reg(ops[0], line), rt=0,
+                   imm=imm, symbol=symbol, symbol_mode="branch")
+
+    def _pseudo_bnez(self, ops: list[str], line: int) -> None:
+        self._expect(ops, 2, line)
+        imm, symbol = self._imm_or_symbol(ops[1], line, "branch")
+        self._emit(line, Opcode.BNE, rs=self._reg(ops[0], line), rt=0,
+                   imm=imm, symbol=symbol, symbol_mode="branch")
+
+    def _compare_and_branch(self, ops: list[str], line: int,
+                            swap: bool, branch_on_set: bool) -> None:
+        """Shared body of blt/bgt/ble/bge using $at as scratch."""
+        self._expect(ops, 3, line)
+        ra = self._reg(ops[0], line)
+        rb = self._reg(ops[1], line)
+        if swap:
+            ra, rb = rb, ra
+        imm, symbol = self._imm_or_symbol(ops[2], line, "branch")
+        self._emit(line, Opcode.SLT, rd=1, rs=ra, rt=rb)  # $at = ra < rb
+        branch = Opcode.BNE if branch_on_set else Opcode.BEQ
+        self._emit(line, branch, rs=1, rt=0, imm=imm,
+                   symbol=symbol, symbol_mode="branch")
+
+    def _pseudo_blt(self, ops: list[str], line: int) -> None:
+        self._compare_and_branch(ops, line, swap=False, branch_on_set=True)
+
+    def _pseudo_bgt(self, ops: list[str], line: int) -> None:
+        self._compare_and_branch(ops, line, swap=True, branch_on_set=True)
+
+    def _pseudo_bge(self, ops: list[str], line: int) -> None:
+        self._compare_and_branch(ops, line, swap=False, branch_on_set=False)
+
+    def _pseudo_ble(self, ops: list[str], line: int) -> None:
+        self._compare_and_branch(ops, line, swap=True, branch_on_set=False)
+
+    def _pseudo_not(self, ops: list[str], line: int) -> None:
+        self._expect(ops, 2, line)
+        self._emit(line, Opcode.NOR, rd=self._reg(ops[0], line),
+                   rs=self._reg(ops[1], line), rt=0)
+
+    def _pseudo_neg(self, ops: list[str], line: int) -> None:
+        self._expect(ops, 2, line)
+        self._emit(line, Opcode.SUB, rd=self._reg(ops[0], line),
+                   rs=0, rt=self._reg(ops[1], line))
+
+    def _pseudo_mul(self, ops: list[str], line: int) -> None:
+        """Three-operand multiply: mult + mflo."""
+        self._expect(ops, 3, line)
+        self._emit(line, Opcode.MULT, rs=self._reg(ops[1], line),
+                   rt=self._reg(ops[2], line))
+        self._emit(line, Opcode.MFLO, rd=self._reg(ops[0], line))
+
+    # ------------------------------------------------------------------
+    # Pass 2: symbol resolution
+    # ------------------------------------------------------------------
+
+    def _resolve(self, stub: _Stub, index: int) -> Instruction:
+        imm = stub.imm
+        if stub.symbol is not None:
+            if stub.symbol not in self._symbols:
+                raise AssemblyError(stub.line, f"undefined label {stub.symbol!r}")
+            target = self._symbols[stub.symbol]
+            pc = TEXT_BASE + INSTRUCTION_BYTES * index
+            if stub.symbol_mode == "branch":
+                imm = target - (pc + INSTRUCTION_BYTES)
+            elif stub.symbol_mode == "jump":
+                imm = target >> 3  # scaled absolute
+            elif stub.symbol_mode == "hi":
+                imm = (target >> 16) & 0xFFFF
+            elif stub.symbol_mode == "lo":
+                imm = target & 0xFFFF
+            elif stub.symbol_mode == "abs":
+                imm = target
+            else:
+                raise AssemblyError(stub.line, "internal: bad symbol mode")
+        elif stub.symbol_mode == "jump":
+            # Numeric jump operands are absolute byte addresses.
+            if imm % INSTRUCTION_BYTES:
+                raise AssemblyError(stub.line, f"misaligned jump target {imm:#x}")
+            imm >>= 3
+        if not -(1 << 23) <= imm < (1 << 24):
+            raise AssemblyError(stub.line, f"immediate {imm} out of range")
+        return Instruction(op=stub.opcode, rd=stub.rd, rs=stub.rs,
+                           rt=stub.rt, imm=imm)
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` text into a :class:`Program` (convenience)."""
+    return Assembler().assemble(source)

@@ -1,0 +1,203 @@
+"""Decoded instruction representation and the 64-bit binary codec.
+
+SimpleScalar's PISA uses a fixed 64-bit instruction word (16-bit opcode
+annex plus a 32-bit MIPS-like core plus padding); instructions therefore
+occupy 8 bytes and the PC advances in steps of 8.  We mirror that:
+:data:`INSTRUCTION_BYTES` is 8 and the codec packs opcode, register
+fields, and a 16-bit immediate into one 64-bit little-endian word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import registers
+from repro.isa.opcodes import (
+    BranchKind,
+    Format,
+    FuClass,
+    NUMBER_TO_OPCODE,
+    OPCODE_INFO,
+    OPCODE_NUMBERS,
+    Opcode,
+    OpInfo,
+)
+
+#: PISA instructions are 8 bytes; the PC advances by this amount.
+INSTRUCTION_BYTES = 8
+
+_RA = 31  # return-address register written by jal/jalr
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One decoded instruction.
+
+    Fields mirror the PISA formats: R-format uses ``rd, rs, rt``;
+    I-format uses ``rt, rs, imm``; J-format uses ``imm`` as an absolute
+    byte target.  Shift amounts travel in ``imm``.
+
+    The convenience accessors (:meth:`src_registers`,
+    :meth:`dest_registers`, :attr:`branch_kind`) translate the opcode
+    metadata into concrete architectural register indices, which is the
+    form the rename table and the trace encoder need.
+    """
+
+    op: Opcode
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: int = 0
+
+    @property
+    def info(self) -> OpInfo:
+        """Static opcode metadata."""
+        return OPCODE_INFO[self.op]
+
+    @property
+    def fu_class(self) -> FuClass:
+        return self.info.fu
+
+    @property
+    def is_branch(self) -> bool:
+        return self.info.is_branch
+
+    @property
+    def is_load(self) -> bool:
+        return self.info.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.info.is_store
+
+    @property
+    def is_mem(self) -> bool:
+        return self.info.is_mem
+
+    @property
+    def branch_kind(self) -> BranchKind:
+        """Control-flow class, with ``jr $ra`` refined to RETURN.
+
+        The opcode table marks ``jr`` as INDIRECT; the return-address
+        stack only helps when the jump register is ``$ra``, so decode
+        refines that case (this matches how real front ends and
+        SimpleScalar classify returns).
+        """
+        kind = self.info.branch
+        if self.op is Opcode.JR and self.rs == _RA:
+            return BranchKind.RETURN
+        return kind
+
+    def _field_register(self, name: str) -> int:
+        if name == "rs":
+            return self.rs
+        if name == "rt":
+            return self.rt
+        if name == "rd":
+            return self.rd
+        if name == "hi":
+            return registers.HI
+        if name == "lo":
+            return registers.LO
+        if name == "ra":
+            return _RA
+        raise ValueError(f"unknown operand field {name!r}")
+
+    def src_registers(self) -> tuple[int, ...]:
+        """Architectural registers read, $zero excluded (never a dependence)."""
+        regs = tuple(
+            self._field_register(f) for f in self.info.reads
+        )
+        return tuple(r for r in regs if r != registers.ZERO)
+
+    def dest_registers(self) -> tuple[int, ...]:
+        """Architectural registers written, $zero excluded (write is void)."""
+        regs = tuple(
+            self._field_register(f) for f in self.info.writes
+        )
+        return tuple(r for r in regs if r != registers.ZERO)
+
+    # ------------------------------------------------------------------
+    # Binary codec: 64-bit word, little-endian.
+    #   [15:0]   opcode number
+    #   [23:16]  rs
+    #   [31:24]  rt
+    #   [39:32]  rd
+    #   [63:40]  imm (24 bits, two's complement; J targets are
+    #            byte addresses >> 3 so 24 bits cover a 128 MB text
+    #            segment)
+    # ------------------------------------------------------------------
+
+    _IMM_BITS = 24
+
+    def encode(self) -> int:
+        """Pack into the 64-bit PISA-style instruction word."""
+        imm = self.imm & ((1 << self._IMM_BITS) - 1)
+        word = OPCODE_NUMBERS[self.op]
+        word |= (self.rs & 0xFF) << 16
+        word |= (self.rt & 0xFF) << 24
+        word |= (self.rd & 0xFF) << 32
+        word |= imm << 40
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "Instruction":
+        """Unpack a 64-bit instruction word.
+
+        Raises
+        ------
+        ValueError
+            If the opcode number is not part of the ISA (e.g. the
+            functional simulator fetched from a data region).
+        """
+        number = word & 0xFFFF
+        try:
+            op = NUMBER_TO_OPCODE[number]
+        except KeyError:
+            raise ValueError(f"invalid opcode number {number}") from None
+        imm = (word >> 40) & ((1 << cls._IMM_BITS) - 1)
+        if imm >= 1 << (cls._IMM_BITS - 1):  # sign-extend
+            imm -= 1 << cls._IMM_BITS
+        return cls(
+            op=op,
+            rs=(word >> 16) & 0xFF,
+            rt=(word >> 24) & 0xFF,
+            rd=(word >> 32) & 0xFF,
+            imm=imm,
+        )
+
+    def __str__(self) -> str:
+        info = self.info
+        name = info.mnemonic
+        if self.op in (Opcode.NOP, Opcode.SYSCALL, Opcode.BREAK):
+            return name
+        if info.format is Format.J:
+            return f"{name} {self.imm:#x}"
+        if info.is_mem:
+            reg = registers.register_name(self.rt)
+            base = registers.register_name(self.rs)
+            return f"{name} {reg}, {self.imm}({base})"
+        if info.is_branch:
+            parts = [registers.register_name(self._field_register(f))
+                     for f in info.reads]
+            if self.op not in (Opcode.JR, Opcode.JALR):
+                parts.append(f"{self.imm:+d}")
+            return f"{name} " + ", ".join(parts)
+        if info.format is Format.I:
+            rt = registers.register_name(self.rt)
+            rs = registers.register_name(self.rs)
+            if self.op is Opcode.LUI:
+                return f"{name} {rt}, {self.imm:#x}"
+            return f"{name} {rt}, {rs}, {self.imm}"
+        # R format
+        dests = [registers.register_name(self._field_register(f))
+                 for f in info.writes if f in ("rd", "rt")]
+        srcs = [registers.register_name(self._field_register(f))
+                for f in info.reads if f in ("rs", "rt")]
+        if self.op in (Opcode.SLL, Opcode.SRL, Opcode.SRA):
+            return f"{name} {dests[0]}, {srcs[0]}, {self.imm}"
+        return f"{name} " + ", ".join(dests + srcs)
+
+
+#: A canonical no-op, used for padding and wrong-path filler.
+NOP = Instruction(op=Opcode.NOP)

@@ -1,0 +1,272 @@
+"""Opcode table for the PISA-like integer ISA.
+
+Each opcode carries the static metadata the rest of the system needs:
+
+* the *instruction format* (R / I / J), which drives the assembler and
+  the binary codec;
+* the *functional-unit class*, which the timing model maps to issue
+  resources and latencies (the paper's configuration: four 1-cycle
+  ALUs, one 3-cycle multiplier, one 10-cycle divider);
+* which operand fields are read and written, which drives register
+  renaming and dependence tracking;
+* branch/memory classification, which selects the trace record format
+  (Branch / Memory / Other, Section V.A of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Format(enum.Enum):
+    """PISA instruction formats."""
+
+    R = "R"  # register-register: op rd, rs, rt
+    I = "I"  # register-immediate: op rt, rs, imm
+    J = "J"  # jump: op target
+
+
+class FuClass(enum.Enum):
+    """Functional-unit classes recognized by the issue stage."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+
+class BranchKind(enum.Enum):
+    """Control-flow sub-classes used by the branch predictor unit.
+
+    The direction predictor handles conditional branches; the BTB
+    provides targets for anything taken; the Return Address Stack
+    handles call/return pairs.
+    """
+
+    NONE = "none"
+    COND = "cond"          # beq/bne/blez/...
+    JUMP = "jump"          # j — unconditional direct
+    CALL = "call"          # jal/jalr — pushes return address
+    RETURN = "ret"         # jr $ra — pops return address
+    INDIRECT = "indirect"  # jr (non-$ra) — computed target
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static description of one opcode."""
+
+    mnemonic: str
+    format: Format
+    fu: FuClass
+    reads: tuple[str, ...] = ()   # subset of ("rs", "rt", "hi", "lo")
+    writes: tuple[str, ...] = ()  # subset of ("rd", "rt", "hi", "lo", "ra")
+    branch: BranchKind = BranchKind.NONE
+    mem_bytes: int = 0            # access size for loads/stores
+    signed_mem: bool = True       # sign- vs zero-extend loads
+
+    @property
+    def is_branch(self) -> bool:
+        return self.branch is not BranchKind.NONE
+
+    @property
+    def is_load(self) -> bool:
+        return self.fu is FuClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.fu is FuClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.mem_bytes > 0
+
+
+class Opcode(enum.Enum):
+    """All opcodes of the PISA-like integer subset."""
+
+    # Arithmetic / logic, R format
+    ADD = "add"
+    ADDU = "addu"
+    SUB = "sub"
+    SUBU = "subu"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOR = "nor"
+    SLT = "slt"
+    SLTU = "sltu"
+    SLLV = "sllv"
+    SRLV = "srlv"
+    SRAV = "srav"
+    # Shifts with shamt in imm
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    # Multiply / divide (HI/LO)
+    MULT = "mult"
+    MULTU = "multu"
+    DIV = "div"
+    DIVU = "divu"
+    MFHI = "mfhi"
+    MFLO = "mflo"
+    MTHI = "mthi"
+    MTLO = "mtlo"
+    # Immediate arithmetic / logic
+    ADDI = "addi"
+    ADDIU = "addiu"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLTI = "slti"
+    SLTIU = "sltiu"
+    LUI = "lui"
+    # Loads / stores
+    LB = "lb"
+    LBU = "lbu"
+    LH = "lh"
+    LHU = "lhu"
+    LW = "lw"
+    SB = "sb"
+    SH = "sh"
+    SW = "sw"
+    # Control flow
+    BEQ = "beq"
+    BNE = "bne"
+    BLEZ = "blez"
+    BGTZ = "bgtz"
+    BLTZ = "bltz"
+    BGEZ = "bgez"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+    JALR = "jalr"
+    # Misc
+    NOP = "nop"
+    SYSCALL = "syscall"
+    BREAK = "break"
+
+
+def _r3(mnemonic: str) -> OpInfo:
+    """R-format three-register ALU op: rd <- rs op rt."""
+    return OpInfo(mnemonic, Format.R, FuClass.ALU, reads=("rs", "rt"), writes=("rd",))
+
+
+def _imm(mnemonic: str) -> OpInfo:
+    """I-format ALU op: rt <- rs op imm."""
+    return OpInfo(mnemonic, Format.I, FuClass.ALU, reads=("rs",), writes=("rt",))
+
+
+def _load(mnemonic: str, size: int, signed: bool = True) -> OpInfo:
+    return OpInfo(
+        mnemonic, Format.I, FuClass.LOAD,
+        reads=("rs",), writes=("rt",), mem_bytes=size, signed_mem=signed,
+    )
+
+
+def _store(mnemonic: str, size: int) -> OpInfo:
+    return OpInfo(
+        mnemonic, Format.I, FuClass.STORE,
+        reads=("rs", "rt"), mem_bytes=size,
+    )
+
+
+def _cond2(mnemonic: str) -> OpInfo:
+    """Two-source conditional branch (beq/bne)."""
+    return OpInfo(
+        mnemonic, Format.I, FuClass.BRANCH,
+        reads=("rs", "rt"), branch=BranchKind.COND,
+    )
+
+
+def _cond1(mnemonic: str) -> OpInfo:
+    """One-source conditional branch (blez/bgtz/bltz/bgez)."""
+    return OpInfo(
+        mnemonic, Format.I, FuClass.BRANCH,
+        reads=("rs",), branch=BranchKind.COND,
+    )
+
+
+OPCODE_INFO: dict[Opcode, OpInfo] = {
+    Opcode.ADD: _r3("add"),
+    Opcode.ADDU: _r3("addu"),
+    Opcode.SUB: _r3("sub"),
+    Opcode.SUBU: _r3("subu"),
+    Opcode.AND: _r3("and"),
+    Opcode.OR: _r3("or"),
+    Opcode.XOR: _r3("xor"),
+    Opcode.NOR: _r3("nor"),
+    Opcode.SLT: _r3("slt"),
+    Opcode.SLTU: _r3("sltu"),
+    Opcode.SLLV: _r3("sllv"),
+    Opcode.SRLV: _r3("srlv"),
+    Opcode.SRAV: _r3("srav"),
+    Opcode.SLL: OpInfo("sll", Format.R, FuClass.ALU, reads=("rt",), writes=("rd",)),
+    Opcode.SRL: OpInfo("srl", Format.R, FuClass.ALU, reads=("rt",), writes=("rd",)),
+    Opcode.SRA: OpInfo("sra", Format.R, FuClass.ALU, reads=("rt",), writes=("rd",)),
+    Opcode.MULT: OpInfo(
+        "mult", Format.R, FuClass.MUL, reads=("rs", "rt"), writes=("hi", "lo")
+    ),
+    Opcode.MULTU: OpInfo(
+        "multu", Format.R, FuClass.MUL, reads=("rs", "rt"), writes=("hi", "lo")
+    ),
+    Opcode.DIV: OpInfo(
+        "div", Format.R, FuClass.DIV, reads=("rs", "rt"), writes=("hi", "lo")
+    ),
+    Opcode.DIVU: OpInfo(
+        "divu", Format.R, FuClass.DIV, reads=("rs", "rt"), writes=("hi", "lo")
+    ),
+    Opcode.MFHI: OpInfo("mfhi", Format.R, FuClass.ALU, reads=("hi",), writes=("rd",)),
+    Opcode.MFLO: OpInfo("mflo", Format.R, FuClass.ALU, reads=("lo",), writes=("rd",)),
+    Opcode.MTHI: OpInfo("mthi", Format.R, FuClass.ALU, reads=("rs",), writes=("hi",)),
+    Opcode.MTLO: OpInfo("mtlo", Format.R, FuClass.ALU, reads=("rs",), writes=("lo",)),
+    Opcode.ADDI: _imm("addi"),
+    Opcode.ADDIU: _imm("addiu"),
+    Opcode.ANDI: _imm("andi"),
+    Opcode.ORI: _imm("ori"),
+    Opcode.XORI: _imm("xori"),
+    Opcode.SLTI: _imm("slti"),
+    Opcode.SLTIU: _imm("sltiu"),
+    Opcode.LUI: OpInfo("lui", Format.I, FuClass.ALU, writes=("rt",)),
+    Opcode.LB: _load("lb", 1),
+    Opcode.LBU: _load("lbu", 1, signed=False),
+    Opcode.LH: _load("lh", 2),
+    Opcode.LHU: _load("lhu", 2, signed=False),
+    Opcode.LW: _load("lw", 4),
+    Opcode.SB: _store("sb", 1),
+    Opcode.SH: _store("sh", 2),
+    Opcode.SW: _store("sw", 4),
+    Opcode.BEQ: _cond2("beq"),
+    Opcode.BNE: _cond2("bne"),
+    Opcode.BLEZ: _cond1("blez"),
+    Opcode.BGTZ: _cond1("bgtz"),
+    Opcode.BLTZ: _cond1("bltz"),
+    Opcode.BGEZ: _cond1("bgez"),
+    Opcode.J: OpInfo("j", Format.J, FuClass.BRANCH, branch=BranchKind.JUMP),
+    Opcode.JAL: OpInfo(
+        "jal", Format.J, FuClass.BRANCH, writes=("ra",), branch=BranchKind.CALL
+    ),
+    Opcode.JR: OpInfo(
+        "jr", Format.R, FuClass.BRANCH, reads=("rs",), branch=BranchKind.INDIRECT
+    ),
+    Opcode.JALR: OpInfo(
+        "jalr", Format.R, FuClass.BRANCH,
+        reads=("rs",), writes=("rd",), branch=BranchKind.CALL,
+    ),
+    Opcode.NOP: OpInfo("nop", Format.R, FuClass.NOP),
+    Opcode.SYSCALL: OpInfo("syscall", Format.R, FuClass.NOP),
+    Opcode.BREAK: OpInfo("break", Format.R, FuClass.NOP),
+}
+
+#: Reverse lookup from mnemonic text to opcode.
+MNEMONIC_TO_OPCODE: dict[str, Opcode] = {
+    info.mnemonic: op for op, info in OPCODE_INFO.items()
+}
+
+#: Stable numeric encoding for the binary codec (16-bit opcode field,
+#: PISA-style).  Enum declaration order is the ABI; append only.
+OPCODE_NUMBERS: dict[Opcode, int] = {op: i for i, op in enumerate(Opcode)}
+NUMBER_TO_OPCODE: dict[int, Opcode] = {i: op for op, i in OPCODE_NUMBERS.items()}

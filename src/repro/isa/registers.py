@@ -1,0 +1,60 @@
+"""Architectural register file description (PISA integer subset).
+
+PISA follows the MIPS register convention: 32 general-purpose integer
+registers plus the HI/LO pair written by multiply/divide.  SPECint
+workloads need no floating point, so the FP register file is omitted
+(the trace format reserves room for it — register fields are 7 bits
+wide — so adding it later would not change the trace encoding).
+"""
+
+from __future__ import annotations
+
+#: Number of architectural registers visible to the rename table:
+#: $0..$31 plus HI and LO.
+REG_COUNT = 34
+
+#: Index of the hardwired zero register.
+ZERO = 0
+
+#: Indices of the multiply/divide result pair.
+HI = 32
+LO = 33
+
+#: Canonical MIPS/PISA assembler names, indexed by register number.
+REG_NAMES: tuple[str, ...] = (
+    "$zero", "$at", "$v0", "$v1",
+    "$a0", "$a1", "$a2", "$a3",
+    "$t0", "$t1", "$t2", "$t3",
+    "$t4", "$t5", "$t6", "$t7",
+    "$s0", "$s1", "$s2", "$s3",
+    "$s4", "$s5", "$s6", "$s7",
+    "$t8", "$t9", "$k0", "$k1",
+    "$gp", "$sp", "$fp", "$ra",
+    "$hi", "$lo",
+)
+
+#: Accept both symbolic names and numeric "$N" forms.
+_NAME_TO_INDEX: dict[str, int] = {name: i for i, name in enumerate(REG_NAMES)}
+_NAME_TO_INDEX.update({f"${i}": i for i in range(32)})
+_NAME_TO_INDEX["$s8"] = 30  # alternate name for $fp
+
+
+def register_index(name: str) -> int:
+    """Map an assembler register name (``$t0``, ``$5``, …) to its index.
+
+    Raises
+    ------
+    KeyError
+        If the name is not a recognized register.
+    """
+    try:
+        return _NAME_TO_INDEX[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown register name {name!r}") from None
+
+
+def register_name(index: int) -> str:
+    """Map a register index back to its canonical assembler name."""
+    if not 0 <= index < REG_COUNT:
+        raise IndexError(f"register index {index} out of range")
+    return REG_NAMES[index]

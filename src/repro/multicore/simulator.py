@@ -1,0 +1,263 @@
+"""Multiple ReSim instances on one device, sharing the trace channel.
+
+Model
+-----
+* **Placement** — the area model gives slices/BRAMs per instance; the
+  device gives totals; the floor of the ratios is the instance count
+  (one spare BRAM pair is reserved for the trace deserializer).
+* **Timing** — each instance is a full :class:`~repro.core.ReSimEngine`
+  running its own workload; instances are independent (the paper's
+  CMP motivation is throughput simulation of many cores), so their
+  major-cycle counts come from real simulation, not a model.
+* **Trace channel** — each instance demands
+  ``bits_per_instruction x trace_throughput x f/L`` of input
+  bandwidth.  A shared channel of capacity C Gb/s serves all
+  instances; when aggregate demand D exceeds C, every instance runs at
+  the fraction C/D of full speed (fair round-robin service of the
+  deserializer, the natural hardware arrangement).
+
+The interesting output is aggregate simulated MIPS per device as a
+function of instance count: it grows linearly until the channel
+saturates — quantifying exactly the extension problem the paper's
+conclusion poses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ProcessorConfig
+from repro.core.engine import ReSimEngine
+from repro.core.minorpipe import select_pipeline
+from repro.fpga.area import AreaEstimator
+from repro.fpga.device import FpgaDevice
+from repro.perf.throughput import ThroughputModel, ThroughputReport
+from repro.trace.stats import TraceStatistics
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+#: Default shared trace-channel capacity, in Gb/s.  The paper points
+#: at tightly-coupled CPU-FPGA attachments (the DRC board's
+#: HyperTransport link) as the remedy for >GigE demands; 6.4 Gb/s is
+#: that class of link.
+DEFAULT_CHANNEL_GBPS = 6.4
+
+
+@dataclass(frozen=True)
+class TraceChannel:
+    """Shared trace-input link between the host and the FPGA."""
+
+    capacity_gbps: float = DEFAULT_CHANNEL_GBPS
+
+    def __post_init__(self) -> None:
+        if self.capacity_gbps <= 0:
+            raise ValueError("channel capacity must be positive")
+
+    def service_fraction(self, demand_gbps: float) -> float:
+        """Fraction of full speed the instances sustain under demand."""
+        if demand_gbps <= self.capacity_gbps:
+            return 1.0
+        return self.capacity_gbps / demand_gbps
+
+
+@dataclass
+class CoreResult:
+    """One instance's workload and throughput."""
+
+    core: int
+    benchmark: str
+    report: ThroughputReport
+    trace_stats: TraceStatistics
+
+    @property
+    def demand_gbps(self) -> float:
+        """Trace bandwidth this core wants at full speed."""
+        return self.report.bandwidth_gbits_per_sec(
+            self.trace_stats.bits_per_instruction
+        )
+
+
+@dataclass
+class MultiCoreResult:
+    """Placement + timing + bandwidth outcome for one device."""
+
+    device: FpgaDevice
+    instances: int
+    slices_per_instance: int
+    brams_per_instance: int
+    cores: list[CoreResult] = field(default_factory=list)
+    channel: TraceChannel = field(default_factory=TraceChannel)
+
+    @property
+    def aggregate_demand_gbps(self) -> float:
+        return sum(core.demand_gbps for core in self.cores)
+
+    @property
+    def service_fraction(self) -> float:
+        """Throttle factor imposed by the shared trace channel."""
+        return self.channel.service_fraction(self.aggregate_demand_gbps)
+
+    @property
+    def aggregate_mips_unconstrained(self) -> float:
+        """Sum of per-core MIPS if bandwidth were free."""
+        return sum(core.report.mips for core in self.cores)
+
+    @property
+    def aggregate_mips(self) -> float:
+        """Deliverable simulation throughput through the real channel."""
+        return self.aggregate_mips_unconstrained * self.service_fraction
+
+    @property
+    def bandwidth_limited(self) -> bool:
+        return self.service_fraction < 1.0
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.instances} ReSim instance(s) on {self.device.name} "
+            f"({self.slices_per_instance} slices, "
+            f"{self.brams_per_instance} BRAMs each)",
+            f"aggregate demand : {self.aggregate_demand_gbps:.2f} Gb/s "
+            f"over a {self.channel.capacity_gbps:.1f} Gb/s channel"
+            + (" [SATURATED]" if self.bandwidth_limited else ""),
+            f"aggregate MIPS   : {self.aggregate_mips:.2f} "
+            f"(unconstrained {self.aggregate_mips_unconstrained:.2f})",
+        ]
+        for core in self.cores:
+            lines.append(
+                f"  core {core.core}: {core.benchmark:8s} "
+                f"{core.report.mips:6.2f} MIPS, "
+                f"{core.demand_gbps:.2f} Gb/s"
+            )
+        return "\n".join(lines)
+
+
+class MultiCoreSimulator:
+    """Places and runs multiple ReSim instances on one device."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        device: FpgaDevice,
+        channel: TraceChannel | None = None,
+    ) -> None:
+        self._config = config
+        self._device = device
+        self._channel = channel or TraceChannel()
+        report = AreaEstimator(config, device_name=device.name).estimate()
+        self._slices_per_instance = report.total_slices
+        # Reserve one BRAM pair for the shared trace deserializer.
+        self._brams_per_instance = max(1, report.total_brams)
+
+    @property
+    def max_instances(self) -> int:
+        """How many instances the device's resources allow."""
+        return self._device.instances_fit(
+            self._slices_per_instance, self._brams_per_instance
+        )
+
+    def run(
+        self,
+        benchmarks: list[str],
+        budget: int = 10_000,
+        seed: int = 7,
+    ) -> MultiCoreResult:
+        """Simulate one workload per core (round-robin over names).
+
+        Raises
+        ------
+        ValueError
+            If more workloads are requested than instances fit.
+        """
+        if not benchmarks:
+            raise ValueError("at least one benchmark required")
+        if len(benchmarks) > max(1, self.max_instances):
+            raise ValueError(
+                f"{len(benchmarks)} cores requested but only "
+                f"{self.max_instances} instance(s) fit on "
+                f"{self._device.name}"
+            )
+        result = MultiCoreResult(
+            device=self._device,
+            instances=len(benchmarks),
+            slices_per_instance=self._slices_per_instance,
+            brams_per_instance=self._brams_per_instance,
+            channel=self._channel,
+        )
+        pipeline = select_pipeline(self._config.width,
+                                   self._config.memory_ports)
+        model = ThroughputModel(self._device, pipeline)
+        for core_index, name in enumerate(benchmarks):
+            workload = SyntheticWorkload(
+                get_profile(name),
+                seed=seed + core_index,  # distinct streams per core
+                predictor_config=self._config.predictor,
+                rob_entries=self._config.rob_entries,
+                ifq_entries=self._config.ifq_entries,
+            )
+            generation = workload.generate(budget)
+            engine_result = ReSimEngine(self._config,
+                                        generation.records).run()
+            result.cores.append(CoreResult(
+                core=core_index,
+                benchmark=name,
+                report=model.report(engine_result),
+                trace_stats=generation.statistics(),
+            ))
+        return result
+
+    def scaling_study(
+        self,
+        benchmarks: list[str],
+        budget: int = 8_000,
+        seed: int = 7,
+        max_cores: int | None = None,
+    ) -> list[MultiCoreResult]:
+        """Aggregate throughput vs. core count, 1..max.
+
+        Ignores the placement limit when ``max_cores`` overrides it
+        (useful for studying where the *channel* — not area — becomes
+        the binding constraint on a hypothetical larger part).
+        """
+        limit = max_cores if max_cores is not None else self.max_instances
+        if limit < 1:
+            raise ValueError("device fits no instances")
+        results = []
+        for count in range(1, limit + 1):
+            names = [benchmarks[i % len(benchmarks)] for i in range(count)]
+            saved = self.max_instances
+            if count <= saved or max_cores is not None:
+                result = self._run_unchecked(names, budget, seed)
+                results.append(result)
+        return results
+
+    def _run_unchecked(self, benchmarks: list[str], budget: int,
+                       seed: int) -> MultiCoreResult:
+        """`run` without the placement guard (scaling studies)."""
+        result = MultiCoreResult(
+            device=self._device,
+            instances=len(benchmarks),
+            slices_per_instance=self._slices_per_instance,
+            brams_per_instance=self._brams_per_instance,
+            channel=self._channel,
+        )
+        pipeline = select_pipeline(self._config.width,
+                                   self._config.memory_ports)
+        model = ThroughputModel(self._device, pipeline)
+        for core_index, name in enumerate(benchmarks):
+            workload = SyntheticWorkload(
+                get_profile(name),
+                seed=seed + core_index,
+                predictor_config=self._config.predictor,
+                rob_entries=self._config.rob_entries,
+                ifq_entries=self._config.ifq_entries,
+            )
+            generation = workload.generate(budget)
+            engine_result = ReSimEngine(self._config,
+                                        generation.records).run()
+            result.cores.append(CoreResult(
+                core=core_index,
+                benchmark=name,
+                report=model.report(engine_result),
+                trace_stats=generation.statistics(),
+            ))
+        return result

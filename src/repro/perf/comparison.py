@@ -1,0 +1,99 @@
+"""Cross-simulator comparison (Table 2) and speedup claims.
+
+The paper compares ReSim against published simulator speeds — software
+(PTLsim, SimpleScalar's sim-outorder, GEMS), hardware (FAST, A-Ports)
+— exactly as reported in the FAST paper and the A-Ports paper.  We
+reproduce the comparison the same way: the non-ReSim rows are
+literature constants (they cannot be re-measured without those
+systems), while the ReSim rows are recomputed live by our engine +
+throughput model.  The derived claims the tests check:
+
+* ReSim (2-wide, perfect BP, V4) / FAST (perfect BP) ≈ 6.57x;
+* ReSim vs. A-Ports ≈ 5x;
+* hardware simulators beat software ones by orders of magnitude.
+
+Area comparison constants from the Table 4 discussion: a 4-wide FAST
+configuration on Virtex-4 occupies 29 230 slices and 172 BRAMs — 2.4x
+and 24x ReSim's respective totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimulatorEntry:
+    """One row of the Table 2 comparison."""
+
+    name: str
+    isa: str
+    mips: float
+    category: str       # "software" | "hardware" | "resim"
+    source: str         # provenance of the number
+
+    def describe(self) -> str:
+        return f"{self.name:<28s} {self.isa:<24s} {self.mips:8.2f} MIPS"
+
+
+#: Published simulator speeds, as cited in the paper's Table 2.
+PUBLISHED_SIMULATORS: tuple[SimulatorEntry, ...] = (
+    SimulatorEntry("PTLsim", "x86-64", 0.27, "software",
+                   "reported in FAST (ICCAD'07), cited by Table 2"),
+    SimulatorEntry("sim-outorder", "PISA", 0.30, "software",
+                   "reported in FAST (ICCAD'07), cited by Table 2"),
+    SimulatorEntry("GEMS", "Sparc", 0.07, "software",
+                   "reported in FAST (ICCAD'07), cited by Table 2"),
+    SimulatorEntry("FAST (gshare BP)", "x86", 1.20, "hardware",
+                   "FAST (ICCAD'07), cited by Table 2"),
+    SimulatorEntry("FAST (perfect BP)", "x86", 2.79, "hardware",
+                   "FAST scaled to Muops, Table 1 right"),
+    SimulatorEntry("A-Ports", "MIPS subset, 4-wide", 4.70, "hardware",
+                   "A-Ports (FPGA'08), Virtex-2Pro, cited by Table 2"),
+)
+
+#: FAST area on Virtex-4 (Table 4 discussion).
+FAST_AREA_SLICES = 29_230
+FAST_AREA_BRAMS = 172
+
+
+def comparison_table(resim_rows: dict[str, float]) -> list[SimulatorEntry]:
+    """Assemble Table 2: published rows plus measured ReSim rows.
+
+    Parameters
+    ----------
+    resim_rows:
+        Mapping from a ReSim configuration label (e.g.
+        ``"ReSim (PISA, 2-wide, perfect BP, Virtex5)"``) to its
+        measured MIPS.
+    """
+    rows = list(PUBLISHED_SIMULATORS)
+    for label, mips in resim_rows.items():
+        rows.append(SimulatorEntry(
+            name=label, isa="PISA (trace-driven)", mips=mips,
+            category="resim", source="measured by this reproduction",
+        ))
+    return rows
+
+
+def speedup_over(resim_mips: float, competitor_name: str) -> float:
+    """ReSim speedup over one published simulator."""
+    for entry in PUBLISHED_SIMULATORS:
+        if entry.name == competitor_name:
+            return resim_mips / entry.mips
+    raise KeyError(f"unknown simulator {competitor_name!r}")
+
+
+def best_hardware_competitor() -> SimulatorEntry:
+    """The fastest published non-ReSim hardware simulator (A-Ports)."""
+    hardware = [e for e in PUBLISHED_SIMULATORS if e.category == "hardware"]
+    return max(hardware, key=lambda entry: entry.mips)
+
+
+def render_table(rows: list[SimulatorEntry]) -> str:
+    """ASCII rendition of Table 2."""
+    lines = [f"{'Simulator':<28s} {'ISA':<24s} {'Speed':>13s}",
+             "-" * 67]
+    for entry in rows:
+        lines.append(entry.describe())
+    return "\n".join(lines)

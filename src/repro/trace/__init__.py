@@ -1,0 +1,66 @@
+"""The ReSim trace substrate.
+
+ReSim's input is a *pre-decoded* trace with one record per dynamic
+instruction (Section V.A of the paper).  Three formats are used —
+**Branch (B)**, **Memory (M)** and **Other (O)** — each with its own
+fields and bit length, and every format carries a **Tag bit** marking
+mis-speculated (wrong-path) instructions.  Because the format is decoded
+and generic, any ISA that can be described by it is supported; that is
+what makes ReSim "almost ISA independent".
+
+This package provides:
+
+* :mod:`repro.trace.record` — the in-memory record types;
+* :mod:`repro.trace.encode` — the bit-packed codec (Table 3 of the paper
+  reports 41-47 *bits* per instruction, so the encoding is measured at
+  bit granularity);
+* :mod:`repro.trace.stats` — per-trace statistics (record mix, bits per
+  instruction, wrong-path fraction) feeding the Table 3 reproduction;
+* :mod:`repro.trace.wrongpath` — wrong-path block sizing and injection
+  helpers shared by the functional and synthetic trace generators.
+"""
+
+from repro.trace.fileio import (
+    TraceFileError,
+    TraceFileHeader,
+    read_trace_file,
+    read_trace_header,
+    write_trace_file,
+)
+from repro.trace.encode import (
+    TraceDecoder,
+    TraceEncoder,
+    decode_trace,
+    encode_trace,
+    record_bit_length,
+)
+from repro.trace.record import (
+    BranchRecord,
+    MemoryRecord,
+    OtherRecord,
+    RecordKind,
+    TraceRecord,
+)
+from repro.trace.stats import TraceStatistics, measure_trace
+from repro.trace.wrongpath import conservative_block_size
+
+__all__ = [
+    "BranchRecord",
+    "MemoryRecord",
+    "OtherRecord",
+    "RecordKind",
+    "TraceDecoder",
+    "TraceEncoder",
+    "TraceFileError",
+    "TraceFileHeader",
+    "TraceRecord",
+    "TraceStatistics",
+    "conservative_block_size",
+    "decode_trace",
+    "encode_trace",
+    "measure_trace",
+    "read_trace_file",
+    "read_trace_header",
+    "record_bit_length",
+    "write_trace_file",
+]

@@ -1,0 +1,167 @@
+"""Trace file format: persistent, self-describing ReSim traces.
+
+The paper's primary usage mode is *"traces that are prepared off-line
+(for example for bulk simulations with varying design parameters)"* —
+which needs a file format.  Ours is deliberately simple and fully
+self-describing:
+
+======== ======= ====================================================
+offset   size    field
+======== ======= ====================================================
+0        8       magic ``b"RESIMTRC"``
+8        2       format version (little-endian u16, currently 1)
+10       2       header length in bytes (from offset 0)
+12       8       record count (u64)
+20       8       exact payload bit length (u64)
+28       4       committed-instruction count low-order 32 bits (crc-
+                 style consistency field; full counts live in stats)
+32       N       UTF-8 JSON metadata blob (predictor config, benchmark
+                 name, seed) padded to the header length
+header   ...     bit-packed records (repro.trace.encode layout)
+======== ======= ====================================================
+
+The JSON metadata keeps the predictor configuration with the trace —
+the consistency contract (engine predictor == generation predictor)
+should survive a trip through the filesystem.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.bpred.unit import PredictorConfig
+from repro.trace.encode import decode_trace, encode_trace
+from repro.trace.record import TraceRecord
+
+MAGIC = b"RESIMTRC"
+VERSION = 1
+
+
+class TraceFileError(ValueError):
+    """Raised on malformed or incompatible trace files."""
+
+
+@dataclass(frozen=True)
+class TraceFileHeader:
+    """Parsed header of a trace file."""
+
+    version: int
+    record_count: int
+    bit_length: int
+    metadata: dict
+
+    @property
+    def predictor_config(self) -> PredictorConfig | None:
+        """Reconstruct the generation predictor, if recorded."""
+        blob = self.metadata.get("predictor")
+        if blob is None:
+            return None
+        return PredictorConfig(**blob)
+
+
+def _predictor_metadata(config: PredictorConfig | None) -> dict | None:
+    if config is None:
+        return None
+    return {
+        "scheme": config.scheme,
+        "l1_size": config.l1_size,
+        "history_length": config.history_length,
+        "l2_size": config.l2_size,
+        "bimodal_size": config.bimodal_size,
+        "meta_size": config.meta_size,
+        "btb_entries": config.btb_entries,
+        "btb_assoc": config.btb_assoc,
+        "ras_depth": config.ras_depth,
+    }
+
+
+def write_trace_file(
+    path: str | Path,
+    records: Sequence[TraceRecord],
+    predictor: PredictorConfig | None = None,
+    benchmark: str | None = None,
+    seed: int | None = None,
+) -> int:
+    """Serialize a trace; returns the number of bytes written."""
+    payload, bit_length = encode_trace(records)
+    metadata = {
+        "predictor": _predictor_metadata(predictor),
+        "benchmark": benchmark,
+        "seed": seed,
+    }
+    blob = json.dumps(metadata, sort_keys=True).encode()
+    header_length = 32 + len(blob)
+
+    buffer = io.BytesIO()
+    buffer.write(MAGIC)
+    buffer.write(VERSION.to_bytes(2, "little"))
+    buffer.write(header_length.to_bytes(2, "little"))
+    buffer.write(len(records).to_bytes(8, "little"))
+    buffer.write(bit_length.to_bytes(8, "little"))
+    committed = sum(1 for record in records if not record.tag)
+    buffer.write((committed & 0xFFFF_FFFF).to_bytes(4, "little"))
+    buffer.write(blob)
+    buffer.write(payload)
+
+    data = buffer.getvalue()
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_trace_header(path: str | Path) -> TraceFileHeader:
+    """Parse just the header (cheap metadata inspection)."""
+    data = Path(path).read_bytes()
+    return _parse_header(data)[0]
+
+
+def _parse_header(data: bytes) -> tuple[TraceFileHeader, int]:
+    if len(data) < 32 or data[:8] != MAGIC:
+        raise TraceFileError("not a ReSim trace file (bad magic)")
+    version = int.from_bytes(data[8:10], "little")
+    if version != VERSION:
+        raise TraceFileError(f"unsupported trace version {version}")
+    header_length = int.from_bytes(data[10:12], "little")
+    if header_length < 32 or header_length > len(data):
+        raise TraceFileError("corrupt header length")
+    record_count = int.from_bytes(data[12:20], "little")
+    bit_length = int.from_bytes(data[20:28], "little")
+    try:
+        metadata = json.loads(data[32:header_length].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TraceFileError(f"corrupt metadata blob: {error}") from None
+    header = TraceFileHeader(
+        version=version,
+        record_count=record_count,
+        bit_length=bit_length,
+        metadata=metadata,
+    )
+    return header, header_length
+
+
+def read_trace_file(
+    path: str | Path,
+) -> tuple[TraceFileHeader, list[TraceRecord]]:
+    """Deserialize a trace file into its header and records.
+
+    Raises
+    ------
+    TraceFileError
+        On bad magic, unsupported version, corrupt header, or a
+        payload whose record count disagrees with the header.
+    """
+    data = Path(path).read_bytes()
+    header, header_length = _parse_header(data)
+    payload = data[header_length:]
+    if header.bit_length > 8 * len(payload):
+        raise TraceFileError("truncated payload")
+    records = decode_trace(payload, header.bit_length)
+    if len(records) != header.record_count:
+        raise TraceFileError(
+            f"payload holds {len(records)} records, header claims "
+            f"{header.record_count}"
+        )
+    return header, records

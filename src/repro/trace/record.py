@@ -1,0 +1,201 @@
+"""In-memory trace record types (Branch / Memory / Other).
+
+The paper (Section V.A): *"ReSim's input trace consists of a record for
+each dynamic instruction in a pre-decoded format.  Three formats are
+used: Branch (B), Memory (M) and Other (O), each with its own fields and
+length. [...] all formats include a Tag Bit field used for
+mis-speculation handling."*
+
+Design notes
+------------
+* Records carry **no PC**: ReSim reconstructs the program counter from
+  sequential flow plus branch targets, which is what keeps the trace in
+  the 41-47 bits/instruction range reported in Table 3.
+* Register fields use the *trace register namespace*: ``0`` means "no
+  register" (``$zero`` is never a dependence), ``1..31`` are GPRs, and
+  ``32``/``33`` are HI/LO.  Six bits per field.
+* Multiply/divide writes the HI/LO pair; the second destination is
+  implicit in the functional-unit class, so it costs no trace bits
+  (:meth:`TraceRecord.dest_registers` reconstructs it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.opcodes import BranchKind, FuClass
+
+#: Trace register namespace constants.
+TRACE_REG_NONE = 0
+TRACE_REG_HI = 32
+TRACE_REG_LO = 33
+TRACE_REG_LIMIT = 64  # 6-bit fields
+
+
+class RecordKind(enum.IntEnum):
+    """The three record formats, as encoded in the 2-bit kind field."""
+
+    OTHER = 0
+    BRANCH = 1
+    MEMORY = 2
+
+
+#: Functional-unit classes as encoded in the 3-bit trace field.
+FU_NUMBERS: dict[FuClass, int] = {
+    FuClass.ALU: 0,
+    FuClass.MUL: 1,
+    FuClass.DIV: 2,
+    FuClass.LOAD: 3,
+    FuClass.STORE: 4,
+    FuClass.BRANCH: 5,
+    FuClass.NOP: 6,
+}
+NUMBER_TO_FU: dict[int, FuClass] = {v: k for k, v in FU_NUMBERS.items()}
+
+#: Branch sub-classes as encoded in the 3-bit type field of B records.
+BRANCH_NUMBERS: dict[BranchKind, int] = {
+    BranchKind.COND: 0,
+    BranchKind.JUMP: 1,
+    BranchKind.CALL: 2,
+    BranchKind.RETURN: 3,
+    BranchKind.INDIRECT: 4,
+}
+NUMBER_TO_BRANCH: dict[int, BranchKind] = {v: k for k, v in BRANCH_NUMBERS.items()}
+
+
+def _check_trace_reg(value: int, field: str) -> None:
+    if not 0 <= value < TRACE_REG_LIMIT:
+        raise ValueError(f"{field}={value} outside 6-bit trace register space")
+
+
+def _check_common_fields(record: "TraceRecord") -> None:
+    """Shared field validation (zero-arg ``super()`` is unavailable in
+    ``slots=True`` dataclasses, so subclasses call this explicitly)."""
+    _check_trace_reg(record.dest, "dest")
+    _check_trace_reg(record.src1, "src1")
+    _check_trace_reg(record.src2, "src2")
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """Fields common to all three record formats.
+
+    Attributes
+    ----------
+    tag:
+        The mis-speculation Tag bit.  ``True`` marks a wrong-path
+        instruction injected after a mispredicted branch; such records
+        are fetched by ReSim until the branch resolves at Commit and
+        any remainder is discarded.
+    fu:
+        Functional-unit class; determines issue resources and latency.
+    dest, src1, src2:
+        Trace-namespace register numbers (0 = none).
+    """
+
+    tag: bool = False
+    fu: FuClass = FuClass.ALU
+    dest: int = TRACE_REG_NONE
+    src1: int = TRACE_REG_NONE
+    src2: int = TRACE_REG_NONE
+
+    def __post_init__(self) -> None:
+        _check_common_fields(self)
+
+    @property
+    def kind(self) -> RecordKind:
+        return RecordKind.OTHER
+
+    @property
+    def is_wrong_path(self) -> bool:
+        """Alias for the Tag bit with the paper's meaning spelled out."""
+        return self.tag
+
+    def dest_registers(self) -> tuple[int, ...]:
+        """Destination registers, including the implicit HI/LO pair."""
+        if self.fu in (FuClass.MUL, FuClass.DIV):
+            return (TRACE_REG_HI, TRACE_REG_LO)
+        if self.dest == TRACE_REG_NONE:
+            return ()
+        return (self.dest,)
+
+    def src_registers(self) -> tuple[int, ...]:
+        """Source registers actually carried by the record."""
+        return tuple(r for r in (self.src1, self.src2) if r != TRACE_REG_NONE)
+
+
+@dataclass(frozen=True, slots=True)
+class OtherRecord(TraceRecord):
+    """Format O: any instruction that is neither memory nor control flow."""
+
+    @property
+    def kind(self) -> RecordKind:
+        return RecordKind.OTHER
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryRecord(TraceRecord):
+    """Format M: loads and stores.
+
+    ``address`` is the 32-bit effective virtual address; ``size_log2``
+    encodes the access size (0→1 B, 1→2 B, 2→4 B, 3→8 B) in two bits.
+    """
+
+    is_store: bool = False
+    address: int = 0
+    size_log2: int = 2
+
+    def __post_init__(self) -> None:
+        _check_common_fields(self)
+        if not 0 <= self.address < (1 << 32):
+            raise ValueError(f"address {self.address:#x} not a 32-bit value")
+        if not 0 <= self.size_log2 <= 3:
+            raise ValueError(f"size_log2 {self.size_log2} out of range")
+        expected = FuClass.STORE if self.is_store else FuClass.LOAD
+        if self.fu is not expected:
+            raise ValueError(
+                f"memory record fu={self.fu} inconsistent with is_store={self.is_store}"
+            )
+
+    @property
+    def kind(self) -> RecordKind:
+        return RecordKind.MEMORY
+
+    @property
+    def size_bytes(self) -> int:
+        return 1 << self.size_log2
+
+
+@dataclass(frozen=True, slots=True)
+class BranchRecord(TraceRecord):
+    """Format B: all control-flow instructions.
+
+    ``taken`` and ``target`` describe the *actual* outcome on the traced
+    path; ReSim compares them against its own branch predictor state to
+    detect mispredictions and misfetches.  For wrong-path (tagged)
+    branch records the outcome fields hold the static fall-through
+    information and are never used for redirection.
+    """
+
+    branch_kind: BranchKind = BranchKind.COND
+    taken: bool = False
+    target: int = 0
+
+    def __post_init__(self) -> None:
+        _check_common_fields(self)
+        if self.fu is not FuClass.BRANCH:
+            raise ValueError("branch record must have fu=BRANCH")
+        if self.branch_kind is BranchKind.NONE:
+            raise ValueError("branch record needs a concrete branch kind")
+        if not 0 <= self.target < (1 << 32):
+            raise ValueError(f"target {self.target:#x} not a 32-bit value")
+
+    @property
+    def kind(self) -> RecordKind:
+        return RecordKind.BRANCH
+
+    @property
+    def is_unconditional(self) -> bool:
+        """Jumps, calls and returns are always taken."""
+        return self.branch_kind is not BranchKind.COND

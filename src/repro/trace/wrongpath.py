@@ -1,0 +1,62 @@
+"""Wrong-path block sizing and validation.
+
+Mis-speculation handling (paper, Section V.A): after every branch the
+trace-generation predictor mispredicts, the generator inserts a *wrong
+path block* of Tag-bit-marked instructions — the instructions the
+simulated front end would fetch down the wrong path.  ReSim fetches
+from the block until the branch resolves at Commit; tagged records not
+yet fetched by then are discarded.
+
+The paper gives the conservative block size bound: *"equal to Reorder
+Buffer size plus IFQ size"* — the wrong path can never have more
+in-flight instructions than the machine can hold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.trace.record import TraceRecord
+
+
+def conservative_block_size(rob_entries: int, ifq_entries: int) -> int:
+    """The paper's conservative wrong-path block size: ROB + IFQ entries.
+
+    A mis-speculated instruction must occupy either an IFQ slot or a
+    reorder-buffer slot to affect timing, so a block longer than the sum
+    could never be consumed before the branch resolves.
+    """
+    if rob_entries <= 0 or ifq_entries <= 0:
+        raise ValueError("structure sizes must be positive")
+    return rob_entries + ifq_entries
+
+
+def validate_block(block: Sequence[TraceRecord], max_size: int) -> None:
+    """Check a wrong-path block invariant set.
+
+    Every record must carry the Tag bit, and the block must respect the
+    conservative size bound.  Raises ``ValueError`` on violation; used
+    by generators as a self-check and by tests as an oracle.
+    """
+    if len(block) > max_size:
+        raise ValueError(
+            f"wrong-path block of {len(block)} exceeds bound {max_size}"
+        )
+    for index, record in enumerate(block):
+        if not record.tag:
+            raise ValueError(f"untagged record at block offset {index}")
+
+
+def count_blocks(records: Iterable[TraceRecord]) -> int:
+    """Number of maximal tagged runs in a record stream.
+
+    Each run corresponds to one mispredicted branch in the generated
+    trace, so this equals the generation-time misprediction count.
+    """
+    blocks = 0
+    in_block = False
+    for record in records:
+        if record.tag and not in_block:
+            blocks += 1
+        in_block = record.tag
+    return blocks

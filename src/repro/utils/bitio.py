@@ -1,0 +1,146 @@
+"""Bit-granular I/O primitives.
+
+ReSim's input trace is a *bit-packed* stream of variable-length records
+(Branch, Memory, Other — see Section V.A of the paper).  Table 3 reports
+the average number of trace bits per instruction (41-47 depending on the
+benchmark), so the reproduction must measure encoded sizes at bit
+granularity rather than rounding every record to a byte boundary.
+
+The writer accumulates bits most-significant-first within each byte,
+which matches how a hardware deserializer would shift them in.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates values bit-by-bit into a growing byte buffer.
+
+    Bits are packed MSB-first.  ``write(value, width)`` appends the
+    ``width`` low-order bits of ``value``.
+
+    Example
+    -------
+    >>> w = BitWriter()
+    >>> w.write(0b101, 3)
+    >>> w.write(0b1, 1)
+    >>> w.bit_length
+    4
+    >>> bytes(w.getvalue())[0] == 0b10110000
+    True
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._bitpos = 0  # number of bits already written
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return self._bitpos
+
+    @property
+    def byte_length(self) -> int:
+        """Number of bytes needed to hold the written bits."""
+        return (self._bitpos + 7) // 8
+
+    def write(self, value: int, width: int) -> None:
+        """Append the ``width`` low-order bits of ``value``.
+
+        Raises
+        ------
+        ValueError
+            If ``width`` is negative or ``value`` does not fit in
+            ``width`` bits (callers must mask explicitly; silently
+            truncating trace fields would corrupt the stream).
+        """
+        if width < 0:
+            raise ValueError(f"negative bit width: {width}")
+        if value < 0:
+            raise ValueError(f"negative value not encodable: {value}")
+        if value >> width:
+            raise ValueError(f"value {value:#x} does not fit in {width} bits")
+        # Write bits MSB-first.
+        for shift in range(width - 1, -1, -1):
+            bit = (value >> shift) & 1
+            byte_index, bit_index = divmod(self._bitpos, 8)
+            if byte_index == len(self._buffer):
+                self._buffer.append(0)
+            if bit:
+                self._buffer[byte_index] |= 0x80 >> bit_index
+            self._bitpos += 1
+
+    def write_bool(self, flag: bool) -> None:
+        """Append a single bit."""
+        self.write(1 if flag else 0, 1)
+
+    def getvalue(self) -> bytes:
+        """Return the packed bytes (final partial byte zero-padded)."""
+        return bytes(self._buffer)
+
+    def clear(self) -> None:
+        """Reset the writer to empty."""
+        self._buffer.clear()
+        self._bitpos = 0
+
+
+class BitReader:
+    """Reads values bit-by-bit from a byte buffer produced by BitWriter.
+
+    Example
+    -------
+    >>> w = BitWriter()
+    >>> w.write(42, 13)
+    >>> r = BitReader(w.getvalue())
+    >>> r.read(13)
+    42
+    """
+
+    def __init__(self, data: bytes, bit_length: int | None = None) -> None:
+        self._data = data
+        self._bitpos = 0
+        self._bit_length = 8 * len(data) if bit_length is None else bit_length
+        if self._bit_length > 8 * len(data):
+            raise ValueError("bit_length exceeds buffer size")
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of bits left to read."""
+        return self._bit_length - self._bitpos
+
+    @property
+    def bit_position(self) -> int:
+        """Current read offset in bits from the start of the buffer."""
+        return self._bitpos
+
+    def read(self, width: int) -> int:
+        """Read ``width`` bits and return them as an unsigned integer.
+
+        Raises
+        ------
+        EOFError
+            If fewer than ``width`` bits remain.
+        """
+        if width < 0:
+            raise ValueError(f"negative bit width: {width}")
+        if width > self.bits_remaining:
+            raise EOFError(
+                f"requested {width} bits, only {self.bits_remaining} remain"
+            )
+        value = 0
+        for _ in range(width):
+            byte_index, bit_index = divmod(self._bitpos, 8)
+            bit = (self._data[byte_index] >> (7 - bit_index)) & 1
+            value = (value << 1) | bit
+            self._bitpos += 1
+        return value
+
+    def read_bool(self) -> bool:
+        """Read a single bit as a boolean."""
+        return self.read(1) == 1
+
+    def seek_bit(self, position: int) -> None:
+        """Move the read cursor to an absolute bit offset."""
+        if not 0 <= position <= self._bit_length:
+            raise ValueError(f"bit position {position} out of range")
+        self._bitpos = position

@@ -1,0 +1,152 @@
+"""Fixed-capacity circular queues modelling hardware FIFO structures.
+
+Several of ReSim's simulated structures are hardware FIFOs with a fixed
+number of entries: the Instruction Fetch Queue (IFQ), the decouple
+buffer between Fetch and Dispatch, the Reorder Buffer, and the
+Load/Store Queue.  A Python ``collections.deque`` with ``maxlen`` would
+silently drop elements on overflow, which is exactly the wrong behaviour
+for a hardware model — fullness must *stall* the producer stage instead.
+
+:class:`CircularQueue` therefore raises on overflow/underflow and exposes
+occupancy so the statistics unit can sample it (the paper collects IFQ /
+Reorder Buffer / LSQ occupancy statistics, Section V.B).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class QueueFullError(RuntimeError):
+    """Raised when pushing to a full queue (the producer must stall)."""
+
+
+class QueueEmptyError(RuntimeError):
+    """Raised when popping from an empty queue."""
+
+
+class CircularQueue(Generic[T]):
+    """A bounded FIFO with hardware-like semantics.
+
+    Entries are held in a fixed ring buffer; ``push`` appends at the
+    tail, ``pop`` removes from the head, and iteration yields entries
+    oldest-first (the order Writeback and Commit scan the Reorder
+    Buffer).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; must be positive.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._slots: list[T | None] = [None] * capacity
+        self._head = 0
+        self._count = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        """True when no more entries can be pushed."""
+        return self._count == self._capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no entries are held."""
+        return self._count == 0
+
+    @property
+    def free_slots(self) -> int:
+        """Number of entries that can still be pushed."""
+        return self._capacity - self._count
+
+    def push(self, item: T) -> None:
+        """Append ``item`` at the tail.
+
+        Raises
+        ------
+        QueueFullError
+            If the queue is full; hardware would stall the producer.
+        """
+        if self.is_full:
+            raise QueueFullError(
+                f"queue full ({self._capacity} entries); producer must stall"
+            )
+        tail = (self._head + self._count) % self._capacity
+        self._slots[tail] = item
+        self._count += 1
+
+    def pop(self) -> T:
+        """Remove and return the oldest entry.
+
+        Raises
+        ------
+        QueueEmptyError
+            If the queue is empty.
+        """
+        if self.is_empty:
+            raise QueueEmptyError("pop from empty queue")
+        item = self._slots[self._head]
+        self._slots[self._head] = None
+        self._head = (self._head + 1) % self._capacity
+        self._count -= 1
+        assert item is not None
+        return item
+
+    def peek(self, index: int = 0) -> T:
+        """Return the entry ``index`` positions from the head, not removing it."""
+        if index < 0 or index >= self._count:
+            raise IndexError(f"peek index {index} out of range (len={self._count})")
+        item = self._slots[(self._head + index) % self._capacity]
+        assert item is not None
+        return item
+
+    def __iter__(self) -> Iterator[T]:
+        """Yield entries oldest-first."""
+        for offset in range(self._count):
+            item = self._slots[(self._head + offset) % self._capacity]
+            assert item is not None
+            yield item
+
+    def clear(self) -> None:
+        """Drop all entries (used on pipeline flush)."""
+        self._slots = [None] * self._capacity
+        self._head = 0
+        self._count = 0
+
+    def remove_from_tail(self, count: int) -> list[T]:
+        """Remove and return the ``count`` youngest entries, youngest first.
+
+        Used for mis-speculation recovery: squashing wrong-path entries
+        removes them from the *tail* of the Reorder Buffer / LSQ while
+        older (correct-path) entries stay put.
+        """
+        if count < 0 or count > self._count:
+            raise ValueError(f"cannot remove {count} of {self._count} entries")
+        removed: list[T] = []
+        for _ in range(count):
+            tail = (self._head + self._count - 1) % self._capacity
+            item = self._slots[tail]
+            self._slots[tail] = None
+            self._count -= 1
+            assert item is not None
+            removed.append(item)
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"CircularQueue(capacity={self._capacity}, len={self._count}, "
+            f"head={self._head})"
+        )

@@ -1,0 +1,110 @@
+"""Deterministic pseudo-random number generation for workload synthesis.
+
+The synthetic SPECINT workload generator (see :mod:`repro.workloads`)
+must be *bit-for-bit reproducible across platforms and Python versions*:
+the benchmark tables in EXPERIMENTS.md are regenerated from seeds, so a
+drifting PRNG would silently change every number.  We therefore ship a
+small xorshift64* generator instead of relying on :mod:`random`
+(whose Mersenne Twister is stable, but whose convenience-method call
+sequences have changed across CPython releases).
+
+Only the handful of distributions the generator needs are provided.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+class XorShiftRNG:
+    """xorshift64* PRNG (Vigna 2016 variant) with convenience samplers.
+
+    Parameters
+    ----------
+    seed:
+        Any integer; mapped to a non-zero 64-bit internal state via
+        SplitMix64 so that nearby seeds give uncorrelated streams.
+    """
+
+    def __init__(self, seed: int = 1) -> None:
+        # SplitMix64 scramble of the seed gives a well-mixed non-zero state.
+        state = (seed + 0x9E3779B97F4A7C15) & _MASK64
+        state = ((state ^ (state >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        state = ((state ^ (state >> 27)) * 0x94D049BB133111EB) & _MASK64
+        state ^= state >> 31
+        self._state = state if state != 0 else 0x9E3779B97F4A7C15
+
+    def next_u64(self) -> int:
+        """Return the next raw 64-bit output."""
+        x = self._state
+        x ^= (x >> 12)
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27)
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def random(self) -> float:
+        """Uniform float in [0, 1) with 53 bits of precision."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        # Rejection sampling to avoid modulo bias.
+        limit = (_MASK64 + 1) - ((_MASK64 + 1) % span)
+        while True:
+            draw = self.next_u64()
+            if draw < limit:
+                return low + (draw % span)
+
+    def chance(self, probability: float) -> bool:
+        """Bernoulli trial: True with the given probability."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self.random() < probability
+
+    def geometric(self, mean: float) -> int:
+        """Geometric sample with the given mean, support {1, 2, ...}.
+
+        Used for dependency distances and basic-block lengths: a
+        geometric distribution matches the empirically short-tailed
+        distances seen in integer codes.
+        """
+        if mean <= 1.0:
+            return 1
+        success = 1.0 / mean
+        count = 1
+        while not self.chance(success):
+            count += 1
+            if count >= 64 * mean:  # guard against pathological tails
+                break
+        return count
+
+    def choose_weighted(self, weights: dict[str, float]) -> str:
+        """Pick a key with probability proportional to its weight."""
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        draw = self.random() * total
+        acc = 0.0
+        last_key = None
+        for key, weight in weights.items():
+            acc += weight
+            last_key = key
+            if draw < acc:
+                return key
+        assert last_key is not None  # floating point edge: return last
+        return last_key
+
+    def fork(self, stream_id: int) -> "XorShiftRNG":
+        """Derive an independent generator for a sub-stream.
+
+        The workload generator forks one stream per concern (mix,
+        branch outcomes, addresses) so that adding instructions of one
+        kind does not perturb the sequence of another.
+        """
+        return XorShiftRNG(self.next_u64() ^ (stream_id * 0xA0761D6478BD642F))

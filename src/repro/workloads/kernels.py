@@ -1,0 +1,348 @@
+"""Real assembly kernels for the PISA-like ISA.
+
+These small programs are assembled by :mod:`repro.isa.assembler` and
+executed by the *real* functional simulator, producing genuine traces
+(with genuine wrong paths) through :class:`repro.functional.SimBpred`.
+They complement the synthetic SPEC profiles: synthetic streams drive
+the headline tables, kernels anchor correctness (an end-to-end path
+from source text to timing results with no statistical modelling in
+between).
+
+Each kernel exercises a different microarchitectural corner:
+
+* ``vecsum``      — streaming loads, tight predictable loop;
+* ``bubble_sort`` — data-dependent branches, swap stores;
+* ``fibonacci``   — deep recursion, RAS behaviour;
+* ``strsearch``   — byte loads, nested loops with early exit;
+* ``checksum``    — multiply/accumulate, long-latency FU usage;
+* ``listwalk``    — pointer chasing, load-to-load dependences;
+* ``matmul``      — nested loops, multiplies, 2-D locality.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+_VECSUM = """
+# Sum a 64-element word array.
+.data
+array:  .space 256
+.text
+main:
+    la   $s0, array
+    li   $t0, 64          # element count
+    li   $t1, 0           # index
+    li   $s1, 0           # accumulator
+fill:                     # initialize array[i] = i
+    sll  $t2, $t1, 2
+    add  $t3, $s0, $t2
+    sw   $t1, 0($t3)
+    addi $t1, $t1, 1
+    blt  $t1, $t0, fill
+    li   $t1, 0
+sum:
+    sll  $t2, $t1, 2
+    add  $t3, $s0, $t2
+    lw   $t4, 0($t3)
+    add  $s1, $s1, $t4
+    addi $t1, $t1, 1
+    blt  $t1, $t0, sum
+    move $a0, $s1
+    li   $v0, 1           # print result
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+_BUBBLE_SORT = """
+# Bubble-sort a 32-element array of pseudo-random words.
+.data
+array:  .space 128
+.text
+main:
+    la   $s0, array
+    li   $t0, 32
+    li   $t1, 0
+    li   $t5, 12345       # LCG state
+fill:
+    li   $t6, 1103515245
+    mult $t5, $t6
+    mflo $t5
+    addi $t5, $t5, 12345
+    andi $t7, $t5, 0xFFFF
+    sll  $t2, $t1, 2
+    add  $t3, $s0, $t2
+    sw   $t7, 0($t3)
+    addi $t1, $t1, 1
+    blt  $t1, $t0, fill
+
+    li   $s1, 0           # i
+outer:
+    addi $t4, $t0, -1
+    sub  $t4, $t4, $s1    # limit = n-1-i
+    li   $s2, 0           # j
+inner:
+    sll  $t2, $s2, 2
+    add  $t3, $s0, $t2
+    lw   $t6, 0($t3)
+    lw   $t7, 4($t3)
+    ble  $t6, $t7, noswap
+    sw   $t7, 0($t3)
+    sw   $t6, 4($t3)
+noswap:
+    addi $s2, $s2, 1
+    blt  $s2, $t4, inner
+    addi $s1, $s1, 1
+    addi $t8, $t0, -1
+    blt  $s1, $t8, outer
+
+    lw   $a0, 0($s0)      # print smallest element
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+_FIBONACCI = """
+# Naive recursive fib(12): deep call tree for the RAS.
+.text
+main:
+    li   $a0, 12
+    jal  fib
+    move $a0, $v0
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+fib:
+    slti $t0, $a0, 2
+    beqz $t0, recurse
+    move $v0, $a0         # fib(0)=0, fib(1)=1
+    jr   $ra
+recurse:
+    addi $sp, $sp, -12
+    sw   $ra, 0($sp)
+    sw   $a0, 4($sp)
+    addi $a0, $a0, -1
+    jal  fib
+    sw   $v0, 8($sp)
+    lw   $a0, 4($sp)
+    addi $a0, $a0, -2
+    jal  fib
+    lw   $t1, 8($sp)
+    add  $v0, $v0, $t1
+    lw   $ra, 0($sp)
+    addi $sp, $sp, 12
+    jr   $ra
+"""
+
+_STRSEARCH = """
+# Count occurrences of a 3-byte needle in a 96-byte haystack.
+.data
+haystack: .asciiz "the quick brown fox jumps over the lazy dog while the cat naps under the warm afternoon sun"
+needle:   .asciiz "the"
+.text
+main:
+    la   $s0, haystack
+    la   $s1, needle
+    li   $s2, 0           # match count
+    li   $t0, 0           # haystack index
+scan:
+    add  $t1, $s0, $t0
+    lbu  $t2, 0($t1)
+    beqz $t2, done        # end of haystack
+    li   $t3, 0           # needle index
+compare:
+    add  $t4, $s1, $t3
+    lbu  $t5, 0($t4)
+    beqz $t5, match       # end of needle: match found
+    add  $t6, $s0, $t0
+    add  $t6, $t6, $t3
+    lbu  $t7, 0($t6)
+    bne  $t5, $t7, nomatch
+    addi $t3, $t3, 1
+    b    compare
+match:
+    addi $s2, $s2, 1
+nomatch:
+    addi $t0, $t0, 1
+    b    scan
+done:
+    move $a0, $s2
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+_CHECKSUM = """
+# Multiply-accumulate checksum over 48 words (exercises MUL/DIV units).
+.data
+buffer: .space 192
+.text
+main:
+    la   $s0, buffer
+    li   $t0, 48
+    li   $t1, 0
+    li   $t5, 7919        # seed / prime
+fill:
+    sll  $t2, $t1, 2
+    add  $t3, $s0, $t2
+    mul  $t6, $t1, $t5
+    sw   $t6, 0($t3)
+    addi $t1, $t1, 1
+    blt  $t1, $t0, fill
+
+    li   $t1, 0
+    li   $s1, 1           # checksum
+accumulate:
+    sll  $t2, $t1, 2
+    add  $t3, $s0, $t2
+    lw   $t4, 0($t3)
+    mul  $s1, $s1, $t4
+    addi $s1, $s1, 17
+    addi $t1, $t1, 1
+    blt  $t1, $t0, accumulate
+
+    li   $t7, 65521       # mod a prime-ish value via div
+    divu $s1, $t7
+    mfhi $a0
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+_LISTWALK = """
+# Build a 40-node linked list, then traverse it 8 times
+# (load-to-load dependence chains; poor ILP by construction).
+.data
+nodes:  .space 320        # 40 nodes x (value, next)
+.text
+main:
+    la   $s0, nodes
+    li   $t0, 40
+    li   $t1, 0
+build:
+    sll  $t2, $t1, 3      # node i at nodes + 8i
+    add  $t3, $s0, $t2
+    sw   $t1, 0($t3)      # value = i
+    addi $t4, $t2, 8
+    add  $t5, $s0, $t4
+    sw   $t5, 4($t3)      # next = &node[i+1]
+    addi $t1, $t1, 1
+    blt  $t1, $t0, build
+    # terminate the list
+    addi $t1, $t0, -1
+    sll  $t2, $t1, 3
+    add  $t3, $s0, $t2
+    sw   $zero, 4($t3)
+
+    li   $s3, 8           # traversal passes
+    li   $s1, 0           # sum
+pass:
+    move $t6, $s0         # cursor
+walk:
+    lw   $t7, 0($t6)      # value
+    add  $s1, $s1, $t7
+    lw   $t6, 4($t6)      # next (load-to-load)
+    bnez $t6, walk
+    addi $s3, $s3, -1
+    bnez $s3, pass
+
+    move $a0, $s1
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+_MATMUL = """
+# 8x8 integer matrix multiply: C = A * B.
+.data
+mat_a:  .space 256
+mat_b:  .space 256
+mat_c:  .space 256
+.text
+main:
+    la   $s0, mat_a
+    la   $s1, mat_b
+    la   $s2, mat_c
+    li   $t0, 64
+    li   $t1, 0
+fill:                     # A[i] = i, B[i] = i ^ 21
+    sll  $t2, $t1, 2
+    add  $t3, $s0, $t2
+    sw   $t1, 0($t3)
+    xori $t4, $t1, 21
+    add  $t3, $s1, $t2
+    sw   $t4, 0($t3)
+    addi $t1, $t1, 1
+    blt  $t1, $t0, fill
+
+    li   $s3, 0           # i
+iloop:
+    li   $s4, 0           # j
+jloop:
+    li   $s5, 0           # k
+    li   $s6, 0           # acc
+kloop:
+    sll  $t2, $s3, 3      # i*8
+    add  $t2, $t2, $s5    # i*8 + k
+    sll  $t2, $t2, 2
+    add  $t3, $s0, $t2
+    lw   $t4, 0($t3)      # A[i][k]
+    sll  $t5, $s5, 3      # k*8
+    add  $t5, $t5, $s4    # k*8 + j
+    sll  $t5, $t5, 2
+    add  $t6, $s1, $t5
+    lw   $t7, 0($t6)      # B[k][j]
+    mul  $t8, $t4, $t7
+    add  $s6, $s6, $t8
+    addi $s5, $s5, 1
+    slti $t9, $s5, 8
+    bnez $t9, kloop
+    sll  $t2, $s3, 3
+    add  $t2, $t2, $s4
+    sll  $t2, $t2, 2
+    add  $t3, $s2, $t2
+    sw   $s6, 0($t3)      # C[i][j]
+    addi $s4, $s4, 1
+    slti $t9, $s4, 8
+    bnez $t9, jloop
+    addi $s3, $s3, 1
+    slti $t9, $s3, 8
+    bnez $t9, iloop
+
+    lw   $a0, 0($s2)      # print C[0][0]
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+#: All bundled kernels, name → assembly source.
+KERNELS: dict[str, str] = {
+    "vecsum": _VECSUM,
+    "bubble_sort": _BUBBLE_SORT,
+    "fibonacci": _FIBONACCI,
+    "strsearch": _STRSEARCH,
+    "checksum": _CHECKSUM,
+    "listwalk": _LISTWALK,
+    "matmul": _MATMUL,
+}
+
+
+def kernel_source(name: str) -> str:
+    """Assembly source text of a bundled kernel."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise KeyError(f"unknown kernel {name!r}; known: {known}") from None
+
+
+def kernel_program(name: str) -> Program:
+    """Assemble a bundled kernel into a runnable program image."""
+    return assemble(kernel_source(name))

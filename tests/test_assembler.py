@@ -1,0 +1,275 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import AssemblyError, Opcode, assemble
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+class TestBasics:
+    def test_empty_source(self):
+        program = assemble("")
+        assert len(program) == 0
+        assert program.entry == TEXT_BASE
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+        # a comment
+        .text
+        nop   # trailing comment
+        """)
+        assert len(program) == 1
+
+    def test_entry_is_main(self):
+        program = assemble("""
+        .text
+        helper: nop
+        main:   nop
+        """)
+        assert program.entry == TEXT_BASE + INSTRUCTION_BYTES
+
+    def test_r_format(self):
+        program = assemble("add $t0, $t1, $t2")
+        instr = program.instructions[0]
+        assert instr.op is Opcode.ADD
+        assert (instr.rd, instr.rs, instr.rt) == (8, 9, 10)
+
+    def test_i_format(self):
+        instr = assemble("addi $t0, $t1, -5").instructions[0]
+        assert instr.op is Opcode.ADDI
+        assert instr.imm == -5
+
+    def test_memory_operand(self):
+        instr = assemble("lw $t0, 12($sp)").instructions[0]
+        assert (instr.rt, instr.rs, instr.imm) == (8, 29, 12)
+
+    def test_memory_operand_negative_offset(self):
+        instr = assemble("sw $t0, -4($fp)").instructions[0]
+        assert instr.imm == -4
+
+    def test_memory_label_operand(self):
+        program = assemble("""
+        .data
+        var: .word 7
+        .text
+        main: lw $t0, var
+        """)
+        # Expands to lui $at, hi(var); lw $t0, lo(var)($at).
+        assert [i.op for i in program.instructions] == \
+            [Opcode.LUI, Opcode.LW]
+        assert program.instructions[0].imm == DATA_BASE >> 16
+        assert program.instructions[1].rs == 1
+
+    def test_shift_with_amount(self):
+        instr = assemble("sll $t0, $t1, 3").instructions[0]
+        assert (instr.rd, instr.rt, instr.imm) == (8, 9, 3)
+
+    def test_hex_and_char_immediates(self):
+        program = assemble("""
+        addi $t0, $zero, 0x1F
+        addi $t1, $zero, 'A'
+        """)
+        assert program.instructions[0].imm == 31
+        assert program.instructions[1].imm == 65
+
+
+class TestBranchesAndJumps:
+    def test_backward_branch_offset(self):
+        program = assemble("""
+        loop: nop
+              bne $t0, $zero, loop
+        """)
+        branch = program.instructions[1]
+        # Offset relative to the instruction after the branch.
+        assert branch.imm == -(2 * INSTRUCTION_BYTES)
+
+    def test_forward_branch_offset(self):
+        program = assemble("""
+        beq $t0, $zero, done
+        nop
+        done: nop
+        """)
+        assert program.instructions[0].imm == INSTRUCTION_BYTES
+
+    def test_jump_target_scaled(self):
+        program = assemble("""
+        main: j main
+        """)
+        assert program.instructions[0].imm == TEXT_BASE >> 3
+
+    def test_jal_and_jr(self):
+        program = assemble("""
+        main: jal func
+              jr $ra
+        func: jr $ra
+        """)
+        assert program.instructions[0].op is Opcode.JAL
+        assert program.instructions[1].op is Opcode.JR
+
+
+class TestPseudoInstructions:
+    def test_li_small(self):
+        program = assemble("li $t0, 100")
+        assert len(program) == 1
+        assert program.instructions[0].op is Opcode.ADDIU
+
+    def test_li_negative(self):
+        program = assemble("li $t0, -3")
+        assert len(program) == 1
+        assert program.instructions[0].imm == -3
+
+    def test_li_large_expands(self):
+        program = assemble("li $t0, 0x12345678")
+        assert [i.op for i in program.instructions] == \
+            [Opcode.LUI, Opcode.ORI]
+        assert program.instructions[0].imm == 0x1234
+        assert program.instructions[1].imm == 0x5678
+
+    def test_la_expands_to_lui_ori(self):
+        program = assemble("""
+        .data
+        buffer: .space 4
+        .text
+        main: la $t0, buffer
+        """)
+        assert [i.op for i in program.instructions] == \
+            [Opcode.LUI, Opcode.ORI]
+
+    def test_move(self):
+        instr = assemble("move $t0, $t1").instructions[0]
+        assert instr.op is Opcode.ADDU
+        assert instr.rt == 0
+
+    def test_blt_uses_at(self):
+        program = assemble("""
+        main: blt $t0, $t1, main
+        """)
+        assert [i.op for i in program.instructions] == \
+            [Opcode.SLT, Opcode.BNE]
+        assert program.instructions[0].rd == 1  # $at scratch
+
+    def test_bge_branches_on_clear(self):
+        program = assemble("""
+        main: bge $t0, $t1, main
+        """)
+        assert program.instructions[1].op is Opcode.BEQ
+
+    def test_label_math_spans_pseudo_expansion(self):
+        """Branch offsets must account for multi-instruction pseudos."""
+        program = assemble("""
+        main: li $t0, 0x12345678
+        next: beq $zero, $zero, next
+        """)
+        branch = program.instructions[2]
+        assert branch.imm == -INSTRUCTION_BYTES
+
+    def test_mul_pseudo(self):
+        program = assemble("mul $t0, $t1, $t2")
+        assert [i.op for i in program.instructions] == \
+            [Opcode.MULT, Opcode.MFLO]
+
+
+class TestDataDirectives:
+    def test_word_little_endian(self):
+        program = assemble("""
+        .data
+        value: .word 0x11223344
+        """)
+        assert bytes(program.data[:4]) == bytes([0x44, 0x33, 0x22, 0x11])
+
+    def test_word_list(self):
+        program = assemble("""
+        .data
+        table: .word 1, 2, 3
+        """)
+        assert len(program.data) == 12
+
+    def test_space_and_align(self):
+        program = assemble("""
+        .data
+        pad: .byte 1
+        .align 2
+        word: .word 5
+        """)
+        assert program.symbols["word"] == DATA_BASE + 4
+
+    def test_asciiz(self):
+        program = assemble("""
+        .data
+        msg: .asciiz "hi"
+        """)
+        assert bytes(program.data) == b"hi\x00"
+
+    def test_asciiz_escapes(self):
+        program = assemble(r"""
+        .data
+        msg: .asciiz "a\n"
+        """)
+        assert bytes(program.data) == b"a\n\x00"
+
+    def test_word_of_label(self):
+        program = assemble("""
+        .data
+        a: .word 1
+        b: .word a
+        """)
+        assert int.from_bytes(program.data[4:8], "little") == DATA_BASE
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate $t0")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("j nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("x: nop\nx: nop")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expected 3"):
+            assemble("add $t0, $t1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("add $t0, $bogus, $t1")
+
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AssemblyError, match="outside .text"):
+            assemble(".data\nadd $t0, $t1, $t2")
+
+    def test_error_reports_line_number(self):
+        try:
+            assemble("nop\nnop\nbad $t0")
+        except AssemblyError as error:
+            assert error.line_number == 3
+        else:
+            raise AssertionError("expected AssemblyError")
+
+
+class TestProgramContainer:
+    def test_instruction_lookup(self):
+        program = assemble("nop\nnop")
+        assert program.has_instruction(TEXT_BASE)
+        assert program.has_instruction(TEXT_BASE + 8)
+        assert not program.has_instruction(TEXT_BASE + 16)
+        assert not program.has_instruction(TEXT_BASE + 4)  # misaligned
+
+    def test_instruction_at_raises_outside(self):
+        program = assemble("nop")
+        with pytest.raises(IndexError):
+            program.instruction_at(TEXT_BASE - 8)
+
+    def test_disassemble_roundtrip_labels(self):
+        program = assemble("""
+        main: addi $t0, $zero, 1
+        loop: addi $t0, $t0, -1
+              bnez $t0, loop
+        """)
+        text = program.disassemble()
+        assert "main:" in text
+        assert "loop:" in text

@@ -1,0 +1,79 @@
+"""Unit tests for the dataflow-scheduling baseline simulator."""
+
+import pytest
+
+from repro.baseline import OutOrderBaseline
+from repro.bpred.unit import PERFECT_PREDICTOR
+from repro.core.config import ProcessorConfig
+from repro.isa.opcodes import BranchKind, FuClass
+from repro.trace.record import BranchRecord, MemoryRecord, OtherRecord
+
+CONFIG = ProcessorConfig(predictor=PERFECT_PREDICTOR)
+
+
+def alu(dest=1, src1=0):
+    return OtherRecord(fu=FuClass.ALU, dest=dest, src1=src1)
+
+
+class TestBaselineBasics:
+    def test_empty_trace(self):
+        result = OutOrderBaseline(CONFIG).run([])
+        assert result.cycles == 0
+        assert result.ipc == 0.0
+
+    def test_counts_instructions(self):
+        result = OutOrderBaseline(CONFIG).run([alu()] * 10)
+        assert result.instructions == 10
+
+    def test_wrong_path_not_counted(self):
+        trace = [alu(), OtherRecord(tag=True), alu()]
+        result = OutOrderBaseline(CONFIG).run(trace)
+        assert result.instructions == 2
+
+    def test_dependence_chain_serializes(self):
+        independent = [alu(dest=r) for r in range(1, 9)]
+        chain = [alu(dest=1)] + [alu(dest=r, src1=r - 1)
+                                 for r in range(2, 9)]
+        base = OutOrderBaseline(CONFIG)
+        assert base.run(chain).cycles > base.run(independent).cycles
+
+    def test_divider_hazard(self):
+        divide = OtherRecord(fu=FuClass.DIV, src1=1, src2=2)
+        one = OutOrderBaseline(CONFIG).run([divide]).cycles
+        two = OutOrderBaseline(CONFIG).run([divide, divide]).cycles
+        assert two >= one + 9
+
+    def test_width_scales_throughput(self):
+        trace = [alu(dest=(i % 30) + 1) for i in range(200)]
+        narrow = OutOrderBaseline(CONFIG.with_width(1)).run(trace)
+        wide = OutOrderBaseline(CONFIG.with_width(4)).run(trace)
+        assert wide.ipc > 2 * narrow.ipc
+        assert narrow.ipc <= 1.0 + 1e-9
+
+    def test_rob_window_limits_ilp(self):
+        import dataclasses
+        divide = OtherRecord(fu=FuClass.DIV, src1=1, src2=2)
+        trace = [divide] + [alu(dest=(i % 30) + 1) for i in range(64)]
+        small = dataclasses.replace(CONFIG, rob_entries=4)
+        assert (OutOrderBaseline(small).run(trace).cycles
+                > OutOrderBaseline(CONFIG).run(trace).cycles)
+
+    def test_mispredict_stalls_fetch(self):
+        taken = BranchRecord(fu=FuClass.BRANCH, branch_kind=BranchKind.COND,
+                             taken=True, target=0x400000)
+        clean = [taken] + [alu(dest=r) for r in range(1, 9)]
+        dirty = ([taken] + [OtherRecord(tag=True)] * 8
+                 + [alu(dest=r) for r in range(1, 9)])
+        base = OutOrderBaseline(CONFIG)
+        clean_result = base.run(clean)
+        dirty_result = OutOrderBaseline(CONFIG).run(dirty)
+        assert dirty_result.mispredictions == 1
+        assert dirty_result.cycles > clean_result.cycles
+
+    def test_dcache_misses_counted(self):
+        import dataclasses
+        cached = dataclasses.replace(CONFIG, perfect_memory=False)
+        loads = [MemoryRecord(fu=FuClass.LOAD, dest=1, address=0x1000),
+                 MemoryRecord(fu=FuClass.LOAD, dest=2, address=0x1000)]
+        result = OutOrderBaseline(cached).run(loads)
+        assert result.dcache_misses == 1

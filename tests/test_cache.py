@@ -1,0 +1,196 @@
+"""Tests for the tag-only cache models and the memory system façade."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache import (
+    Cache,
+    CacheConfig,
+    FifoPolicy,
+    LruPolicy,
+    MemorySystem,
+    PerfectMemory,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestCacheConfig:
+    def test_paper_default_geometry(self):
+        config = CacheConfig()
+        assert config.size_bytes == 32 * 1024
+        assert config.assoc == 8
+        assert config.block_bytes == 64
+        assert config.sets == 64
+
+    def test_tag_bits(self):
+        config = CacheConfig()
+        # 32 - 6 (offset) - 6 (index) = 20 tag bits
+        assert config.tag_bits == 20
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000)  # not multiple of block*assoc
+        with pytest.raises(ValueError):
+            CacheConfig(block_bytes=48)   # not a power of two
+        with pytest.raises(ValueError):
+            CacheConfig(hit_latency=0)
+
+    def test_describe(self):
+        assert "32KB" in CacheConfig().describe()
+
+
+class TestCacheBehaviour:
+    def _small_cache(self, assoc=2, policy="lru") -> Cache:
+        return Cache(CacheConfig(name="t", size_bytes=1024, block_bytes=64,
+                                 assoc=assoc, replacement=policy))
+
+    def test_cold_miss_then_hit(self):
+        cache = self._small_cache()
+        hit, __ = cache.access(0x1000)
+        assert not hit
+        hit, __ = cache.access(0x1000)
+        assert hit
+
+    def test_same_block_hits(self):
+        cache = self._small_cache()
+        cache.access(0x1000)
+        hit, __ = cache.access(0x103F)  # same 64-byte block
+        assert hit
+
+    def test_probe_has_no_side_effects(self):
+        cache = self._small_cache()
+        assert not cache.probe(0x1000)
+        assert cache.stats.accesses == 0
+        cache.access(0x1000)
+        assert cache.probe(0x1000)
+
+    def test_lru_eviction_order(self):
+        cache = self._small_cache(assoc=2)  # 8 sets
+        set_stride = 8 * 64  # same set
+        cache.access(0x0000)
+        cache.access(0x0000 + set_stride)
+        cache.access(0x0000)  # refresh first
+        cache.access(0x0000 + 2 * set_stride)  # evicts LRU (second)
+        assert cache.probe(0x0000)
+        assert not cache.probe(0x0000 + set_stride)
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = self._small_cache(assoc=1)  # direct mapped, 16 sets
+        set_stride = 16 * 64
+        cache.access(0x0000, is_write=True)
+        __, writeback = cache.access(0x0000 + set_stride)
+        assert writeback
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = self._small_cache(assoc=1)
+        set_stride = 16 * 64
+        cache.access(0x0000)
+        __, writeback = cache.access(0x0000 + set_stride)
+        assert not writeback
+
+    def test_write_hit_sets_dirty(self):
+        cache = self._small_cache(assoc=1)
+        set_stride = 16 * 64
+        cache.access(0x0000)               # clean fill
+        cache.access(0x0000, is_write=True)  # dirty on hit
+        __, writeback = cache.access(0x0000 + set_stride)
+        assert writeback
+
+    def test_flush_counts_dirty_lines(self):
+        cache = self._small_cache()
+        cache.access(0x0000, is_write=True)
+        cache.access(0x1000)
+        assert cache.flush() == 1
+        assert not cache.probe(0x0000)
+
+    def test_miss_rate(self):
+        cache = self._small_cache()
+        cache.access(0x0000)
+        cache.access(0x0000)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_working_set_within_capacity_all_hits(self):
+        cache = self._small_cache(assoc=2)
+        blocks = [i * 64 for i in range(16)]  # exactly capacity
+        for address in blocks:
+            cache.access(address)
+        for address in blocks:
+            hit, __ = cache.access(address)
+            assert hit
+
+
+class TestReplacementPolicies:
+    def test_factory_names(self):
+        assert isinstance(make_policy("lru", 4, 2), LruPolicy)
+        assert isinstance(make_policy("f", 4, 2), FifoPolicy)
+        assert isinstance(make_policy("random", 4, 2), RandomPolicy)
+        with pytest.raises(ValueError):
+            make_policy("mru", 4, 2)
+
+    def test_fifo_ignores_hits(self):
+        cache = Cache(CacheConfig(name="t", size_bytes=128, block_bytes=64,
+                                  assoc=2, replacement="fifo"))
+        cache.access(0x000)
+        cache.access(0x080)   # one set: both ways full
+        cache.access(0x000)   # hit; FIFO order unchanged
+        cache.access(0x100)   # evicts 0x000 (first in)
+        assert not cache.probe(0x000)
+        assert cache.probe(0x080)
+
+    def test_random_policy_deterministic_seed(self):
+        a = RandomPolicy(4, 4, seed=1)
+        b = RandomPolicy(4, 4, seed=1)
+        assert [a.victim(0, 4) for _ in range(16)] == \
+               [b.victim(0, 4) for _ in range(16)]
+
+
+class TestMemorySystem:
+    def test_perfect_memory_always_hits(self):
+        memory = PerfectMemory()
+        assert memory.ifetch(0x1234).hit
+        assert memory.dread(0x1234).latency == 1
+        assert memory.dwrite(0x1234).hit
+        assert memory.is_perfect
+
+    def test_miss_latency(self):
+        memory = MemorySystem(memory_latency=18)
+        first = memory.dread(0x4000)
+        second = memory.dread(0x4000)
+        assert not first.hit and first.latency == 19
+        assert second.hit and second.latency == 1
+
+    def test_split_caches_are_independent(self):
+        memory = MemorySystem()
+        memory.ifetch(0x4000)
+        assert not memory.dread(0x4000).hit  # D-side cold
+
+    def test_invalid_memory_latency(self):
+        with pytest.raises(ValueError):
+            MemorySystem(memory_latency=0)
+
+    def test_describe(self):
+        assert "memory 18 cycles" in MemorySystem().describe()
+
+
+@given(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=2**16 - 1),
+    st.booleans(),
+), max_size=300))
+def test_cache_invariants_property(accesses):
+    """Structural invariants hold under arbitrary access streams."""
+    cache = Cache(CacheConfig(name="p", size_bytes=2048, block_bytes=64,
+                              assoc=4))
+    for address, is_write in accesses:
+        cache.access(address, is_write)
+        # Immediately re-probing must hit: the block was just filled.
+        assert cache.probe(address)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses
+    assert stats.writebacks <= stats.evictions
+    resident = sum(
+        1 for ways in cache._sets for frame in ways if frame is not None
+    )
+    assert resident <= 2048 // 64
+    assert stats.misses >= resident  # every resident line was a miss once

@@ -1,0 +1,204 @@
+"""Tests for the engine's building blocks: in-flight ops, rename table,
+functional-unit pool, statistics registers, pipeline configs."""
+
+import pytest
+
+from repro.bpred.unit import PERFECT_PREDICTOR
+from repro.core.config import (
+    PAPER_2WIDE_CACHE,
+    PAPER_4WIDE_PERFECT,
+    ProcessorConfig,
+)
+from repro.core.fu import FunctionalUnitPool
+from repro.core.inflight import InFlightOp, OpState
+from repro.core.rename import RenameTable
+from repro.core.stats import Counter64, OccupancySampler, SimulationStatistics
+from repro.isa.opcodes import FuClass
+from repro.trace.record import MemoryRecord, OtherRecord
+
+
+def _op(seq=0, record=None, tag=False) -> InFlightOp:
+    record = record or OtherRecord(dest=5, src1=3, tag=tag)
+    return InFlightOp(seq=seq, record=record, pc=0x400000 + 8 * seq)
+
+
+class TestProcessorConfig:
+    def test_paper_defaults(self):
+        config = PAPER_4WIDE_PERFECT
+        assert config.width == 4
+        assert config.rob_entries == 16
+        assert config.lsq_entries == 8
+        assert (config.alu_count, config.mul_count, config.div_count) \
+            == (4, 1, 1)
+        assert (config.alu_latency, config.mul_latency, config.div_latency) \
+            == (1, 3, 10)
+        assert config.misfetch_penalty == 3
+        assert config.misspeculation_penalty == 3
+        assert config.perfect_memory
+
+    def test_fast_comparison_config(self):
+        config = PAPER_2WIDE_CACHE
+        assert config.width == 2
+        assert config.predictor is PERFECT_PREDICTOR
+        assert not config.perfect_memory
+        assert config.icache.size_bytes == 32 * 1024
+        assert config.icache.assoc == 8
+        assert config.icache.block_bytes == 64
+
+    def test_pipeline_selection_constraints(self):
+        # 4-wide with 3 memory ports: optimized (N+3) applies.
+        assert PAPER_4WIDE_PERFECT.supports_optimized_pipeline
+        # 2-wide with 2 memory ports: needs N+4.
+        assert not PAPER_2WIDE_CACHE.supports_optimized_pipeline
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(width=0)
+        with pytest.raises(ValueError):
+            ProcessorConfig(rob_entries=2, width=4)
+        with pytest.raises(ValueError):
+            ProcessorConfig(misfetch_penalty=-1)
+
+    def test_fu_latency_mapping(self):
+        config = PAPER_4WIDE_PERFECT
+        assert config.fu_latency(FuClass.ALU) == 1
+        assert config.fu_latency(FuClass.MUL) == 3
+        assert config.fu_latency(FuClass.DIV) == 10
+        assert config.fu_latency(FuClass.BRANCH) == 1
+
+    def test_with_width(self):
+        assert PAPER_4WIDE_PERFECT.with_width(2).width == 2
+
+
+class TestInFlightOp:
+    def test_commit_flag_same_cycle(self):
+        """The paper's flag: completed in cycle T may not commit in T."""
+        op = _op()
+        op.state = OpState.COMPLETED
+        op.completed_cycle = 10
+        assert not op.committable(10)
+        assert op.committable(11)
+
+    def test_classification(self):
+        load = _op(record=MemoryRecord(fu=FuClass.LOAD, dest=4, src1=2))
+        assert load.is_load and load.is_mem and not load.is_store
+        store = _op(record=MemoryRecord(fu=FuClass.STORE, is_store=True,
+                                        src1=2, src2=3))
+        assert store.is_store and not store.is_load
+
+    def test_operands_ready(self):
+        op = _op()
+        assert op.operands_ready
+        op.waiting_on.add(7)
+        assert not op.operands_ready
+
+
+class TestRenameTable:
+    def test_dependency_tracking(self):
+        table = RenameTable()
+        producer = _op(seq=1)
+        table.define(5, producer)
+        assert table.pending_dependency(5) is producer
+        producer.state = OpState.COMPLETED
+        assert table.pending_dependency(5) is None
+
+    def test_overwrite_by_newer_producer(self):
+        table = RenameTable()
+        old = _op(seq=1)
+        new = _op(seq=2)
+        table.define(5, old)
+        table.define(5, new)
+        assert table.producer_of(5) is new
+
+    def test_retire_clears_own_entries_only(self):
+        table = RenameTable()
+        a, b = _op(seq=1), _op(seq=2)
+        table.define(5, a)
+        table.define(6, b)
+        table.retire(a)
+        assert table.producer_of(5) is None
+        assert table.producer_of(6) is b
+
+    def test_squash_wrong_path(self):
+        table = RenameTable()
+        good = _op(seq=1)
+        bad = _op(seq=2, tag=True)
+        table.define(5, good)
+        table.define(6, bad)
+        assert table.squash_wrong_path() == 1
+        assert table.producer_of(6) is None
+        assert table.producer_of(5) is good
+
+
+class TestFunctionalUnitPool:
+    def test_alu_per_cycle_limit(self):
+        pool = FunctionalUnitPool(PAPER_4WIDE_PERFECT)
+        pool.begin_cycle()
+        for _ in range(4):
+            assert pool.can_issue(FuClass.ALU, cycle=1)
+            assert pool.issue(FuClass.ALU, cycle=1) == 1
+        assert not pool.can_issue(FuClass.ALU, cycle=1)
+        pool.begin_cycle()
+        assert pool.can_issue(FuClass.ALU, cycle=2)  # pipelined
+
+    def test_branches_use_alu(self):
+        pool = FunctionalUnitPool(PAPER_4WIDE_PERFECT)
+        pool.begin_cycle()
+        for _ in range(4):
+            pool.issue(FuClass.BRANCH, cycle=1)
+        assert not pool.can_issue(FuClass.ALU, cycle=1)
+
+    def test_multiplier_pipelined(self):
+        pool = FunctionalUnitPool(PAPER_4WIDE_PERFECT)
+        pool.begin_cycle()
+        assert pool.issue(FuClass.MUL, cycle=1) == 3
+        pool.begin_cycle()
+        assert pool.can_issue(FuClass.MUL, cycle=2)  # next cycle OK
+
+    def test_divider_unpipelined(self):
+        pool = FunctionalUnitPool(PAPER_4WIDE_PERFECT)
+        pool.begin_cycle()
+        assert pool.issue(FuClass.DIV, cycle=1) == 10
+        pool.begin_cycle()
+        assert not pool.can_issue(FuClass.DIV, cycle=2)  # busy 10 cycles
+        pool.begin_cycle()
+        assert pool.can_issue(FuClass.DIV, cycle=11)
+
+    def test_issue_without_capacity_raises(self):
+        pool = FunctionalUnitPool(PAPER_4WIDE_PERFECT)
+        pool.begin_cycle()
+        pool.issue(FuClass.DIV, cycle=1)
+        with pytest.raises(RuntimeError):
+            pool.issue(FuClass.DIV, cycle=1)
+
+
+class TestStatistics:
+    def test_counter64_wraps_like_hardware(self):
+        counter = Counter64((1 << 64) - 1)
+        counter.increment()
+        assert counter.value == 0  # 64-bit register overflow semantics
+
+    def test_counter64_int_conversion(self):
+        counter = Counter64(5)
+        counter.increment(3)
+        assert int(counter) == 8
+
+    def test_occupancy_sampler(self):
+        sampler = OccupancySampler()
+        for value in (2, 4, 6):
+            sampler.sample(value)
+        assert sampler.average == pytest.approx(4.0)
+        assert sampler.peak == 6
+
+    def test_derived_rates_guard_zero(self):
+        stats = SimulationStatistics()
+        assert stats.ipc == 0.0
+        assert stats.misprediction_rate == 0.0
+        assert stats.dcache_miss_rate == 0.0
+
+    def test_report_renders(self):
+        stats = SimulationStatistics()
+        stats.major_cycles.increment(10)
+        stats.committed_instructions.increment(15)
+        text = stats.report()
+        assert "IPC 1.500" in text

@@ -1,0 +1,176 @@
+"""Cross-validation: engine vs. independent baseline vs. generator.
+
+Three families of evidence that the timing core is not grossly wrong:
+
+1. the dataflow-scheduling baseline (:mod:`repro.baseline`) agrees with
+   the engine's cycle counts within a documented tolerance on both
+   memory configurations;
+2. with fetch-time predictor training, the engine re-derives *exactly*
+   the predictions the trace generator made (zero divergence), which
+   validates the whole tagged-trace contract;
+3. kernel traces from the real functional simulator behave sanely end
+   to end.
+"""
+
+import pytest
+
+from repro.baseline import OutOrderBaseline
+from repro.bpred.unit import PERFECT_PREDICTOR
+from repro.core import PAPER_2WIDE_CACHE, PAPER_4WIDE_PERFECT, ReSimEngine
+from repro.functional import SimBpred
+from repro.workloads import SyntheticWorkload, get_profile, kernel_program
+
+BENCHMARKS = ("gzip", "bzip2", "parser", "vortex", "vpr")
+
+#: Documented agreement tolerance between the two independent models.
+TOLERANCE = 0.15
+
+#: Cache-configuration tolerance is wider: the baseline does not model
+#: misfetch penalties (no BTB/RAS state), which matters most for the
+#: call-heavy, I-cache-pressured vortex profile.
+CACHE_TOLERANCE = 0.20
+
+
+def _synthetic(name, config, budget=8000, seed=7):
+    workload = SyntheticWorkload(
+        get_profile(name), seed=seed,
+        predictor_config=config.predictor,
+        rob_entries=config.rob_entries,
+        ifq_entries=config.ifq_entries,
+    )
+    return workload.generate(budget)
+
+
+class TestBaselineAgreement:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_perfect_memory_cycle_agreement(self, name):
+        generation = _synthetic(name, PAPER_4WIDE_PERFECT)
+        engine = ReSimEngine(PAPER_4WIDE_PERFECT, generation.records).run()
+        baseline = OutOrderBaseline(PAPER_4WIDE_PERFECT).run(
+            generation.records
+        )
+        ratio = baseline.cycles / engine.major_cycles
+        assert 1 - TOLERANCE < ratio < 1 + TOLERANCE, (
+            f"{name}: baseline {baseline.cycles} vs engine "
+            f"{engine.major_cycles}"
+        )
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_cache_config_cycle_agreement(self, name):
+        generation = _synthetic(name, PAPER_2WIDE_CACHE)
+        engine = ReSimEngine(PAPER_2WIDE_CACHE, generation.records).run()
+        baseline = OutOrderBaseline(PAPER_2WIDE_CACHE).run(
+            generation.records
+        )
+        ratio = baseline.cycles / engine.major_cycles
+        assert 1 - CACHE_TOLERANCE < ratio < 1 + CACHE_TOLERANCE, name
+
+    def test_ipc_ordering_preserved(self):
+        """Both models must rank the benchmarks the same way (perfect
+        memory, where agreement is tightest)."""
+        engine_ipc = {}
+        baseline_ipc = {}
+        for name in BENCHMARKS:
+            generation = _synthetic(name, PAPER_4WIDE_PERFECT,
+                                    budget=12_000)
+            engine_ipc[name] = ReSimEngine(
+                PAPER_4WIDE_PERFECT, generation.records
+            ).run().ipc
+            baseline_ipc[name] = OutOrderBaseline(
+                PAPER_4WIDE_PERFECT
+            ).run(generation.records).ipc
+        engine_order = sorted(BENCHMARKS, key=engine_ipc.__getitem__)
+        baseline_order = sorted(BENCHMARKS, key=baseline_ipc.__getitem__)
+        # Allow one adjacent swap (parser/vpr are within noise of each
+        # other in both models).
+        disagreements = sum(a != b for a, b in
+                            zip(engine_order, baseline_order))
+        assert disagreements <= 2, (engine_order, baseline_order)
+
+    def test_instruction_counts_agree_exactly(self):
+        generation = _synthetic("gzip", PAPER_4WIDE_PERFECT)
+        engine = ReSimEngine(PAPER_4WIDE_PERFECT, generation.records).run()
+        baseline = OutOrderBaseline(PAPER_4WIDE_PERFECT).run(
+            generation.records
+        )
+        assert baseline.instructions == \
+            int(engine.stats.committed_instructions)
+        assert baseline.mispredictions == \
+            int(engine.stats.mispredictions)
+
+
+class TestGeneratorEngineContract:
+    """The tagged-trace contract between generator and engine."""
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_zero_divergence_with_fetch_time_training(self, name):
+        """Training the engine's predictor at fetch reproduces the
+        generator's predictions bit for bit: every tagged block in the
+        trace is anticipated by the engine's own resolution."""
+        generation = _synthetic(name, PAPER_4WIDE_PERFECT, budget=6000)
+        engine = ReSimEngine(PAPER_4WIDE_PERFECT, generation.records,
+                             update_predictor_at_commit=False)
+        result = engine.run()
+        assert int(result.stats.prediction_divergence) == 0
+
+    def test_commit_time_training_diverges_rarely(self):
+        """With the paper's commit-time training the engine may
+        disagree with the generator on in-flight branches — but only
+        rarely (< 3% of branches on these workloads)."""
+        generation = _synthetic("parser", PAPER_4WIDE_PERFECT,
+                                budget=10_000)
+        engine = ReSimEngine(PAPER_4WIDE_PERFECT, generation.records)
+        result = engine.run()
+        branches = int(result.stats.committed_branches)
+        divergence = int(result.stats.prediction_divergence)
+        assert divergence / branches < 0.03
+
+    def test_all_records_consumed(self):
+        for name in BENCHMARKS:
+            generation = _synthetic(name, PAPER_4WIDE_PERFECT, budget=4000)
+            engine = ReSimEngine(PAPER_4WIDE_PERFECT, generation.records)
+            result = engine.run()
+            assert int(result.stats.trace_records_consumed) == \
+                len(generation.records), name
+
+    def test_committed_equals_generated_correct_path(self):
+        generation = _synthetic("vortex", PAPER_4WIDE_PERFECT, budget=5000)
+        engine = ReSimEngine(PAPER_4WIDE_PERFECT, generation.records)
+        result = engine.run()
+        assert int(result.stats.committed_instructions) == \
+            generation.committed_instructions
+
+    def test_engine_mispredictions_match_generator(self):
+        generation = _synthetic("gzip", PAPER_4WIDE_PERFECT, budget=5000)
+        engine = ReSimEngine(PAPER_4WIDE_PERFECT, generation.records)
+        result = engine.run()
+        assert int(result.stats.mispredictions) == generation.mispredictions
+
+
+class TestKernelTraces:
+    """Real functional traces through both timing models."""
+
+    @pytest.mark.parametrize("kernel", ["vecsum", "bubble_sort",
+                                        "strsearch", "matmul"])
+    def test_engine_and_baseline_agree_on_kernels(self, kernel):
+        program = kernel_program(kernel)
+        generation = SimBpred().generate(program)
+        engine = ReSimEngine(PAPER_4WIDE_PERFECT, generation.records,
+                             start_pc=program.entry).run()
+        baseline = OutOrderBaseline(PAPER_4WIDE_PERFECT).run(
+            generation.records
+        )
+        ratio = baseline.cycles / engine.major_cycles
+        assert 0.75 < ratio < 1.25, kernel
+
+    def test_perfect_bp_kernel_runs_clean(self):
+        program = kernel_program("listwalk")
+        generation = SimBpred(
+            predictor_config=PERFECT_PREDICTOR
+        ).generate(program)
+        from dataclasses import replace
+        config = replace(PAPER_4WIDE_PERFECT, predictor=PERFECT_PREDICTOR)
+        result = ReSimEngine(config, generation.records,
+                             start_pc=program.entry).run()
+        assert int(result.stats.mispredictions) == 0
+        assert int(result.stats.misfetches) == 0

@@ -1,0 +1,21 @@
+"""Run the executable examples embedded in docstrings.
+
+The package docstring's quickstart and the bit-I/O examples are part
+of the documentation contract; they must keep working verbatim.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.utils.bitio
+
+
+@pytest.mark.parametrize("module", [repro.utils.bitio, repro],
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, \
+        f"no doctests collected in {module.__name__}"
+    assert result.failed == 0

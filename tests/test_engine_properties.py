@@ -1,0 +1,146 @@
+"""Property-based tests: the engine must uphold its invariants on
+arbitrary well-formed traces.
+
+The strategy builds random traces with the same structural contract as
+the real generators: wrong-path blocks appear only immediately after
+conditional-branch records, and contain only tagged records.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bpred.unit import PERFECT_PREDICTOR
+from repro.core import ReSimEngine
+from repro.core.config import ProcessorConfig
+from repro.isa.opcodes import BranchKind, FuClass
+from repro.trace.record import BranchRecord, MemoryRecord, OtherRecord
+
+CONFIG = ProcessorConfig(predictor=PERFECT_PREDICTOR)
+
+_regs = st.integers(min_value=0, max_value=33)
+
+
+@st.composite
+def plain_record(draw, tag=False):
+    kind = draw(st.sampled_from(["alu", "mul", "div", "load", "store"]))
+    if kind in ("alu", "mul", "div"):
+        fu = {"alu": FuClass.ALU, "mul": FuClass.MUL,
+              "div": FuClass.DIV}[kind]
+        dest = 0 if kind != "alu" else draw(
+            st.integers(min_value=1, max_value=31))
+        return OtherRecord(tag=tag, fu=fu, dest=dest,
+                           src1=draw(_regs), src2=draw(_regs))
+    address = draw(st.integers(min_value=0, max_value=0xFFFF)) * 4
+    if kind == "load":
+        return MemoryRecord(tag=tag, fu=FuClass.LOAD,
+                            dest=draw(st.integers(min_value=1, max_value=31)),
+                            src1=draw(_regs), address=address)
+    return MemoryRecord(tag=tag, fu=FuClass.STORE, is_store=True,
+                        src1=draw(_regs), src2=draw(_regs),
+                        address=address)
+
+
+@st.composite
+def structured_trace(draw):
+    """Correct-path records with optional tagged blocks after branches."""
+    segments = draw(st.lists(st.tuples(
+        st.lists(plain_record(), min_size=1, max_size=8),
+        st.booleans(),   # append a branch?
+        st.booleans(),   # branch taken?
+        st.integers(min_value=0, max_value=6),  # wrong-path block length
+    ), min_size=1, max_size=12))
+    trace = []
+    for body, with_branch, taken, block_length in segments:
+        trace.extend(body)
+        if with_branch:
+            trace.append(BranchRecord(
+                fu=FuClass.BRANCH, branch_kind=BranchKind.COND,
+                taken=taken, target=0x0040_0800,
+                src1=draw(_regs),
+            ))
+            for _ in range(block_length):
+                trace.append(draw(plain_record(tag=True)))
+    return trace
+
+
+@settings(max_examples=60, deadline=None)
+@given(structured_trace())
+def test_engine_invariants(trace):
+    """Every structured trace simulates to completion with consistent
+    accounting and bounded occupancy."""
+    # Perfect BP predicts every branch correctly, so tagged blocks are
+    # "mispredicted" only from the trace's point of view — which is
+    # exactly the authoritative-signal contract.  Use a real predictor
+    # config instead so tagged blocks drive recovery:
+    config = ProcessorConfig()
+    engine = ReSimEngine(config, trace)
+    result = engine.run()
+    stats = result.stats
+
+    correct_path = sum(1 for record in trace if not record.tag)
+    wrong_path = len(trace) - correct_path
+
+    # Accounting identities.
+    assert int(stats.committed_instructions) == correct_path
+    assert int(stats.trace_records_consumed) == len(trace)
+    assert (int(stats.fetched_wrong_path)
+            + int(stats.discarded_wrong_path)) == wrong_path
+    assert int(stats.fetched_instructions) == \
+        correct_path + int(stats.fetched_wrong_path)
+
+    # Physical bounds.
+    assert stats.rob_occupancy.peak <= config.rob_entries
+    assert stats.lsq_occupancy.peak <= config.lsq_entries
+    assert stats.ifq_occupancy.peak <= config.ifq_entries
+    if correct_path:
+        assert result.major_cycles >= correct_path / config.width
+        assert result.ipc <= config.width
+
+    # Mispredictions equal the number of tagged blocks.
+    blocks = 0
+    previous_tag = False
+    for record in trace:
+        if record.tag and not previous_tag:
+            blocks += 1
+        previous_tag = record.tag
+    assert int(stats.mispredictions) == blocks
+
+
+@settings(max_examples=30, deadline=None)
+@given(structured_trace(),
+       st.sampled_from([1, 2, 4]),
+       st.sampled_from([8, 16, 32]))
+def test_engine_invariants_across_configs(trace, width, rob):
+    """The invariants hold for any width/ROB combination."""
+    config = ProcessorConfig(width=width, rob_entries=rob,
+                             ifq_entries=max(2, width))
+    result = ReSimEngine(config, trace).run()
+    correct_path = sum(1 for record in trace if not record.tag)
+    assert int(result.stats.committed_instructions) == correct_path
+    assert result.ipc <= width + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(plain_record(), min_size=1, max_size=60))
+def test_wider_machine_never_slower_without_branches(trace):
+    """Monotonicity on branch-free traces: doubling the width cannot
+    increase the cycle count.
+
+    With branches the property is genuinely false for real OoO
+    machines (a wider front end reaches the wrong path faster and
+    shifts recovery timing), so it is only asserted where it actually
+    holds.
+    """
+    narrow = ReSimEngine(ProcessorConfig(width=2), trace).run()
+    wide = ReSimEngine(ProcessorConfig(width=4), trace).run()
+    assert wide.major_cycles <= narrow.major_cycles + 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(structured_trace())
+def test_determinism_property(trace):
+    """Two engines on the same trace produce identical statistics."""
+    a = ReSimEngine(ProcessorConfig(), trace).run()
+    b = ReSimEngine(ProcessorConfig(), trace).run()
+    assert a.major_cycles == b.major_cycles
+    assert int(a.stats.fetched_instructions) == \
+        int(b.stats.fetched_instructions)

@@ -1,0 +1,160 @@
+"""Shape criteria for the reproduced experiments (DESIGN.md §3).
+
+These are the checks that make EXPERIMENTS.md meaningful: with our
+synthetic SPEC substitution the absolute MIPS are not expected to
+match the paper, but who wins, by roughly what factor, and where the
+crossovers fall must.  Budgets are kept small enough for CI; the
+benchmark scripts rerun the same code paths at full size.
+"""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.core import PAPER_2WIDE_CACHE, PAPER_4WIDE_PERFECT
+from repro.fpga.area import AreaEstimator
+from repro.perf.comparison import (
+    FAST_AREA_BRAMS,
+    FAST_AREA_SLICES,
+    PUBLISHED_SIMULATORS,
+    speedup_over,
+)
+from repro.perf.harness import average_mips, evaluate_suite
+
+BUDGET = 20_000
+
+
+@pytest.fixture(scope="module")
+def rows_4wide():
+    return evaluate_suite(PAPER_4WIDE_PERFECT, budget=BUDGET)
+
+
+@pytest.fixture(scope="module")
+def rows_2wide():
+    return evaluate_suite(PAPER_2WIDE_CACHE, budget=BUDGET)
+
+
+class TestTable1Shape:
+    def test_v5_v4_ratio_exact(self, rows_4wide):
+        """Criterion 1: V5/V4 = 105/84 per benchmark, exactly."""
+        for row in rows_4wide:
+            ratio = row.mips("xc5vlx50t") / row.mips("xc4vlx40")
+            assert ratio == pytest.approx(105.0 / 84.0)
+
+    def test_4wide_mips_in_paper_range(self, rows_4wide):
+        """Average V5 throughput lands in the right decade and the
+        right neighbourhood (paper: 28.67 MIPS average)."""
+        average = average_mips(rows_4wide, "xc5vlx50t")
+        assert 20.0 < average < 40.0
+
+    def test_4wide_ordering(self, rows_4wide):
+        """Criterion 2: bzip2 fastest; parser and vpr slowest pair."""
+        mips = {row.benchmark: row.mips("xc5vlx50t")
+                for row in rows_4wide}
+        assert mips["bzip2"] == max(mips.values())
+        slowest_two = sorted(mips, key=mips.__getitem__)[:2]
+        assert set(slowest_two) == {"parser", "vpr"}
+
+    def test_caches_reduce_throughput(self, rows_4wide, rows_2wide):
+        """Criterion 3: the 2-issue cache configuration is slower for
+        every benchmark."""
+        four = {row.benchmark: row.mips("xc5vlx50t") for row in rows_4wide}
+        two = {row.benchmark: row.mips("xc5vlx50t") for row in rows_2wide}
+        for name in four:
+            assert two[name] < four[name], name
+
+    def test_2wide_gzip_fastest_bzip2_loses_most(self, rows_4wide,
+                                                 rows_2wide):
+        two = {row.benchmark: row.mips("xc5vlx50t") for row in rows_2wide}
+        four = {row.benchmark: row.mips("xc5vlx50t") for row in rows_4wide}
+        assert two["gzip"] == max(two.values())
+        # bzip2 (data working set far beyond 32 KB) must be among the
+        # two largest losers; vortex (I-cache + call pressure) is its
+        # only legitimate rival for that spot.
+        drops = {name: four[name] / two[name] for name in two}
+        worst_two = sorted(drops, key=drops.__getitem__, reverse=True)[:2]
+        assert "bzip2" in worst_two
+        assert set(worst_two) <= {"bzip2", "vortex"}
+
+
+class TestTable2Shape:
+    def test_resim_beats_hardware_simulators(self, rows_2wide, rows_4wide):
+        """Criterion 4: >5x over FAST; ~5x over A-Ports."""
+        v4_2wide = average_mips(rows_2wide, "xc4vlx40")
+        assert speedup_over(v4_2wide, "FAST (perfect BP)") > 5.0
+        v5_4wide = average_mips(rows_4wide, "xc5vlx50t")
+        assert speedup_over(v5_4wide, "A-Ports") > 4.0
+
+    def test_software_simulators_orders_of_magnitude_slower(self,
+                                                            rows_4wide):
+        fastest_software = max(
+            entry.mips for entry in PUBLISHED_SIMULATORS
+            if entry.category == "software"
+        )
+        v5 = average_mips(rows_4wide, "xc5vlx50t")
+        assert v5 / fastest_software > 50.0
+
+
+class TestTable3Shape:
+    def test_wrong_path_overhead(self, rows_4wide):
+        """Criterion 5: wrong-path-inclusive throughput exceeds
+        committed throughput by roughly the paper's ~10%."""
+        for row in rows_4wide:
+            ratio = (row.mips_with_wrong_path("xc4vlx40")
+                     / row.mips("xc4vlx40"))
+            assert 1.0 < ratio < 1.35, row.benchmark
+
+    def test_bits_per_instruction_in_range(self, rows_4wide):
+        """Paper: 41-47 bits; our format sits a few bits lower (no
+        per-record size class field savings differences documented in
+        EXPERIMENTS.md) but must stay in the same band."""
+        for row in rows_4wide:
+            assert 34.0 < row.bits_per_instruction < 50.0, row.benchmark
+
+    def test_vortex_has_highest_bits(self, rows_4wide):
+        """The paper's vortex row has the highest bits/instruction
+        (memory- and branch-richest mix); ours must agree."""
+        bits = {row.benchmark: row.bits_per_instruction
+                for row in rows_4wide}
+        assert bits["vortex"] == max(bits.values())
+
+    def test_bandwidth_identity(self, rows_4wide):
+        """Criterion 6: MB/s = MIPS_wp x bits / 8 per row."""
+        for row in rows_4wide:
+            expected = (row.mips_with_wrong_path("xc4vlx40")
+                        * row.bits_per_instruction / 8.0)
+            assert row.bandwidth_mbytes("xc4vlx40") == \
+                pytest.approx(expected)
+
+    def test_aggregate_bandwidth_near_gigabit(self, rows_4wide):
+        """Paper: ~1.1 Gb/s average trace demand."""
+        gbps = [row.mips_with_wrong_path("xc4vlx40")
+                * row.bits_per_instruction / 1000.0
+                for row in rows_4wide]
+        average = sum(gbps) / len(gbps)
+        assert 0.7 < average < 1.5
+
+
+class TestTable4Shape:
+    def test_area_criteria(self):
+        """Criterion 8: fetch largest; BP ~71% of BRAMs; ReSim much
+        smaller than FAST (≈2.4x slices, ≈24x BRAMs)."""
+        config = replace(PAPER_4WIDE_PERFECT, perfect_memory=False)
+        report = AreaEstimator(config).estimate()
+        fetch = report.stage("fetch")
+        assert all(stage.slices <= fetch.slices for stage in report.stages)
+        bram_share = report.stage("bpred").brams / report.total_brams
+        assert bram_share == pytest.approx(5 / 7, abs=0.01)
+        assert FAST_AREA_SLICES / report.total_slices == \
+            pytest.approx(2.4, abs=0.15)
+        assert FAST_AREA_BRAMS / report.total_brams == \
+            pytest.approx(24.0, abs=1.0)
+
+    def test_cache_cost_modest(self):
+        """The paper: tag-only caches cost on the order of 1000-2500
+        slices, not a second copy of the design."""
+        config = replace(PAPER_4WIDE_PERFECT, perfect_memory=False)
+        report = AreaEstimator(config).estimate()
+        cache_slices = (report.stage("dcache").slices
+                        + report.stage("icache").slices)
+        assert cache_slices < 0.25 * report.total_slices

@@ -1,0 +1,219 @@
+"""Tests for the extension packages: trace files, streaming
+co-simulation, multi-core, and the CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bpred.unit import PAPER_PREDICTOR, PredictorConfig
+from repro.cli import main as cli_main
+from repro.core import PAPER_4WIDE_PERFECT
+from repro.cosim import OnTheFlyCosimulation
+from repro.fpga.device import VIRTEX4_LX40, VIRTEX4_LX100, VIRTEX5_LX50T
+from repro.multicore import MultiCoreSimulator, TraceChannel
+from repro.trace.fileio import (
+    TraceFileError,
+    read_trace_file,
+    read_trace_header,
+    write_trace_file,
+)
+from repro.workloads import SyntheticWorkload, get_profile, kernel_program
+
+
+@pytest.fixture(scope="module")
+def gzip_trace():
+    workload = SyntheticWorkload(get_profile("gzip"), seed=7)
+    return workload.generate(3000)
+
+
+class TestTraceFile:
+    def test_roundtrip(self, gzip_trace, tmp_path):
+        path = tmp_path / "gzip.rst"
+        write_trace_file(path, gzip_trace.records,
+                         predictor=PAPER_PREDICTOR,
+                         benchmark="gzip", seed=7)
+        header, records = read_trace_file(path)
+        assert records == gzip_trace.records
+        assert header.record_count == len(gzip_trace.records)
+        assert header.metadata["benchmark"] == "gzip"
+        assert header.metadata["seed"] == 7
+
+    def test_predictor_config_survives(self, gzip_trace, tmp_path):
+        path = tmp_path / "t.rst"
+        custom = PredictorConfig(scheme="gshare", l2_size=8192,
+                                 ras_depth=32)
+        write_trace_file(path, gzip_trace.records, predictor=custom)
+        assert read_trace_header(path).predictor_config == custom
+
+    def test_no_predictor_metadata(self, gzip_trace, tmp_path):
+        path = tmp_path / "t.rst"
+        write_trace_file(path, gzip_trace.records)
+        assert read_trace_header(path).predictor_config is None
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.rst"
+        write_trace_file(path, [])
+        header, records = read_trace_file(path)
+        assert records == []
+        assert header.record_count == 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.rst"
+        path.write_bytes(b"NOTATRACE" + bytes(64))
+        with pytest.raises(TraceFileError, match="magic"):
+            read_trace_file(path)
+
+    def test_truncated_payload_rejected(self, gzip_trace, tmp_path):
+        path = tmp_path / "trunc.rst"
+        write_trace_file(path, gzip_trace.records)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.raises(TraceFileError):
+            read_trace_file(path)
+
+    def test_unsupported_version_rejected(self, gzip_trace, tmp_path):
+        path = tmp_path / "v99.rst"
+        write_trace_file(path, gzip_trace.records[:10])
+        data = bytearray(path.read_bytes())
+        data[8:10] = (99).to_bytes(2, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError, match="version"):
+            read_trace_file(path)
+
+
+class TestStreamingCosim:
+    def test_timing_transparency(self):
+        """Chunked delivery must be cycle-identical to offline runs."""
+        cosim = OnTheFlyCosimulation(PAPER_4WIDE_PERFECT, VIRTEX5_LX50T,
+                                     chunk_records=64)
+        result = cosim.run(kernel_program("bubble_sort"))
+        assert result.timing_transparent
+        assert result.chunks > 10
+
+    @pytest.mark.parametrize("chunk", [16, 128, 4096])
+    def test_chunk_size_does_not_change_timing(self, chunk):
+        cosim = OnTheFlyCosimulation(PAPER_4WIDE_PERFECT, VIRTEX5_LX50T,
+                                     chunk_records=chunk)
+        result = cosim.run(kernel_program("strsearch"))
+        assert result.timing_transparent
+
+    def test_bottleneck_identification(self):
+        slow_link = OnTheFlyCosimulation(
+            PAPER_4WIDE_PERFECT, VIRTEX5_LX50T,
+            link_gbps=0.0001, chunk_records=64,
+        )
+        result = slow_link.run(kernel_program("vecsum"))
+        assert result.rates.bottleneck == "transfer"
+        assert result.rates.pipeline_rate == result.rates.transfer
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OnTheFlyCosimulation(PAPER_4WIDE_PERFECT, VIRTEX5_LX50T,
+                                 link_gbps=0)
+        with pytest.raises(ValueError):
+            OnTheFlyCosimulation(PAPER_4WIDE_PERFECT, VIRTEX5_LX50T,
+                                 chunk_records=0)
+
+    def test_summary_renders(self):
+        cosim = OnTheFlyCosimulation(PAPER_4WIDE_PERFECT, VIRTEX5_LX50T)
+        result = cosim.run(kernel_program("checksum"))
+        assert "bottleneck" in result.summary()
+
+
+class TestMultiCore:
+    def test_placement_limits(self):
+        small = MultiCoreSimulator(PAPER_4WIDE_PERFECT, VIRTEX4_LX40)
+        large = MultiCoreSimulator(PAPER_4WIDE_PERFECT, VIRTEX4_LX100)
+        assert small.max_instances == 1
+        assert large.max_instances == 4
+
+    def test_too_many_cores_rejected(self):
+        simulator = MultiCoreSimulator(PAPER_4WIDE_PERFECT, VIRTEX4_LX40)
+        with pytest.raises(ValueError, match="fit"):
+            simulator.run(["gzip", "bzip2"], budget=1000)
+
+    def test_aggregate_throughput(self):
+        simulator = MultiCoreSimulator(PAPER_4WIDE_PERFECT,
+                                       VIRTEX4_LX100,
+                                       TraceChannel(100.0))
+        result = simulator.run(["gzip", "vpr"], budget=3000)
+        assert result.instances == 2
+        assert not result.bandwidth_limited
+        assert result.aggregate_mips == pytest.approx(
+            sum(core.report.mips for core in result.cores)
+        )
+
+    def test_channel_saturation_throttles(self):
+        wide_open = MultiCoreSimulator(PAPER_4WIDE_PERFECT,
+                                       VIRTEX4_LX100,
+                                       TraceChannel(100.0))
+        starved = MultiCoreSimulator(PAPER_4WIDE_PERFECT,
+                                     VIRTEX4_LX100,
+                                     TraceChannel(0.5))
+        free = wide_open.run(["gzip", "bzip2"], budget=3000)
+        capped = starved.run(["gzip", "bzip2"], budget=3000)
+        assert capped.bandwidth_limited
+        assert capped.aggregate_mips < free.aggregate_mips
+        assert capped.service_fraction == pytest.approx(
+            0.5 / capped.aggregate_demand_gbps
+        )
+
+    def test_scaling_study_monotone_until_saturation(self):
+        simulator = MultiCoreSimulator(PAPER_4WIDE_PERFECT,
+                                       VIRTEX4_LX100,
+                                       TraceChannel(6.4))
+        results = simulator.scaling_study(["gzip", "vpr"], budget=2500)
+        assert len(results) == 4
+        unconstrained = [r.aggregate_mips_unconstrained for r in results]
+        assert unconstrained == sorted(unconstrained)
+
+    def test_channel_validation(self):
+        with pytest.raises(ValueError):
+            TraceChannel(0)
+
+    def test_summary_renders(self):
+        simulator = MultiCoreSimulator(PAPER_4WIDE_PERFECT,
+                                       VIRTEX4_LX100)
+        result = simulator.run(["gzip"], budget=2000)
+        assert "instance" in result.summary()
+
+
+class TestCli:
+    def test_trace_and_simulate_roundtrip(self, tmp_path, capsys):
+        trace_path = tmp_path / "k.rst"
+        assert cli_main(["trace", "vecsum", str(trace_path),
+                         "--budget", "2000"]) == 0
+        assert trace_path.exists()
+        assert cli_main(["simulate", "--trace-file",
+                         str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert "MIPS" in output
+        assert "major cycles" in output
+
+    def test_simulate_synthetic(self, capsys):
+        assert cli_main(["simulate", "gzip", "--budget", "2000"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            cli_main(["simulate", "doom", "--budget", "100"])
+
+    def test_area_command(self, capsys):
+        assert cli_main(["area", "--with-caches"]) == 0
+        output = capsys.readouterr().out
+        assert "BRAMs" in output
+
+    def test_vhdl_command(self, tmp_path, capsys):
+        assert cli_main(["vhdl", str(tmp_path / "rtl")]) == 0
+        files = list((tmp_path / "rtl").glob("*.vhd"))
+        assert len(files) == 4
+
+    def test_multicore_command(self, capsys):
+        assert cli_main(["multicore", "gzip", "--budget", "1500",
+                         "--device", "xc4vlx100"]) == 0
+        assert "instance" in capsys.readouterr().out
+
+    def test_unknown_config(self):
+        with pytest.raises(SystemExit):
+            cli_main(["simulate", "gzip", "--config", "zen5"])

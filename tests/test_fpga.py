@@ -1,0 +1,206 @@
+"""Tests for the FPGA substrate: devices, area model, timing, VHDL."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bpred.unit import PAPER_PREDICTOR, PredictorConfig
+from repro.core.config import PAPER_4WIDE_PERFECT
+from repro.fpga import (
+    AreaEstimator,
+    DEVICES,
+    FrequencyModel,
+    VIRTEX4_LX40,
+    VIRTEX5_LX50T,
+    generate_branch_predictor_vhdl,
+    parallel_fetch_ablation,
+)
+from repro.fpga.vhdlgen import (
+    generate_btb_vhdl,
+    generate_direction_vhdl,
+    generate_ras_vhdl,
+)
+
+#: 4-wide configuration with caches present — the Table 4 design.
+TABLE4_CONFIG = replace(PAPER_4WIDE_PERFECT, perfect_memory=False)
+
+#: Paper Table 4 percentages (slices / LUTs) per component.
+PAPER_SLICE_PCT = {"fetch": 25, "dispatch": 9, "issue": 5, "lsq": 14,
+                   "writeback": 3, "commit": 2, "rename": 3, "rob": 13,
+                   "lsq_store": 6, "bpred": 2, "dcache": 17, "icache": 1}
+PAPER_LUT_PCT = {"fetch": 23, "dispatch": 5, "issue": 7, "lsq": 19,
+                 "writeback": 4, "commit": 2, "rename": 4, "rob": 14,
+                 "lsq_store": 4, "bpred": 2, "dcache": 15, "icache": 1}
+
+
+class TestDevices:
+    def test_paper_frequencies(self):
+        assert VIRTEX4_LX40.minor_cycle_mhz == 84.0
+        assert VIRTEX5_LX50T.minor_cycle_mhz == 105.0
+        assert VIRTEX4_LX40.measured and VIRTEX5_LX50T.measured
+
+    def test_registry(self):
+        assert DEVICES["xc4vlx40"] is VIRTEX4_LX40
+        assert len(DEVICES) >= 4
+
+    def test_utilization(self):
+        assert VIRTEX4_LX40.utilization(VIRTEX4_LX40.slices) == 1.0
+
+    def test_instances_fit(self):
+        assert VIRTEX4_LX40.instances_fit(12_273, 7) == 1
+        assert DEVICES["xc4vlx100"].instances_fit(12_273, 7) == 4
+
+    def test_instances_fit_invalid(self):
+        with pytest.raises(ValueError):
+            VIRTEX4_LX40.instances_fit(0, 1)
+
+
+class TestAreaModel:
+    def test_totals_match_table4(self):
+        """Calibration anchor: the 4-wide design reproduces the paper's
+        reported totals within 2 %."""
+        report = AreaEstimator(TABLE4_CONFIG).estimate()
+        assert report.total_slices == pytest.approx(12_273, rel=0.02)
+        assert report.total_luts == pytest.approx(17_175, rel=0.02)
+        assert report.total_brams == 7
+
+    def test_percentages_match_table4(self):
+        report = AreaEstimator(TABLE4_CONFIG).estimate()
+        for component, expected in PAPER_SLICE_PCT.items():
+            measured = report.percentage(component, "slices")
+            assert measured == pytest.approx(expected, abs=1.5), component
+        for component, expected in PAPER_LUT_PCT.items():
+            measured = report.percentage(component, "luts")
+            assert measured == pytest.approx(expected, abs=1.5), component
+
+    def test_bram_split(self):
+        """BP holds ~71% of BRAMs, the I-cache tags the rest."""
+        report = AreaEstimator(TABLE4_CONFIG).estimate()
+        assert report.stage("bpred").brams == 5
+        assert report.stage("icache").brams == 2
+        assert report.stage("dcache").brams == 0  # distributed RAM tags
+
+    def test_fetch_is_largest_stage(self):
+        report = AreaEstimator(TABLE4_CONFIG).estimate()
+        fetch = report.stage("fetch").slices
+        for stage in report.stages:
+            if stage.component != "fetch":
+                assert stage.slices <= fetch
+
+    def test_rob_scaling(self):
+        small = AreaEstimator(replace(TABLE4_CONFIG, rob_entries=16))
+        large = AreaEstimator(replace(TABLE4_CONFIG, rob_entries=32))
+        ratio = (large.estimate().stage("rob").luts
+                 / small.estimate().stage("rob").luts)
+        assert 1.7 < ratio < 2.1  # dominated by the per-entry term
+
+    def test_pht_growth_crosses_bram_boundary(self):
+        base = PredictorConfig()
+        bigger = PredictorConfig(l2_size=65_536)
+        small = AreaEstimator(replace(TABLE4_CONFIG, predictor=base))
+        large = AreaEstimator(replace(TABLE4_CONFIG, predictor=bigger))
+        assert (large.estimate().stage("bpred").brams
+                > small.estimate().stage("bpred").brams)
+
+    def test_perfect_memory_drops_cache_area(self):
+        report = AreaEstimator(PAPER_4WIDE_PERFECT).estimate()
+        assert report.stage("dcache").luts == 0
+        assert report.stage("icache").brams == 0
+
+    def test_render_matches_table_format(self):
+        text = AreaEstimator(TABLE4_CONFIG).estimate().render()
+        assert "BRAMs" in text and "xc4vlx40" in text
+
+    def test_unknown_component_raises(self):
+        report = AreaEstimator(TABLE4_CONFIG).estimate()
+        with pytest.raises(KeyError):
+            report.stage("alu0")
+
+
+class TestTiming:
+    def test_major_cycle_rate(self):
+        model = FrequencyModel(VIRTEX5_LX50T)
+        assert model.major_cycle_mhz(7) == pytest.approx(15.0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            FrequencyModel(VIRTEX4_LX40).major_cycle_mhz(0)
+
+    def test_simulated_seconds(self):
+        model = FrequencyModel(VIRTEX4_LX40)
+        # 84e6 minor cycles at 84 MHz = 1 second.
+        assert model.simulated_seconds(12_000_000, 7) == pytest.approx(1.0)
+
+    def test_parallel_fetch_ablation_matches_paper(self):
+        """Section IV: 4-wide parallel fetch is 4x the cost and 22%
+        slower than serial."""
+        ablation = parallel_fetch_ablation(4, 4700, VIRTEX4_LX40)
+        assert ablation.area_ratio == pytest.approx(4.0)
+        assert ablation.slowdown == pytest.approx(0.22, abs=0.001)
+
+    def test_ablation_scales_with_width(self):
+        two = parallel_fetch_ablation(2, 4700, VIRTEX4_LX40)
+        eight = parallel_fetch_ablation(8, 4700, VIRTEX4_LX40)
+        assert two.slowdown < eight.slowdown
+        assert eight.area_ratio == pytest.approx(8.0)
+
+    def test_serial_width_one_no_penalty(self):
+        ablation = parallel_fetch_ablation(1, 4700, VIRTEX4_LX40)
+        assert ablation.slowdown == 0.0
+
+
+class TestVhdlGeneration:
+    def test_full_unit_entities(self):
+        sources = generate_branch_predictor_vhdl(PAPER_PREDICTOR)
+        assert set(sources) == {"direction_predictor",
+                                "branch_target_buffer",
+                                "return_address_stack",
+                                "branch_predictor_unit"}
+
+    def test_parameters_baked_into_generics(self):
+        sources = generate_branch_predictor_vhdl(PAPER_PREDICTOR)
+        direction = sources["direction_predictor"]
+        assert "L1_SIZE        : natural := 4" in direction
+        assert "HISTORY_LENGTH : natural := 8" in direction
+        assert "L2_SIZE        : natural := 4096" in direction
+        btb = sources["branch_target_buffer"]
+        assert "ENTRIES : natural := 512" in btb
+        ras = sources["return_address_stack"]
+        assert "DEPTH : natural := 16" in ras
+
+    def test_custom_parameters_propagate(self):
+        config = PredictorConfig(l2_size=8192, ras_depth=32,
+                                 btb_entries=1024)
+        sources = generate_branch_predictor_vhdl(config)
+        assert "L2_SIZE        : natural := 8192" in \
+            sources["direction_predictor"]
+        assert "ENTRIES : natural := 1024" in \
+            sources["branch_target_buffer"]
+        assert "DEPTH : natural := 32" in \
+            sources["return_address_stack"]
+
+    def test_every_entity_is_structurally_complete(self):
+        sources = generate_branch_predictor_vhdl(PAPER_PREDICTOR)
+        for name, source in sources.items():
+            assert f"entity {name} is" in source, name
+            assert f"end entity {name};" in source, name
+            assert "architecture" in source, name
+            assert source.count("library ieee;") == 1, name
+
+    def test_wrapper_instantiates_components(self):
+        wrapper = generate_branch_predictor_vhdl(
+            PAPER_PREDICTOR)["branch_predictor_unit"]
+        assert "entity work.direction_predictor" in wrapper
+        assert "entity work.branch_target_buffer" in wrapper
+        assert "entity work.return_address_stack" in wrapper
+
+    def test_perfect_predictor_rejected(self):
+        with pytest.raises(ValueError):
+            generate_branch_predictor_vhdl(PredictorConfig(scheme="perfect"))
+
+    @pytest.mark.parametrize("generator", [generate_direction_vhdl,
+                                           generate_btb_vhdl,
+                                           generate_ras_vhdl])
+    def test_individual_generators(self, generator):
+        source = generator(PAPER_PREDICTOR)
+        assert "rising_edge(clk)" in source

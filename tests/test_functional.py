@@ -1,0 +1,271 @@
+"""Tests for the functional simulator (executor, sim-fast, sim-bpred)."""
+
+import pytest
+
+from repro.functional import ExecutionError, Executor, MachineState, SimBpred, SimFast
+from repro.isa import assemble
+from repro.workloads import KERNELS, kernel_program
+
+
+def run_and_output(source: str, inputs=None) -> str:
+    program = assemble(source)
+    state = MachineState(program)
+    executor = Executor(inputs=inputs)
+    for _ in executor.run(state, max_instructions=1_000_000):
+        pass
+    return "".join(state.output)
+
+
+class TestArithmetic:
+    def test_add_and_overflow_wraps(self):
+        output = run_and_output("""
+        main:
+            li  $t0, 0x7FFFFFFF
+            addi $t0, $t0, 1
+            srl $a0, $t0, 24
+            li  $v0, 1
+            syscall
+            li  $v0, 10
+            syscall
+        """)
+        assert output == "128"  # 0x80000000 >> 24
+
+    def test_signed_comparison(self):
+        output = run_and_output("""
+        main:
+            li  $t0, -1
+            slti $a0, $t0, 0
+            li  $v0, 1
+            syscall
+            li  $v0, 10
+            syscall
+        """)
+        assert output == "1"
+
+    def test_unsigned_comparison(self):
+        output = run_and_output("""
+        main:
+            li  $t0, -1          # 0xFFFFFFFF unsigned
+            sltiu $a0, $t0, 1
+            li  $v0, 1
+            syscall
+            li  $v0, 10
+            syscall
+        """)
+        assert output == "0"
+
+    def test_mult_hi_lo(self):
+        output = run_and_output("""
+        main:
+            li  $t0, 0x10000
+            li  $t1, 0x10000
+            mult $t0, $t1
+            mfhi $a0            # product = 2^32 -> hi = 1
+            li  $v0, 1
+            syscall
+            li  $v0, 10
+            syscall
+        """)
+        assert output == "1"
+
+    def test_division_and_remainder(self):
+        output = run_and_output("""
+        main:
+            li  $t0, 17
+            li  $t1, 5
+            div $t0, $t1
+            mflo $a0
+            li  $v0, 1
+            syscall
+            mfhi $a0
+            li  $v0, 1
+            syscall
+            li  $v0, 10
+            syscall
+        """)
+        assert output == "32"  # quotient 3, remainder 2
+
+    def test_division_by_zero_defined(self):
+        output = run_and_output("""
+        main:
+            li  $t0, 5
+            div $t0, $zero
+            mflo $a0
+            li  $v0, 1
+            syscall
+            li  $v0, 10
+            syscall
+        """)
+        assert output == "0"
+
+    def test_shifts(self):
+        output = run_and_output("""
+        main:
+            li  $t0, -8
+            sra $a0, $t0, 2
+            li  $v0, 1
+            syscall
+            li  $v0, 10
+            syscall
+        """)
+        assert output == "-2"
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        output = run_and_output("""
+        .data
+        slot: .space 4
+        .text
+        main:
+            la  $t0, slot
+            li  $t1, 1234
+            sw  $t1, 0($t0)
+            lw  $a0, 0($t0)
+            li  $v0, 1
+            syscall
+            li  $v0, 10
+            syscall
+        """)
+        assert output == "1234"
+
+    def test_byte_sign_extension(self):
+        output = run_and_output("""
+        .data
+        b: .byte 0xFF
+        .text
+        main:
+            la  $t0, b
+            lb  $a0, 0($t0)
+            li  $v0, 1
+            syscall
+            lbu $a0, 0($t0)
+            li  $v0, 1
+            syscall
+            li  $v0, 10
+            syscall
+        """)
+        assert output == "-1255"
+
+    def test_untouched_memory_reads_zero(self):
+        state = MachineState(assemble("nop"))
+        assert state.load(0x2000_0000, 4) == 0
+
+    def test_zero_register_immutable(self):
+        state = MachineState(assemble("nop"))
+        state.write_reg(0, 42)
+        assert state.read_reg(0) == 0
+
+
+class TestControlFlow:
+    def test_loop_and_call(self):
+        output = run_and_output("""
+        main:
+            li  $a0, 5
+            jal square
+            li  $v0, 1
+            syscall
+            li  $v0, 10
+            syscall
+        square:
+            mult $a0, $a0
+            mflo $a0
+            jr  $ra
+        """)
+        assert output == "25"
+
+    def test_read_int_inputs(self):
+        output = run_and_output("""
+        main:
+            li  $v0, 5
+            syscall
+            move $a0, $v0
+            li  $v0, 1
+            syscall
+            li  $v0, 10
+            syscall
+        """, inputs=[77])
+        assert output == "77"
+
+    def test_pc_escape_raises(self):
+        program = assemble("nop")  # falls off the end, no exit syscall
+        state = MachineState(program)
+        executor = Executor()
+        with pytest.raises(ExecutionError):
+            for _ in executor.run(state):
+                pass
+
+    def test_instruction_budget(self):
+        program = assemble("main: j main")
+        state = MachineState(program)
+        executor = Executor()
+        with pytest.raises(ExecutionError, match="budget"):
+            for _ in executor.run(state, max_instructions=100):
+                pass
+
+
+class TestKernels:
+    """Golden outputs for every bundled kernel."""
+
+    EXPECTED = {
+        "vecsum": "2016",        # sum 0..63
+        "fibonacci": "144",      # fib(12)
+        "strsearch": "4",        # 'the' x4
+        "listwalk": "6240",      # 8 * sum 0..39
+        "matmul": "1132",        # C[0][0]
+    }
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernel_runs_to_completion(self, name):
+        result = SimFast().run(kernel_program(name))
+        assert result.instructions > 100
+        assert result.output  # every kernel prints something
+
+    @pytest.mark.parametrize("name,expected", sorted(EXPECTED.items()))
+    def test_kernel_golden_output(self, name, expected):
+        assert SimFast().run(kernel_program(name)).output == expected
+
+    def test_bubble_sort_is_sorted(self):
+        """The printed value is the array minimum after sorting."""
+        result = SimFast().run(kernel_program("bubble_sort"))
+        assert int(result.output) >= 0
+
+
+class TestSimBpred:
+    def test_trace_length_matches_execution(self):
+        program = kernel_program("vecsum")
+        functional = SimFast().run(program)
+        generation = SimBpred().generate(program)
+        assert generation.committed_instructions == functional.instructions
+        assert generation.total_records == (
+            generation.committed_instructions
+            + generation.wrong_path_instructions
+        )
+
+    def test_wrong_path_blocks_follow_mispredictions(self):
+        generation = SimBpred().generate(kernel_program("bubble_sort"))
+        assert generation.mispredictions > 0
+        from repro.trace.wrongpath import count_blocks
+        assert count_blocks(generation.records) == generation.mispredictions
+
+    def test_wrong_path_blocks_respect_bound(self):
+        tracer = SimBpred(rob_entries=16, ifq_entries=4)
+        generation = tracer.generate(kernel_program("bubble_sort"))
+        limit = tracer.wrong_path_block_limit
+        assert limit == 20
+        run = 0
+        for record in generation.records:
+            run = run + 1 if record.tag else 0
+            assert run <= limit
+
+    def test_perfect_predictor_no_wrong_path(self):
+        from repro.bpred.unit import PERFECT_PREDICTOR
+        tracer = SimBpred(predictor_config=PERFECT_PREDICTOR)
+        generation = tracer.generate(kernel_program("bubble_sort"))
+        assert generation.mispredictions == 0
+        assert generation.wrong_path_instructions == 0
+
+    def test_deterministic(self):
+        a = SimBpred().generate(kernel_program("strsearch"))
+        b = SimBpred().generate(kernel_program("strsearch"))
+        assert a.records == b.records

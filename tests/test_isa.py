@@ -1,0 +1,161 @@
+"""Tests for registers, opcode metadata, and the instruction codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    HI,
+    Instruction,
+    LO,
+    OPCODE_INFO,
+    Opcode,
+    REG_COUNT,
+    register_index,
+    register_name,
+)
+from repro.isa.instruction import INSTRUCTION_BYTES, NOP
+from repro.isa.opcodes import BranchKind, Format, FuClass
+
+
+class TestRegisters:
+    def test_register_count(self):
+        assert REG_COUNT == 34  # 32 GPRs + HI + LO
+
+    def test_symbolic_names(self):
+        assert register_index("$zero") == 0
+        assert register_index("$sp") == 29
+        assert register_index("$ra") == 31
+        assert register_index("$hi") == HI
+        assert register_index("$lo") == LO
+
+    def test_numeric_names(self):
+        assert register_index("$0") == 0
+        assert register_index("$31") == 31
+
+    def test_alternate_fp_name(self):
+        assert register_index("$s8") == register_index("$fp") == 30
+
+    def test_case_insensitive(self):
+        assert register_index("$T0") == register_index("$t0")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            register_index("$bogus")
+
+    def test_roundtrip(self):
+        for index in range(REG_COUNT):
+            assert register_index(register_name(index)) == index
+
+    def test_name_out_of_range(self):
+        with pytest.raises(IndexError):
+            register_name(REG_COUNT)
+
+
+class TestOpcodeMetadata:
+    def test_every_opcode_has_info(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_INFO
+
+    def test_memory_ops_classified(self):
+        loads = {op for op, info in OPCODE_INFO.items() if info.is_load}
+        stores = {op for op, info in OPCODE_INFO.items() if info.is_store}
+        assert loads == {Opcode.LB, Opcode.LBU, Opcode.LH, Opcode.LHU,
+                         Opcode.LW}
+        assert stores == {Opcode.SB, Opcode.SH, Opcode.SW}
+
+    def test_branch_ops_classified(self):
+        branches = {op for op, info in OPCODE_INFO.items()
+                    if info.is_branch}
+        assert branches == {Opcode.BEQ, Opcode.BNE, Opcode.BLEZ,
+                            Opcode.BGTZ, Opcode.BLTZ, Opcode.BGEZ,
+                            Opcode.J, Opcode.JAL, Opcode.JR, Opcode.JALR}
+
+    def test_muldiv_write_hilo(self):
+        for opcode in (Opcode.MULT, Opcode.MULTU, Opcode.DIV, Opcode.DIVU):
+            assert set(OPCODE_INFO[opcode].writes) == {"hi", "lo"}
+
+    def test_store_reads_base_and_data(self):
+        assert set(OPCODE_INFO[Opcode.SW].reads) == {"rs", "rt"}
+
+    def test_fu_classes(self):
+        assert OPCODE_INFO[Opcode.ADD].fu is FuClass.ALU
+        assert OPCODE_INFO[Opcode.MULT].fu is FuClass.MUL
+        assert OPCODE_INFO[Opcode.DIV].fu is FuClass.DIV
+        assert OPCODE_INFO[Opcode.LW].fu is FuClass.LOAD
+        assert OPCODE_INFO[Opcode.SW].fu is FuClass.STORE
+        assert OPCODE_INFO[Opcode.BEQ].fu is FuClass.BRANCH
+
+
+class TestInstruction:
+    def test_instruction_size(self):
+        assert INSTRUCTION_BYTES == 8  # PISA's 64-bit encoding
+
+    def test_src_registers_exclude_zero(self):
+        instr = Instruction(op=Opcode.ADD, rd=3, rs=0, rt=5)
+        assert instr.src_registers() == (5,)
+
+    def test_dest_registers_exclude_zero(self):
+        instr = Instruction(op=Opcode.ADD, rd=0, rs=1, rt=2)
+        assert instr.dest_registers() == ()
+
+    def test_mult_dest_is_hilo(self):
+        instr = Instruction(op=Opcode.MULT, rs=1, rt=2)
+        assert set(instr.dest_registers()) == {HI, LO}
+
+    def test_mfhi_reads_hi(self):
+        instr = Instruction(op=Opcode.MFHI, rd=4)
+        assert instr.src_registers() == (HI,)
+
+    def test_jal_writes_ra(self):
+        instr = Instruction(op=Opcode.JAL, imm=0x80000)
+        assert instr.dest_registers() == (31,)
+
+    def test_jr_ra_is_return(self):
+        assert Instruction(op=Opcode.JR, rs=31).branch_kind \
+            is BranchKind.RETURN
+
+    def test_jr_other_is_indirect(self):
+        assert Instruction(op=Opcode.JR, rs=8).branch_kind \
+            is BranchKind.INDIRECT
+
+    def test_jalr_is_call(self):
+        assert Instruction(op=Opcode.JALR, rd=31, rs=8).branch_kind \
+            is BranchKind.CALL
+
+    def test_nop_constant(self):
+        assert NOP.op is Opcode.NOP
+        assert not NOP.is_branch
+        assert not NOP.is_mem
+
+    def test_str_forms(self):
+        assert str(Instruction(op=Opcode.ADD, rd=8, rs=9, rt=10)) == \
+            "add $t0, $t1, $t2"
+        assert str(Instruction(op=Opcode.LW, rt=8, rs=29, imm=4)) == \
+            "lw $t0, 4($sp)"
+        assert str(NOP) == "nop"
+
+
+class TestBinaryCodec:
+    def test_roundtrip_simple(self):
+        instr = Instruction(op=Opcode.ADDI, rt=8, rs=9, imm=-42)
+        assert Instruction.decode(instr.encode()) == instr
+
+    def test_invalid_opcode_number(self):
+        with pytest.raises(ValueError):
+            Instruction.decode(0xFFFF)
+
+    def test_negative_immediate_sign_extension(self):
+        instr = Instruction(op=Opcode.BEQ, rs=1, rt=2, imm=-8)
+        decoded = Instruction.decode(instr.encode())
+        assert decoded.imm == -8
+
+    @given(st.sampled_from(list(Opcode)),
+           st.integers(min_value=0, max_value=33),
+           st.integers(min_value=0, max_value=33),
+           st.integers(min_value=0, max_value=33),
+           st.integers(min_value=-(1 << 23), max_value=(1 << 23) - 1))
+    def test_roundtrip_property(self, op, rd, rs, rt, imm):
+        instr = Instruction(op=op, rd=rd, rs=rs, rt=rt, imm=imm)
+        word = instr.encode()
+        assert 0 <= word < (1 << 64)
+        assert Instruction.decode(word) == instr

@@ -1,0 +1,120 @@
+"""Tests for the minor-cycle pipeline organizations (Figures 2-4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.minorpipe import (
+    ImprovedPipeline,
+    OptimizedPipeline,
+    SimplePipeline,
+    select_pipeline,
+)
+
+
+class TestLatencyFormulas:
+    """The paper's headline formulas: 2N+3, N+4, N+3."""
+
+    @pytest.mark.parametrize("width,expected", [(1, 5), (2, 7), (4, 11),
+                                                (8, 19)])
+    def test_simple(self, width, expected):
+        assert SimplePipeline(width).minor_cycles_per_major == expected
+
+    @pytest.mark.parametrize("width,expected", [(1, 5), (2, 6), (4, 8),
+                                                (8, 12)])
+    def test_improved(self, width, expected):
+        assert ImprovedPipeline(width).minor_cycles_per_major == expected
+
+    @pytest.mark.parametrize("width,expected", [(1, 4), (2, 5), (4, 7),
+                                                (8, 11)])
+    def test_optimized(self, width, expected):
+        assert OptimizedPipeline(width).minor_cycles_per_major == expected
+
+    def test_paper_configurations(self):
+        """4-issue perfect memory: N+3 = 7; 2-issue cache config:
+        N+4 = 6 — exactly the latencies in Table 1's caption."""
+        assert OptimizedPipeline(4).minor_cycles_per_major == 7
+        assert ImprovedPipeline(2).minor_cycles_per_major == 6
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            SimplePipeline(0)
+
+
+class TestSchedules:
+    @pytest.mark.parametrize("cls", [SimplePipeline, ImprovedPipeline,
+                                     OptimizedPipeline])
+    @pytest.mark.parametrize("width", [1, 2, 4, 8])
+    def test_validate_passes(self, cls, width):
+        cls(width).validate()
+
+    def test_simple_chain_order(self):
+        """Figure 2: Writeback, then Lsq_refresh, then Issue slots."""
+        ops = {(op.stage, op.slot): op.minor_cycle
+               for op in SimplePipeline(4).schedule()}
+        assert ops[("writeback", -1)] == 0
+        assert ops[("lsq_refresh", -1)] == 1
+        assert ops[("issue", 0)] == 2
+        assert ops[("issue", 3)] == 8
+
+    def test_improved_issue_before_writeback(self):
+        """Figure 3: Issue minor-cycles precede Writeback (pipelined
+        control performs WB one cycle early)."""
+        ops = {(op.stage, op.slot): op.minor_cycle
+               for op in ImprovedPipeline(4).schedule()}
+        assert ops[("issue", 3)] < ops[("writeback", -1)]
+        assert ops[("cache", -1)] < ops[("writeback", -1)]
+
+    def test_optimized_refresh_overlaps_first_issue(self):
+        """Figure 4: Lsq_refresh and the first Issue share minor 0."""
+        ops = {(op.stage, op.slot): op.minor_cycle
+               for op in OptimizedPipeline(4).schedule()}
+        assert ops[("lsq_refresh", -1)] == ops[("issue", 0)] == 0
+
+    def test_optimized_forbids_load_in_slot0(self):
+        assert OptimizedPipeline(4).first_load_slot() == 1
+        assert ImprovedPipeline(4).first_load_slot() == 0
+
+    def test_render_contains_figure_reference(self):
+        text = OptimizedPipeline(4).render()
+        assert "Figure 4" in text
+        assert "major cycle = 7 minor cycles" in text
+
+
+class TestTotalMinorCycles:
+    def test_zero_major_cycles(self):
+        assert OptimizedPipeline(4).total_minor_cycles(0) == 0
+
+    def test_steady_state_plus_fill(self):
+        pipeline = OptimizedPipeline(4)
+        assert pipeline.total_minor_cycles(100) == 100 * 7 + 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizedPipeline(4).total_minor_cycles(-1)
+
+
+class TestSelection:
+    def test_paper_selections(self):
+        assert select_pipeline(4, memory_ports=3).name == "optimized"
+        assert select_pipeline(2, memory_ports=2).name == "improved"
+
+    def test_boundary(self):
+        assert select_pipeline(4, memory_ports=4).name == "improved"
+        assert select_pipeline(5, memory_ports=4).name == "optimized"
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_formula_relationships_property(width):
+    """For every width: optimized < improved < simple (width > 1), and
+    the formulas hold exactly."""
+    simple = SimplePipeline(width)
+    improved = ImprovedPipeline(width)
+    optimized = OptimizedPipeline(width)
+    assert simple.minor_cycles_per_major == 2 * width + 3
+    assert improved.minor_cycles_per_major == width + 4
+    assert optimized.minor_cycles_per_major == width + 3
+    assert optimized.minor_cycles_per_major < improved.minor_cycles_per_major
+    if width > 1:
+        assert improved.minor_cycles_per_major < simple.minor_cycles_per_major
+    for pipeline in (simple, improved, optimized):
+        pipeline.validate()

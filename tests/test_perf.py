@@ -1,0 +1,127 @@
+"""Tests for the throughput mathematics and the Table 2 comparison."""
+
+import pytest
+
+from repro.core import PAPER_4WIDE_PERFECT, ReSimEngine
+from repro.core.minorpipe import OptimizedPipeline, SimplePipeline
+from repro.fpga.device import VIRTEX4_LX40, VIRTEX5_LX50T
+from repro.perf.comparison import (
+    PUBLISHED_SIMULATORS,
+    best_hardware_competitor,
+    comparison_table,
+    render_table,
+    speedup_over,
+)
+from repro.perf.harness import evaluate_benchmark
+from repro.perf.throughput import ThroughputModel, ThroughputReport
+from repro.trace.record import OtherRecord
+
+
+def _result(records=200):
+    trace = [OtherRecord(dest=(i % 30) + 1) for i in range(records)]
+    return ReSimEngine(PAPER_4WIDE_PERFECT, trace).run()
+
+
+class TestThroughputMath:
+    def test_mips_formula(self):
+        """MIPS = f / L x IPC, exactly."""
+        result = _result()
+        report = ThroughputModel(VIRTEX5_LX50T).report(result)
+        assert report.minor_cycles_per_major == 7  # optimized N+3
+        expected = 105.0 / 7 * result.ipc
+        assert report.mips == pytest.approx(expected)
+
+    def test_v4_v5_ratio_is_frequency_ratio(self):
+        """The Table 1 property: V5/V4 = 105/84 for any benchmark."""
+        result = _result()
+        v4 = ThroughputModel(VIRTEX4_LX40).report(result)
+        v5 = ThroughputModel(VIRTEX5_LX50T).report(result)
+        assert v5.mips / v4.mips == pytest.approx(105.0 / 84.0)
+
+    def test_pipeline_choice_scales_mips(self):
+        result = _result()
+        simple = ThroughputModel(VIRTEX4_LX40,
+                                 SimplePipeline(4)).report(result)
+        optimized = ThroughputModel(VIRTEX4_LX40,
+                                    OptimizedPipeline(4)).report(result)
+        assert optimized.mips / simple.mips == pytest.approx(11 / 7)
+
+    def test_wrong_path_mips_at_least_committed(self):
+        result = _result()
+        report = ThroughputModel(VIRTEX4_LX40).report(result)
+        assert report.mips_with_wrong_path >= report.mips
+
+    def test_bandwidth_identity(self):
+        report = ThroughputReport(
+            device_name="x", minor_cycle_mhz=84.0,
+            minor_cycles_per_major=7, ipc=2.0,
+            fetch_throughput=2.2, trace_throughput=2.3,
+        )
+        bits = 43.44
+        assert report.bandwidth_mbytes_per_sec(bits) == pytest.approx(
+            report.mips_with_wrong_path * bits / 8.0
+        )
+        assert report.bandwidth_gbits_per_sec(bits) == pytest.approx(
+            report.bandwidth_mbytes_per_sec(bits) * 8.0 / 1000.0
+        )
+
+    def test_wall_clock(self):
+        result = _result()
+        seconds = ThroughputModel(VIRTEX4_LX40).wall_clock_seconds(result)
+        minors = OptimizedPipeline(4).total_minor_cycles(
+            result.major_cycles
+        )
+        assert seconds == pytest.approx(minors / 84e6)
+
+
+class TestHarness:
+    def test_row_internal_consistency(self):
+        row = evaluate_benchmark("gzip", PAPER_4WIDE_PERFECT, budget=3000)
+        assert row.benchmark == "gzip"
+        assert row.mips("xc5vlx50t") / row.mips("xc4vlx40") == \
+            pytest.approx(105.0 / 84.0)
+        assert row.bandwidth_mbytes("xc4vlx40") == pytest.approx(
+            row.mips_with_wrong_path("xc4vlx40")
+            * row.bits_per_instruction / 8.0
+        )
+
+    def test_seed_stability(self):
+        a = evaluate_benchmark("vpr", PAPER_4WIDE_PERFECT, budget=2000,
+                               seed=11)
+        b = evaluate_benchmark("vpr", PAPER_4WIDE_PERFECT, budget=2000,
+                               seed=11)
+        assert a.mips("xc4vlx40") == b.mips("xc4vlx40")
+
+
+class TestComparison:
+    def test_published_rows_present(self):
+        names = {entry.name for entry in PUBLISHED_SIMULATORS}
+        assert {"PTLsim", "sim-outorder", "GEMS", "A-Ports"} <= names
+
+    def test_published_values_from_paper(self):
+        values = {entry.name: entry.mips for entry in PUBLISHED_SIMULATORS}
+        assert values["PTLsim"] == 0.27
+        assert values["sim-outorder"] == 0.30
+        assert values["GEMS"] == 0.07
+        assert values["FAST (perfect BP)"] == 2.79
+        assert values["A-Ports"] == 4.70
+
+    def test_comparison_table_appends_resim(self):
+        rows = comparison_table({"ReSim (test)": 25.0})
+        assert rows[-1].name == "ReSim (test)"
+        assert rows[-1].category == "resim"
+
+    def test_speedup(self):
+        assert speedup_over(18.33, "FAST (perfect BP)") == \
+            pytest.approx(6.57, abs=0.01)
+
+    def test_unknown_competitor(self):
+        with pytest.raises(KeyError):
+            speedup_over(1.0, "SPIM")
+
+    def test_best_hardware_competitor(self):
+        assert best_hardware_competitor().name == "A-Ports"
+
+    def test_render(self):
+        text = render_table(comparison_table({"ReSim": 28.67}))
+        assert "PTLsim" in text and "ReSim" in text

@@ -1,0 +1,124 @@
+"""Unit and property tests for the hardware-FIFO circular queue."""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.queues import CircularQueue, QueueEmptyError, QueueFullError
+
+
+class TestCircularQueue:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CircularQueue(0)
+
+    def test_push_pop_fifo_order(self):
+        queue = CircularQueue(4)
+        for value in (1, 2, 3):
+            queue.push(value)
+        assert [queue.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_full_raises_instead_of_dropping(self):
+        queue = CircularQueue(2)
+        queue.push("a")
+        queue.push("b")
+        assert queue.is_full
+        with pytest.raises(QueueFullError):
+            queue.push("c")
+        # Original contents untouched.
+        assert list(queue) == ["a", "b"]
+
+    def test_empty_pop_raises(self):
+        queue = CircularQueue(1)
+        with pytest.raises(QueueEmptyError):
+            queue.pop()
+
+    def test_wraparound(self):
+        queue = CircularQueue(3)
+        for value in (1, 2, 3):
+            queue.push(value)
+        queue.pop()
+        queue.push(4)
+        assert list(queue) == [2, 3, 4]
+
+    def test_peek(self):
+        queue = CircularQueue(3)
+        queue.push(10)
+        queue.push(20)
+        assert queue.peek() == 10
+        assert queue.peek(1) == 20
+        assert len(queue) == 2  # peeking does not consume
+
+    def test_peek_out_of_range(self):
+        queue = CircularQueue(3)
+        queue.push(1)
+        with pytest.raises(IndexError):
+            queue.peek(1)
+
+    def test_free_slots(self):
+        queue = CircularQueue(5)
+        queue.push(1)
+        assert queue.free_slots == 4
+
+    def test_clear(self):
+        queue = CircularQueue(3)
+        queue.push(1)
+        queue.clear()
+        assert queue.is_empty
+        queue.push(2)
+        assert queue.pop() == 2
+
+    def test_remove_from_tail(self):
+        queue = CircularQueue(5)
+        for value in range(5):
+            queue.push(value)
+        removed = queue.remove_from_tail(2)
+        assert removed == [4, 3]  # youngest first
+        assert list(queue) == [0, 1, 2]
+
+    def test_remove_from_tail_all(self):
+        queue = CircularQueue(3)
+        queue.push(1)
+        queue.push(2)
+        assert queue.remove_from_tail(2) == [2, 1]
+        assert queue.is_empty
+
+    def test_remove_from_tail_too_many(self):
+        queue = CircularQueue(3)
+        queue.push(1)
+        with pytest.raises(ValueError):
+            queue.remove_from_tail(2)
+
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("push"), st.integers()),
+    st.tuples(st.just("pop"), st.integers()),
+    st.tuples(st.just("squash"), st.integers(min_value=0, max_value=3)),
+), max_size=200))
+def test_matches_deque_model(operations):
+    """The circular queue behaves like a bounded deque reference model."""
+    capacity = 8
+    queue = CircularQueue(capacity)
+    model: deque = deque()
+    for op, value in operations:
+        if op == "push":
+            if len(model) < capacity:
+                queue.push(value)
+                model.append(value)
+            else:
+                with pytest.raises(QueueFullError):
+                    queue.push(value)
+        elif op == "pop":
+            if model:
+                assert queue.pop() == model.popleft()
+            else:
+                with pytest.raises(QueueEmptyError):
+                    queue.pop()
+        else:  # squash from tail
+            count = min(value, len(model))
+            removed = queue.remove_from_tail(count)
+            expected = [model.pop() for _ in range(count)]
+            assert removed == expected
+        assert len(queue) == len(model)
+        assert list(queue) == list(model)

@@ -1,0 +1,170 @@
+"""Tests for the synthetic SPECINT workloads and bundled kernels."""
+
+import pytest
+
+from repro.bpred.unit import PERFECT_PREDICTOR
+from repro.trace.record import RecordKind
+from repro.trace.wrongpath import count_blocks, validate_block
+from repro.workloads import (
+    KERNELS,
+    SPECINT_PROFILES,
+    SyntheticWorkload,
+    get_profile,
+    kernel_program,
+    kernel_source,
+)
+from repro.workloads.profiles import BenchmarkProfile
+
+
+class TestProfiles:
+    def test_all_five_benchmarks_present(self):
+        assert set(SPECINT_PROFILES) == {"gzip", "bzip2", "parser",
+                                         "vortex", "vpr"}
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_profile("mcf")
+
+    def test_mix_fractions_valid(self):
+        for profile in SPECINT_PROFILES.values():
+            assert 0.0 < profile.alu_fraction < 1.0
+            assert profile.mean_block_length >= 1.0
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            BenchmarkProfile(name="bad", description="",
+                             branch_fraction=0.6, load_fraction=0.5)
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            BenchmarkProfile(name="bad", description="",
+                             loop_weight=0, cond_weight=0,
+                             call_weight=0, jump_weight=0)
+
+    def test_characterization_relationships(self):
+        """The per-benchmark structure encodes the paper's narrative."""
+        profiles = SPECINT_PROFILES
+        # bzip2: biggest data working set (most cache-sensitive).
+        assert profiles["bzip2"].working_set_bytes == max(
+            p.working_set_bytes for p in profiles.values()
+        )
+        # parser: branchiest.
+        assert profiles["parser"].branch_fraction == max(
+            p.branch_fraction for p in profiles.values()
+        )
+        # vortex: most functions (largest code footprint, call-heavy).
+        assert profiles["vortex"].function_count == max(
+            p.function_count for p in profiles.values()
+        )
+        assert profiles["vortex"].call_weight == max(
+            p.call_weight for p in profiles.values()
+        )
+
+
+class TestSyntheticGenerator:
+    def test_determinism(self):
+        a = SyntheticWorkload(get_profile("gzip"), seed=42).generate(5000)
+        b = SyntheticWorkload(get_profile("gzip"), seed=42).generate(5000)
+        assert a.records == b.records
+
+    def test_seed_changes_trace(self):
+        a = SyntheticWorkload(get_profile("gzip"), seed=1).generate(5000)
+        b = SyntheticWorkload(get_profile("gzip"), seed=2).generate(5000)
+        assert a.records != b.records
+
+    def test_budget_respected(self):
+        generation = SyntheticWorkload(get_profile("vpr"),
+                                       seed=3).generate(4000)
+        assert generation.committed_instructions >= 4000
+        # Overshoot bounded by one basic block + terminator.
+        assert generation.committed_instructions < 4200
+
+    def test_record_accounting(self):
+        generation = SyntheticWorkload(get_profile("parser"),
+                                       seed=3).generate(5000)
+        assert generation.total_records == (
+            generation.committed_instructions
+            + generation.wrong_path_instructions
+        )
+        assert count_blocks(generation.records) == generation.mispredictions
+
+    def test_mix_tracks_profile(self):
+        profile = get_profile("gzip")
+        generation = SyntheticWorkload(profile, seed=5).generate(30_000)
+        stats = generation.statistics()
+        branch_frac = stats.kind_fraction(RecordKind.BRANCH)
+        mem_frac = stats.kind_fraction(RecordKind.MEMORY)
+        assert abs(branch_frac - profile.branch_fraction) < 0.05
+        expected_mem = profile.load_fraction + profile.store_fraction
+        assert abs(mem_frac - expected_mem) < 0.06
+
+    def test_wrong_path_blocks_valid(self):
+        workload = SyntheticWorkload(get_profile("parser"), seed=5,
+                                     rob_entries=16, ifq_entries=4)
+        generation = workload.generate(10_000)
+        block: list = []
+        for record in generation.records:
+            if record.tag:
+                block.append(record)
+            elif block:
+                validate_block(block, max_size=20)
+                block = []
+
+    def test_perfect_predictor_no_wrong_path(self):
+        workload = SyntheticWorkload(get_profile("parser"), seed=5,
+                                     predictor_config=PERFECT_PREDICTOR)
+        generation = workload.generate(10_000)
+        assert generation.mispredictions == 0
+        assert generation.wrong_path_instructions == 0
+
+    def test_addresses_inside_working_set(self):
+        profile = get_profile("gzip")
+        generation = SyntheticWorkload(profile, seed=6).generate(10_000)
+        from repro.isa.program import DATA_BASE
+        for record in generation.records:
+            if record.kind is RecordKind.MEMORY:
+                offset = record.address - DATA_BASE
+                assert 0 <= offset < profile.working_set_bytes
+
+    def test_code_footprint_scales_with_functions(self):
+        small = SyntheticWorkload(get_profile("gzip"), seed=7)
+        large = SyntheticWorkload(get_profile("vortex"), seed=7)
+        assert large.code_footprint_bytes > small.code_footprint_bytes
+        assert large.static_branch_sites > small.static_branch_sites
+
+    def test_describe(self):
+        workload = SyntheticWorkload(get_profile("bzip2"), seed=7)
+        assert "bzip2" in workload.describe()
+
+    def test_invalid_budget(self):
+        workload = SyntheticWorkload(get_profile("gzip"), seed=7)
+        with pytest.raises(ValueError):
+            workload.generate(0)
+
+    def test_branch_target_is_reachable_block(self):
+        """Every taken target of an untagged branch maps to a known
+        block start (the engine reconstructs PCs from these)."""
+        workload = SyntheticWorkload(get_profile("vpr"), seed=8)
+        generation = workload.generate(5000)
+        starts = set(workload._block_by_pc)
+        from repro.trace.record import BranchRecord
+        for record in generation.records:
+            if isinstance(record, BranchRecord) and not record.tag \
+                    and record.taken:
+                assert record.target in starts
+
+
+class TestKernels:
+    def test_kernel_inventory(self):
+        assert len(KERNELS) == 7
+
+    def test_kernel_source_lookup(self):
+        assert "main:" in kernel_source("vecsum")
+        with pytest.raises(KeyError):
+            kernel_source("doom")
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernels_assemble(self, name):
+        program = kernel_program(name)
+        assert len(program) > 5
+        assert program.entry == program.symbols["main"]

@@ -1,0 +1,64 @@
+"""Calibration harness: measured vs. target IPC for the Table 1 configs.
+
+Run with ``python tools/calibrate.py [budget]``.  Targets are the
+paper-implied instructions-per-cycle values (MIPS / (f / latency)).
+This script is a development aid, not part of the library.
+"""
+
+import sys
+import time
+
+from repro.bpred.unit import PERFECT_PREDICTOR
+from repro.core import PAPER_2WIDE_CACHE, PAPER_4WIDE_PERFECT, ReSimEngine
+from repro.workloads import SyntheticWorkload, get_profile
+
+TARGET_4W = {"gzip": 1.94, "bzip2": 2.30, "parser": 1.66,
+             "vortex": 1.96, "vpr": 1.70}
+TARGET_2W = {"gzip": 1.46, "bzip2": 1.32, "parser": 1.19,
+             "vortex": 1.20, "vpr": 1.37}
+# Table 3 cross-check targets (V4, perfect memory, 4-wide):
+TARGET_BITS = {"gzip": 41.74, "bzip2": 41.16, "parser": 43.66,
+               "vortex": 47.14, "vpr": 43.52}
+TARGET_WPRATIO = {"gzip": 26.37 / 23.26, "bzip2": 29.43 / 27.55,
+                  "parser": 22.83 / 19.94, "vortex": 24.47 / 23.57,
+                  "vpr": 24.44 / 20.38}
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 30_000
+    start = time.time()
+    print("=== 4-wide, perfect memory, 2-level BP (Table 1 left) ===")
+    print(f"{'bench':8s} {'IPC':>6s} {'tgt':>6s} {'trace/c':>8s} "
+          f"{'wp-ratio':>8s} {'tgt':>6s} {'bits':>6s} {'tgt':>6s} "
+          f"{'mis/br':>7s} {'mf/br':>7s}")
+    for name in TARGET_4W:
+        workload = SyntheticWorkload(get_profile(name), seed=7)
+        gen = workload.generate(budget)
+        stats = gen.statistics()
+        res = ReSimEngine(PAPER_4WIDE_PERFECT, gen.records).run()
+        s = res.stats
+        wp_ratio = s.trace_throughput / s.ipc if s.ipc else 0.0
+        print(f"{name:8s} {s.ipc:6.3f} {TARGET_4W[name]:6.2f} "
+              f"{s.trace_throughput:8.3f} {wp_ratio:8.3f} "
+              f"{TARGET_WPRATIO[name]:6.3f} "
+              f"{stats.bits_per_instruction:6.2f} {TARGET_BITS[name]:6.2f} "
+              f"{s.misprediction_rate:7.3f} "
+              f"{int(s.misfetches)/max(1,int(s.committed_branches)):7.3f}")
+
+    print()
+    print("=== 2-wide, 32KB L1, perfect BP (Table 1 right) ===")
+    print(f"{'bench':8s} {'IPC':>6s} {'tgt':>6s} {'il1':>7s} {'dl1':>7s}")
+    for name in TARGET_2W:
+        workload = SyntheticWorkload(
+            get_profile(name), seed=7, predictor_config=PERFECT_PREDICTOR
+        )
+        gen = workload.generate(budget)
+        res = ReSimEngine(PAPER_2WIDE_CACHE, gen.records).run()
+        s = res.stats
+        print(f"{name:8s} {s.ipc:6.3f} {TARGET_2W[name]:6.2f} "
+              f"{s.icache_miss_rate:7.4f} {s.dcache_miss_rate:7.4f}")
+    print(f"\n[{time.time() - start:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()
