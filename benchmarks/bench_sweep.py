@@ -1,0 +1,83 @@
+"""Bench: parallel sweep throughput vs. the serial loop.
+
+Measures wall clock for the same 16-point design-space sweep run the
+way ``examples/design_space.py`` historically did (one simulation
+after another, in-process) and through :class:`SweepRunner` with a
+4-way process pool.  The engine is a deterministic function of
+(config, trace), so both paths must produce identical statistics —
+the speedup is free.
+
+Checkpoints are disabled as a variable here by giving every run a
+fresh results directory; resume behaviour is covered by
+``tests/test_sweep.py``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.sweep import SweepSpec, SweepRunner, stats_to_dict
+
+BUDGET = 6000
+WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SweepSpec(axes={
+        "rob_entries": (8, 16, 32, 64),
+        "lsq_entries": (4, 8),
+        "width": (2, 4),
+    })
+
+
+def _run(spec, directory, workers):
+    runner = SweepRunner(spec, "gzip", results_dir=directory,
+                         budget=BUDGET, workers=workers)
+    start = time.perf_counter()
+    result = runner.run()
+    return result, time.perf_counter() - start
+
+
+def test_sweep_parallel_speedup(spec, tmp_path):
+    """16 configs, one shared trace: pool vs. serial wall clock."""
+    serial_result, serial_s = _run(spec, tmp_path / "serial", 1)
+    parallel_result, parallel_s = _run(spec, tmp_path / "parallel",
+                                       WORKERS)
+
+    assert len(serial_result) == len(parallel_result) == 16
+    for a, b in zip(serial_result, parallel_result):
+        assert stats_to_dict(a.stats) == stats_to_dict(b.stats)
+
+    speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+    print(f"\nsweep of {len(serial_result)} configs, budget {BUDGET}: "
+          f"serial {serial_s:.2f}s, {WORKERS} workers {parallel_s:.2f}s "
+          f"-> {speedup:.2f}x on {cores} core(s)")
+    # Hard-assert only a loose floor: a loaded/oversubscribed host can
+    # legitimately land under the ~linear ideal, and a wall-clock
+    # flake here would read as a nonexistent regression.  The printed
+    # measurement is the benchmark's real output (>= 2x on an idle
+    # 4-core box).
+    if cores >= WORKERS:
+        assert speedup >= 1.3, (
+            f"expected parallel speedup at {WORKERS} workers on "
+            f"{cores} cores, measured {speedup:.2f}x"
+        )
+
+
+def test_sweep_amortizes_trace_generation(spec, tmp_path, benchmark):
+    """Trace generation happens once per sweep, not once per config:
+    after `prepare_trace`, each additional design point costs only a
+    simulation."""
+    runner = SweepRunner(spec, "gzip", results_dir=tmp_path / "amort",
+                         budget=BUDGET, workers=1)
+    predictor = spec.base.predictor
+    trace = runner.prepare_trace(predictor)
+    assert trace.path.exists()
+
+    generated = benchmark(runner.prepare_trace, predictor)
+    # Subsequent calls reuse the persisted file (same path, same PC).
+    assert generated.path == trace.path
+    assert generated.start_pc == trace.start_pc

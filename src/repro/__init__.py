@@ -19,6 +19,9 @@ DATE 2009), including every substrate the paper depends on:
   (:mod:`repro.fpga`);
 * throughput/bandwidth/comparison models regenerating the paper's
   Tables 1-4 (:mod:`repro.perf`);
+* parallel, checkpointed design-space sweeps over one shared trace —
+  the paper's "bulk simulations with varying design parameters" mode
+  (:mod:`repro.sweep`);
 * synthetic SPECINT workload profiles and real assembly kernels
   (:mod:`repro.workloads`), and an independent baseline timing
   simulator for cross-validation (:mod:`repro.baseline`).
@@ -58,6 +61,7 @@ from repro.functional import SimBpred, SimFast
 from repro.isa import Program, assemble
 from repro.perf import ThroughputModel, evaluate_benchmark, evaluate_suite
 from repro.cosim import OnTheFlyCosimulation
+from repro.sweep import SweepResult, SweepRunner, SweepSpec, run_sweep
 from repro.multicore import MultiCoreSimulator, TraceChannel
 from repro.trace import (
     decode_trace,
@@ -96,6 +100,9 @@ __all__ = [
     "SimBpred",
     "SimFast",
     "SimulationResult",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
     "SyntheticWorkload",
     "ThroughputModel",
     "TraceChannel",
@@ -112,6 +119,7 @@ __all__ = [
     "kernel_program",
     "measure_trace",
     "read_trace_file",
+    "run_sweep",
     "select_pipeline",
     "write_trace_file",
 ]

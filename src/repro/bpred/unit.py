@@ -76,6 +76,11 @@ class PredictorConfig:
         )
 
 
+#: The closed set of direction-predictor schemes
+#: :func:`build_direction_predictor` accepts.
+PREDICTOR_SCHEMES = ("twolevel", "gshare", "bimodal", "comb", "taken",
+                     "nottaken", "perfect")
+
 #: The exact configuration used in Section V.C of the paper.
 PAPER_PREDICTOR = PredictorConfig()
 

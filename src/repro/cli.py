@@ -10,7 +10,10 @@ Subcommands mirror how the paper's system is used:
 * ``area``     — print the Table 4 area breakdown for a configuration;
 * ``vhdl``     — emit the parametric branch-predictor VHDL;
 * ``multicore``— the Section VI study: instances per device and
-  aggregate throughput under the shared trace channel.
+  aggregate throughput under the shared trace channel;
+* ``sweep``    — the paper's bulk mode: simulate one shared trace
+  across a whole parameter grid in parallel, with per-point
+  checkpointing so interrupted sweeps resume.
 
 Entry point: ``python -m repro.cli <subcommand>`` or the installed
 ``resim`` script.
@@ -29,13 +32,18 @@ from repro.core.minorpipe import select_pipeline
 from repro.fpga.area import AreaEstimator
 from repro.fpga.device import DEVICES, VIRTEX4_LX40, VIRTEX5_LX50T
 from repro.fpga.vhdlgen import generate_branch_predictor_vhdl
-from repro.functional.sim_bpred import SimBpred
 from repro.multicore.simulator import MultiCoreSimulator, TraceChannel
 from repro.perf.throughput import ThroughputModel
-from repro.trace.fileio import read_trace_file, write_trace_file
-from repro.workloads.kernels import KERNELS, kernel_program
-from repro.workloads.profiles import SPECINT_PROFILES, get_profile
-from repro.workloads.synthetic import SyntheticWorkload
+from repro.trace.fileio import (
+    TraceFileError,
+    read_trace_file,
+    write_trace_file,
+)
+from repro.workloads.profiles import SPECINT_PROFILES
+from repro.workloads.tracegen import (
+    UnknownWorkloadError,
+    generate_workload_trace,
+)
 
 CONFIGS = {
     "4wide-perfect": PAPER_4WIDE_PERFECT,
@@ -63,36 +71,21 @@ def _device(name: str):
 
 def _generate_records(args, config):
     """Shared workload selection for `trace` and `simulate`."""
-    if args.workload in SPECINT_PROFILES:
-        workload = SyntheticWorkload(
-            get_profile(args.workload), seed=args.seed,
-            predictor_config=config.predictor,
-            rob_entries=config.rob_entries,
-            ifq_entries=config.ifq_entries,
-        )
-        generation = workload.generate(args.budget)
-        return generation.records, None
-    if args.workload in KERNELS:
-        program = kernel_program(args.workload)
-        tracer = SimBpred(
-            predictor_config=config.predictor,
-            rob_entries=config.rob_entries,
-            ifq_entries=config.ifq_entries,
-        )
-        generation = tracer.generate(program)
-        return generation.records, program.entry
-    raise SystemExit(
-        f"unknown workload {args.workload!r}; benchmarks: "
-        f"{', '.join(SPECINT_PROFILES)}; kernels: {', '.join(KERNELS)}"
-    )
+    try:
+        generation, start_pc = generate_workload_trace(
+            args.workload, config, budget=args.budget, seed=args.seed)
+    except UnknownWorkloadError as error:
+        raise SystemExit(str(error))
+    return generation.records, start_pc
 
 
 def cmd_trace(args) -> int:
     config = _config(args.config)
-    records, __ = _generate_records(args, config)
+    records, start_pc = _generate_records(args, config)
     written = write_trace_file(
         args.output, records, predictor=config.predictor,
         benchmark=args.workload, seed=args.seed,
+        extra={} if start_pc is None else {"start_pc": start_pc},
     )
     print(f"wrote {len(records)} records ({written} bytes) "
           f"to {args.output}")
@@ -103,7 +96,11 @@ def cmd_simulate(args) -> int:
     config = _config(args.config)
     start_pc = None
     if args.trace_file:
-        header, records = read_trace_file(args.trace_file)
+        try:
+            header, records = read_trace_file(args.trace_file)
+        except TraceFileError as error:
+            raise SystemExit(f"{args.trace_file}: {error}")
+        start_pc = header.metadata.get("start_pc")
         stored = header.predictor_config
         if stored is not None and stored != config.predictor:
             print("warning: trace was generated with a different "
@@ -111,10 +108,7 @@ def cmd_simulate(args) -> int:
                   "this engine's predictions", file=sys.stderr)
     else:
         records, start_pc = _generate_records(args, config)
-    engine = ReSimEngine(
-        config, records,
-        **({"start_pc": start_pc} if start_pc is not None else {}),
-    )
+    engine = ReSimEngine(config, records, start_pc=start_pc)
     result = engine.run()
     print(result.stats.report())
     pipeline = select_pipeline(config.width, config.memory_ports)
@@ -171,6 +165,105 @@ def cmd_multicore(args) -> int:
     return 0
 
 
+def _int_list(raw: str, option: str) -> list[int]:
+    try:
+        return [int(part) for part in raw.split(",") if part]
+    except ValueError:
+        raise SystemExit(
+            f"{option} expects a comma-separated integer list, got {raw!r}"
+        )
+
+
+def cmd_sweep(args) -> int:
+    from repro.perf.tables import sweep_table  # heavy import, lazy
+    from repro.sweep import SweepError, SweepRunner, SweepSpec
+
+    base = _config(args.config)
+    axes: dict[str, list] = {}
+    for name, option, raw in (
+        ("rob_entries", "--rob", args.rob),
+        ("lsq_entries", "--lsq", args.lsq),
+        ("ifq_entries", "--ifq", args.ifq),
+        ("width", "--width", args.width),
+        ("alu_count", "--alus", args.alus),
+    ):
+        if raw:
+            axes[name] = _int_list(raw, option)
+    if args.predictor:
+        axes["predictor"] = [part for part in args.predictor.split(",")
+                             if part]
+    for raw in args.axis or []:
+        name, sep, values = raw.partition("=")
+        if not sep or not values:
+            raise SystemExit(
+                f"--axis expects NAME=V1,V2,..., got {raw!r}")
+        if name in axes:
+            raise SystemExit(
+                f"axis {name!r} specified twice; merge its values "
+                f"into one option"
+            )
+        axes[name] = _int_list(values, f"--axis {name}")
+    if not axes:
+        raise SystemExit(
+            "nothing to sweep; pass at least one axis "
+            "(--rob/--lsq/--ifq/--width/--alus/--predictor/--axis)"
+        )
+    # Fail on bad presentation/export options *before* the sweep runs,
+    # not after minutes of simulation.
+    from repro.sweep.result import SORT_KEYS
+    if args.sort not in SORT_KEYS:
+        raise SystemExit(
+            f"unknown sort key {args.sort!r}; choose from "
+            f"{', '.join(SORT_KEYS)}"
+        )
+    if args.top is not None and args.top < 1:
+        raise SystemExit(f"--top must be positive, got {args.top}")
+    device = _device(args.device)
+    results_dir = Path(args.results_dir).resolve()
+    for option, export in (("--csv", args.csv), ("--json", args.json)):
+        if export:
+            parent = Path(export).resolve().parent
+            inside_results = (parent == results_dir
+                              or results_dir in parent.parents)
+            if not parent.is_dir() and not inside_results:
+                raise SystemExit(
+                    f"{option} {export!r}: directory {parent} does "
+                    f"not exist"
+                )
+
+    try:
+        spec = SweepSpec(axes=axes, base=base)
+        runner = SweepRunner(
+            spec, args.workload, results_dir=args.results_dir,
+            budget=args.budget, seed=args.seed, workers=args.workers,
+        )
+        result = runner.run()
+    except SweepError as error:
+        raise SystemExit(str(error))
+
+    print(sweep_table(result, device_name=args.device,
+                      sort_key=args.sort, limit=args.top))
+    notes = [f"{len(result)} design points"]
+    if result.resumed_count:
+        notes.append(f"{result.resumed_count} resumed from checkpoints")
+    if result.skipped_invalid:
+        notes.append(f"{result.skipped_invalid} invalid combos skipped")
+    if result.skipped_duplicates:
+        notes.append(f"{result.skipped_duplicates} duplicates collapsed")
+    print(f"\n[{'; '.join(notes)}; results in {args.results_dir}]")
+    if args.csv:
+        Path(args.csv).resolve().parent.mkdir(parents=True,
+                                              exist_ok=True)
+        result.to_csv(args.csv, devices=(device,))
+        print(f"wrote {args.csv}")
+    if args.json:
+        Path(args.json).resolve().parent.mkdir(parents=True,
+                                               exist_ok=True)
+        result.to_json(args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="resim", description=__doc__,
@@ -221,6 +314,35 @@ def build_parser() -> argparse.ArgumentParser:
     multicore.add_argument("--channel-gbps", type=float, default=6.4)
     multicore.add_argument("benchmarks", nargs="*", metavar="BENCH")
     multicore.set_defaults(func=cmd_multicore)
+
+    sweep = sub.add_parser(
+        "sweep", help="bulk design-space sweep over one shared trace")
+    add_common(sweep)
+    sweep.add_argument("workload", nargs="?", default="gzip",
+                       help="benchmark profile or kernel name")
+    sweep.add_argument("--results-dir", default="sweep-results",
+                       help="trace + checkpoint directory (reuse to "
+                            "resume an interrupted sweep)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="simulation processes (1 = serial)")
+    sweep.add_argument("--rob", help="ROB sizes, e.g. 8,16,32")
+    sweep.add_argument("--lsq", help="LSQ sizes")
+    sweep.add_argument("--ifq", help="IFQ sizes")
+    sweep.add_argument("--width", help="superscalar widths")
+    sweep.add_argument("--alus", help="ALU counts")
+    sweep.add_argument("--predictor",
+                       help="predictor schemes, e.g. twolevel,bimodal")
+    sweep.add_argument("--axis", action="append", metavar="NAME=V1,V2",
+                       help="sweep any integer ProcessorConfig field")
+    sweep.add_argument("--device", default="xc4vlx40",
+                       help="device for projected MIPS column")
+    sweep.add_argument("--sort", default="ipc",
+                       help="table sort key (ipc, cycles, mispredictions)")
+    sweep.add_argument("--top", type=int, default=None,
+                       help="show only the best N points")
+    sweep.add_argument("--csv", default=None, help="CSV export path")
+    sweep.add_argument("--json", default=None, help="JSON export path")
+    sweep.set_defaults(func=cmd_sweep)
 
     return parser
 

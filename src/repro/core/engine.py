@@ -96,8 +96,8 @@ class ReSimEngine:
         predictor configuration used at generation must match
         ``config.predictor``.
     start_pc:
-        PC of the first record (text base by default) — used for
-        I-cache indexing and predictor lookups.
+        PC of the first record (``None`` means the text base) — used
+        for I-cache indexing and predictor lookups.
     update_predictor_at_commit:
         True (paper behaviour): train the predictor when branches
         retire.  False: train at fetch, which makes the engine's
@@ -108,7 +108,7 @@ class ReSimEngine:
         self,
         config: ProcessorConfig,
         trace: Sequence[TraceRecord],
-        start_pc: int = TEXT_BASE,
+        start_pc: int | None = None,
         update_predictor_at_commit: bool = True,
     ) -> None:
         self._config = config
@@ -133,7 +133,7 @@ class ReSimEngine:
         self._consumers: dict[int, list[InFlightOp]] = {}
 
         # Fetch state.
-        self._fetch_pc = start_pc
+        self._fetch_pc = TEXT_BASE if start_pc is None else start_pc
         self._fetch_stall = 0
         self._speculative = False          # consuming a tagged block
         self._spec_pc = 0                  # wrong-path fetch PC

@@ -33,8 +33,7 @@ from repro.fpga.area import AreaEstimator
 from repro.fpga.device import FpgaDevice
 from repro.perf.throughput import ThroughputModel, ThroughputReport
 from repro.trace.stats import TraceStatistics
-from repro.workloads.profiles import get_profile
-from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.tracegen import generate_workload_trace
 
 #: Default shared trace-channel capacity, in Gb/s.  The paper points
 #: at tightly-coupled CPU-FPGA attachments (the DRC board's
@@ -176,34 +175,7 @@ class MultiCoreSimulator:
                 f"{self.max_instances} instance(s) fit on "
                 f"{self._device.name}"
             )
-        result = MultiCoreResult(
-            device=self._device,
-            instances=len(benchmarks),
-            slices_per_instance=self._slices_per_instance,
-            brams_per_instance=self._brams_per_instance,
-            channel=self._channel,
-        )
-        pipeline = select_pipeline(self._config.width,
-                                   self._config.memory_ports)
-        model = ThroughputModel(self._device, pipeline)
-        for core_index, name in enumerate(benchmarks):
-            workload = SyntheticWorkload(
-                get_profile(name),
-                seed=seed + core_index,  # distinct streams per core
-                predictor_config=self._config.predictor,
-                rob_entries=self._config.rob_entries,
-                ifq_entries=self._config.ifq_entries,
-            )
-            generation = workload.generate(budget)
-            engine_result = ReSimEngine(self._config,
-                                        generation.records).run()
-            result.cores.append(CoreResult(
-                core=core_index,
-                benchmark=name,
-                report=model.report(engine_result),
-                trace_stats=generation.statistics(),
-            ))
-        return result
+        return self._run_unchecked(benchmarks, budget, seed)
 
     def scaling_study(
         self,
@@ -244,16 +216,13 @@ class MultiCoreSimulator:
                                    self._config.memory_ports)
         model = ThroughputModel(self._device, pipeline)
         for core_index, name in enumerate(benchmarks):
-            workload = SyntheticWorkload(
-                get_profile(name),
+            generation, start_pc = generate_workload_trace(
+                name, self._config, budget=budget,
                 seed=seed + core_index,
-                predictor_config=self._config.predictor,
-                rob_entries=self._config.rob_entries,
-                ifq_entries=self._config.ifq_entries,
             )
-            generation = workload.generate(budget)
-            engine_result = ReSimEngine(self._config,
-                                        generation.records).run()
+            engine_result = ReSimEngine(
+                self._config, generation.records, start_pc=start_pc,
+            ).run()
             result.cores.append(CoreResult(
                 core=core_index,
                 benchmark=name,

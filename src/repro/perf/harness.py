@@ -16,8 +16,7 @@ from repro.core.engine import ReSimEngine, SimulationResult
 from repro.fpga.device import FpgaDevice, VIRTEX4_LX40, VIRTEX5_LX50T
 from repro.perf.throughput import ThroughputModel, ThroughputReport
 from repro.trace.stats import TraceStatistics
-from repro.workloads.profiles import get_profile
-from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.tracegen import generate_workload_trace
 
 #: Default devices: the paper's two implementation targets.
 DEFAULT_DEVICES = (VIRTEX4_LX40, VIRTEX5_LX50T)
@@ -76,15 +75,9 @@ def evaluate_benchmark(
     The workload's predictor configuration and wrong-path block bound
     are taken from ``config`` so trace and engine stay consistent.
     """
-    workload = SyntheticWorkload(
-        get_profile(benchmark),
-        seed=seed,
-        predictor_config=config.predictor,
-        rob_entries=config.rob_entries,
-        ifq_entries=config.ifq_entries,
-    )
-    generation = workload.generate(budget)
-    engine = ReSimEngine(config, generation.records)
+    generation, start_pc = generate_workload_trace(
+        benchmark, config, budget=budget, seed=seed)
+    engine = ReSimEngine(config, generation.records, start_pc=start_pc)
     result = engine.run()
     row = BenchmarkRow(
         benchmark=benchmark,

@@ -124,6 +124,32 @@ def table4(budget: int) -> None:
 
 
 
+def sweep_table(result, device_name: str = "xc4vlx40",
+                sort_key: str = "ipc", limit: int | None = None) -> str:
+    """Render a :class:`~repro.sweep.result.SweepResult` the way the
+    paper tables are rendered: swept coordinates + IPC next to the
+    FPGA-projected MIPS on one device, best design point first.
+
+    This is the sweep subsystem's hook into the table machinery — the
+    same rows can also join Table 2 via
+    ``comparison_table`` + ``SweepResult.comparison_entries``.
+    """
+    from repro.fpga.device import DEVICES  # lazy: avoid import cycles
+    try:
+        device = DEVICES[device_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {device_name!r}; choose from "
+            f"{', '.join(DEVICES)}"
+        ) from None
+    ordered = result.sorted_by(sort_key)
+    if limit is not None:
+        ordered = ordered.top(limit, sort_key)
+    header = (f"== sweep: {result.workload}, budget {result.budget}, "
+              f"seed {result.seed} ({len(result)} design points) ==\n")
+    return header + ordered.table(devices=(device,))
+
+
 def render_all(tables: list[str] | None = None,
                budget: int = 30_000) -> None:
     """Render the selected tables (all four by default)."""

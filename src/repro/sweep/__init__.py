@@ -1,0 +1,51 @@
+"""Design-space sweeps: bulk simulation of one trace across many
+configurations.
+
+The paper positions ReSim for traces *"prepared off-line ... for bulk
+simulations with varying design parameters"*; this package is that
+workflow as a subsystem:
+
+* :class:`~repro.sweep.spec.SweepSpec` — expand a parameter grid into
+  validated, deduplicated :class:`ProcessorConfig` design points;
+* :class:`~repro.sweep.runner.SweepRunner` — generate/persist the
+  workload trace once, fan simulations out across worker processes,
+  checkpoint every finished point so interrupted sweeps resume;
+* :class:`~repro.sweep.result.SweepResult` — sort/filter/tabulate the
+  outcomes and export them as JSON/CSV or Table 2-style comparison
+  rows.
+
+Quick start
+-----------
+>>> from repro.sweep import SweepSpec, run_sweep
+>>> spec = SweepSpec(axes={"rob_entries": (8, 16, 32)})
+>>> result = run_sweep(spec, "gzip", results_dir="sweep-out",
+...                    budget=5_000, workers=4)   # doctest: +SKIP
+>>> print(result.sorted_by("ipc").table())        # doctest: +SKIP
+"""
+
+from repro.sweep.result import SweepOutcome, SweepResult
+from repro.sweep.runner import SweepRunner, run_sweep
+from repro.sweep.serialize import (
+    config_from_dict,
+    config_key,
+    config_to_dict,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.sweep.spec import Expansion, SweepError, SweepPoint, SweepSpec
+
+__all__ = [
+    "Expansion",
+    "SweepError",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "config_from_dict",
+    "config_key",
+    "config_to_dict",
+    "run_sweep",
+    "stats_from_dict",
+    "stats_to_dict",
+]

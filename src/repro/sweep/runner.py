@@ -1,0 +1,429 @@
+"""Parallel sweep execution with per-point checkpointing.
+
+The paper's primary usage mode is traces *"prepared off-line ... for
+bulk simulations with varying design parameters"*.  This module is
+that bulk mode: each workload trace is generated (or loaded) **once**,
+persisted through :mod:`repro.trace.fileio`, and then every design
+point of a :class:`~repro.sweep.spec.SweepSpec` is simulated against
+it — fanned out over a ``ProcessPoolExecutor`` when ``workers > 1``.
+
+Durability: each finished design point is written to
+``<results_dir>/<config-key>.json`` via an atomic
+write-tmpfile-then-rename, so a sweep killed halfway resumes from its
+checkpoints instead of restarting — rerunning the same
+:class:`SweepRunner` re-simulates only the missing points.  Checkpoints
+embed the full config dict and are validated on load; a corrupt or
+mismatched checkpoint is discarded and recomputed, never trusted.
+
+Determinism: the engine is a deterministic function of (config,
+records), and serial and parallel execution share the same worker
+function, so ``workers=N`` produces bit-identical
+:class:`SimulationStatistics` to ``workers=1`` (the test suite checks
+this).
+
+Trace sharing: ReSim's wrong-path handling is trace-authoritative
+(Section V.A) — the tagged blocks recorded at generation time *are*
+the misprediction signal.  Sizing axes (ROB, LSQ, IFQ, width, FU
+mixes, caches) therefore share one trace, exactly as in the paper's
+off-line mode.  The **predictor** is different: sharing one trace
+across predictor schemes would make every scheme score identically,
+so the runner generates one trace per *distinct predictor* in the
+grid (``trace-<predictor-key>.rtrc``), amortized across all other
+axes.  Generation ROB/IFQ always come from the base config.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+
+from repro.bpred.unit import PredictorConfig
+from repro.core.engine import ReSimEngine
+from repro.sweep.result import SweepOutcome, SweepResult
+from repro.sweep.serialize import (
+    canonical_digest,
+    config_from_dict,
+    config_to_dict,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.sweep.spec import SweepError, SweepPoint, SweepSpec
+from repro.trace.fileio import (
+    TraceFileError,
+    read_trace_file,
+    read_trace_header,
+    write_trace_file,
+)
+from repro.trace.record import TraceRecord
+from repro.workloads.profiles import SPECINT_PROFILES
+from repro.workloads.tracegen import (
+    UnknownWorkloadError,
+    generate_workload_trace,
+    is_known_workload,
+)
+
+#: Checkpoint schema version; bump on incompatible layout changes.
+CHECKPOINT_SCHEMA = 1
+
+#: Filename of the sweep manifest inside a results directory.
+MANIFEST_FILENAME = "sweep.json"
+
+
+def predictor_key(predictor: PredictorConfig) -> str:
+    """Short stable identifier of one generation predictor."""
+    return canonical_digest(asdict(predictor), length=12)
+
+
+def trace_filename(predictor: PredictorConfig) -> str:
+    """Filename of the shared trace generated with one predictor."""
+    return f"trace-{predictor_key(predictor)}.rtrc"
+
+
+# ---------------------------------------------------------------------
+# Worker side.  Module-level so it pickles into pool processes; the
+# trace is loaded at most once per (process, path) and shared by every
+# task that process executes.
+
+_TRACE_CACHE: dict[tuple[str, int, int], list[TraceRecord]] = {}
+
+
+def _load_records(trace_path: str) -> list[TraceRecord]:
+    # Key on file identity, not just path: a rewritten/corrupted trace
+    # at the same path must never be served from this cache.
+    stat = os.stat(trace_path)
+    cache_key = (trace_path, stat.st_size, stat.st_mtime_ns)
+    records = _TRACE_CACHE.get(cache_key)
+    if records is None:
+        __, records = read_trace_file(trace_path)
+        # A sweep holds one trace per distinct predictor; keep a small
+        # bound so a long-lived worker can't hoard stale traces.
+        while len(_TRACE_CACHE) >= 8:
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        _TRACE_CACHE[cache_key] = records
+    return records
+
+
+def _simulate_point(trace_path: str, config_dict: dict,
+                    checkpoint_path: str,
+                    start_pc: int | None,
+                    provenance: dict) -> dict:
+    """Simulate one design point and checkpoint it atomically.
+
+    ``provenance`` (the sweep manifest) is embedded so a checkpoint
+    stays self-describing: even if ``sweep.json`` is deleted, results
+    computed under different workload/budget/seed parameters cannot
+    be revived as this sweep's.
+    """
+    config = config_from_dict(config_dict)
+    records = _load_records(trace_path)
+    result = ReSimEngine(config, records, start_pc=start_pc).run()
+    payload = {
+        "schema": CHECKPOINT_SCHEMA,
+        "sweep": provenance,
+        "config": config_dict,
+        "stats": stats_to_dict(result.stats),
+    }
+    target = Path(checkpoint_path)
+    tmp = target.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp, target)
+    return payload
+
+
+# ---------------------------------------------------------------------
+# Coordinator side.
+
+
+@dataclass(frozen=True)
+class _TraceInfo:
+    path: Path
+    start_pc: int | None
+    bits_per_instruction: float
+
+
+class SweepRunner:
+    """Run every design point of a spec against shared traces (one
+    per distinct generation predictor; see module docstring).
+
+    Parameters
+    ----------
+    spec:
+        The parameter grid (see :class:`~repro.sweep.spec.SweepSpec`).
+    workload:
+        A SPECINT profile name (synthetic generator) or an assembly
+        kernel name (traced through the functional simulator).
+    results_dir:
+        Where the shared traces, the manifest, and per-point
+        checkpoints live.  Reusing the directory resumes the sweep;
+        mixing workloads/budgets/seeds in one directory is refused.
+    budget:
+        Instruction budget for synthetic workloads (kernels run to
+        completion).
+    seed:
+        Synthetic-generator seed.
+    workers:
+        Process count for the fan-out; ``1`` runs in-process (the
+        serial reference path).
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        workload: str = "gzip",
+        *,
+        results_dir: str | Path,
+        budget: int = 30_000,
+        seed: int = 7,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise SweepError(f"workers must be >= 1, got {workers}")
+        if not is_known_workload(workload):
+            raise SweepError(str(UnknownWorkloadError(workload)))
+        self._is_synthetic = workload in SPECINT_PROFILES
+        self.spec = spec
+        self.workload = workload
+        self.results_dir = Path(results_dir)
+        self.budget = budget
+        self.seed = seed
+        self.workers = workers
+
+    # -- trace management ---------------------------------------------
+
+    def _manifest(self) -> dict:
+        # Includes every parameter the shared traces' content depends
+        # on.  Predictors are NOT pinned here — each distinct
+        # predictor gets its own trace file keyed by predictor_key —
+        # but the generation ROB/IFQ come from the base config, and
+        # budget/seed shape synthetic workloads (kernels run to
+        # completion deterministically, so both are normalized out
+        # for them rather than spuriously refusing a resume).
+        base = self.spec.base
+        return {
+            "workload": self.workload,
+            "budget": self.budget if self._is_synthetic else None,
+            "seed": self.seed if self._is_synthetic else None,
+            "trace_config": {
+                "rob_entries": base.rob_entries,
+                "ifq_entries": base.ifq_entries,
+            },
+        }
+
+    def _check_manifest(self) -> None:
+        manifest_path = self.results_dir / MANIFEST_FILENAME
+        manifest = self._manifest()
+        if manifest_path.exists():
+            try:
+                existing = json.loads(manifest_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                # Checkpoints self-validate via embedded provenance,
+                # so a corrupt manifest can simply be rewritten.
+                tmp = manifest_path.with_suffix(".tmp")
+                tmp.write_text(json.dumps(manifest, sort_keys=True))
+                os.replace(tmp, manifest_path)
+                return
+            if existing != manifest:
+                raise SweepError(
+                    f"results directory {self.results_dir} holds a "
+                    f"different sweep ({existing}); use a fresh "
+                    f"directory for {manifest}"
+                )
+        else:
+            # Atomic, like the checkpoints: a kill mid-write must not
+            # leave truncated JSON that bricks every future resume.
+            tmp = manifest_path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(manifest, sort_keys=True))
+            os.replace(tmp, manifest_path)
+
+    def _generate_trace(self, predictor: PredictorConfig):
+        """(records, start_pc, bits/instruction) for one generation
+        predictor; ROB/IFQ generation parameters come from the base."""
+        generation, start_pc = generate_workload_trace(
+            self.workload, replace(self.spec.base, predictor=predictor),
+            budget=self.budget, seed=self.seed,
+        )
+        bits = generation.statistics().bits_per_instruction
+        return generation.records, start_pc, bits
+
+    def prepare_trace(self, predictor: PredictorConfig) -> _TraceInfo:
+        """Generate the shared trace for one generation predictor, or
+        reuse the persisted one.
+
+        The trace is written through :func:`write_trace_file` with the
+        sweep's provenance (plus a kernel's entry PC) in the metadata
+        blob, so a results directory is self-describing.
+        """
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self._check_manifest()
+        trace_path = self.results_dir / trace_filename(predictor)
+        if trace_path.exists():
+            try:
+                # Header only: the coordinator never needs the records
+                # decoded; each worker decodes the payload itself (and
+                # surfaces payload corruption then).
+                header = read_trace_header(trace_path)
+            except TraceFileError as error:
+                raise SweepError(
+                    f"persisted sweep trace {trace_path} is corrupt "
+                    f"({error}); delete it (checkpoints were produced "
+                    f"from it and must go too)"
+                ) from error
+            start_pc = header.metadata.get("start_pc")
+            bits = header.metadata.get("bits_per_instruction", 0.0)
+            return _TraceInfo(trace_path, start_pc, bits)
+        records, start_pc, bits = self._generate_trace(predictor)
+        extra = {"bits_per_instruction": bits, "generator": "sweep"}
+        if start_pc is not None:
+            extra["start_pc"] = start_pc
+        # Atomic, like the checkpoints and manifest: a kill mid-write
+        # must leave either no trace or a complete one, never a
+        # truncated file that blocks every future resume.
+        tmp = trace_path.with_suffix(".tmp")
+        write_trace_file(
+            tmp, records, predictor=predictor,
+            benchmark=self.workload, seed=self.seed, extra=extra,
+        )
+        os.replace(tmp, trace_path)
+        return _TraceInfo(trace_path, start_pc, bits)
+
+    # -- checkpoints ---------------------------------------------------
+
+    def _checkpoint_path(self, point: SweepPoint) -> Path:
+        return self.results_dir / f"{point.key}.json"
+
+    def _load_checkpoint(self, path: Path,
+                         config_dict: dict) -> dict | None:
+        """A validated checkpoint payload, or None to recompute."""
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != CHECKPOINT_SCHEMA:
+            return None
+        if payload.get("sweep") != self._manifest():
+            return None
+        if payload.get("config") != config_dict:
+            return None
+        if not isinstance(payload.get("stats"), dict):
+            return None
+        return payload
+
+    # -- execution -----------------------------------------------------
+
+    def run(self) -> SweepResult:
+        """Expand, simulate (resuming from checkpoints), aggregate."""
+        expansion = self.spec.expand()
+        # One shared trace per distinct generation predictor in the
+        # grid (usually exactly one; see module docstring).
+        traces: dict[str, _TraceInfo] = {}
+        for point in expansion:
+            key = predictor_key(point.config.predictor)
+            if key not in traces:
+                traces[key] = self.prepare_trace(point.config.predictor)
+
+        outcomes: dict[str, SweepOutcome] = {}
+        pending: list[SweepPoint] = []
+        for point in expansion:
+            config_dict = config_to_dict(point.config)
+            payload = self._load_checkpoint(
+                self._checkpoint_path(point), config_dict)
+            if payload is not None:
+                outcomes[point.key] = self._outcome(
+                    point, payload, from_checkpoint=True)
+            else:
+                pending.append(point)
+
+        if pending:
+            provenance = self._manifest()
+            tasks = []
+            for point in pending:
+                trace = traces[predictor_key(point.config.predictor)]
+                tasks.append(
+                    (str(trace.path), config_to_dict(point.config),
+                     str(self._checkpoint_path(point)), trace.start_pc,
+                     provenance))
+
+            def corrupt(error: TraceFileError) -> SweepError:
+                # Workers decode the persisted payload; their
+                # TraceFileError must surface with the same guidance
+                # the header check gives, not as a raw traceback.
+                return SweepError(
+                    f"a persisted sweep trace in {self.results_dir} "
+                    f"is corrupt ({error}); delete the results "
+                    f"directory and rerun (its checkpoints were "
+                    f"produced from that trace)"
+                )
+
+            if self.workers == 1:
+                for point, task in zip(pending, tasks):
+                    try:
+                        payload = _simulate_point(*task)
+                    except TraceFileError as error:
+                        raise corrupt(error) from error
+                    outcomes[point.key] = self._outcome(
+                        point, payload, from_checkpoint=False)
+            else:
+                with ProcessPoolExecutor(
+                        max_workers=self.workers) as pool:
+                    futures = {
+                        pool.submit(_simulate_point, *task): point
+                        for point, task in zip(pending, tasks)
+                    }
+                    for future in as_completed(futures):
+                        point = futures[future]
+                        try:
+                            payload = future.result()
+                        except TraceFileError as error:
+                            raise corrupt(error) from error
+                        outcomes[point.key] = self._outcome(
+                            point, payload, from_checkpoint=False)
+
+        ordered = tuple(outcomes[point.key] for point in expansion)
+        # Headline bits/instruction: the base predictor's trace when
+        # it is part of the grid, else the first trace; the per-trace
+        # map is in metadata.
+        base_key = predictor_key(self.spec.base.predictor)
+        headline = traces.get(base_key) or next(iter(traces.values()))
+        return SweepResult(
+            outcomes=ordered,
+            workload=self.workload,
+            budget=self.budget,
+            seed=self.seed,
+            trace_bits_per_instruction=headline.bits_per_instruction,
+            metadata={"trace_bits_per_instruction_by_predictor": {
+                key: info.bits_per_instruction
+                for key, info in traces.items()}},
+            skipped_invalid=expansion.skipped_invalid,
+            skipped_duplicates=expansion.skipped_duplicates,
+        )
+
+    @staticmethod
+    def _outcome(point: SweepPoint, payload: dict,
+                 from_checkpoint: bool) -> SweepOutcome:
+        return SweepOutcome(
+            key=point.key,
+            params=point.params,
+            config=point.config,
+            stats=stats_from_dict(payload["stats"]),
+            from_checkpoint=from_checkpoint,
+        )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workload: str = "gzip",
+    *,
+    results_dir: str | Path,
+    budget: int = 30_000,
+    seed: int = 7,
+    workers: int = 1,
+) -> SweepResult:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    runner = SweepRunner(spec, workload, results_dir=results_dir,
+                         budget=budget, seed=seed, workers=workers)
+    return runner.run()

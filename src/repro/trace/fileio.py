@@ -16,13 +16,21 @@ offset   size    field
 28       4       committed-instruction count low-order 32 bits (crc-
                  style consistency field; full counts live in stats)
 32       N       UTF-8 JSON metadata blob (predictor config, benchmark
-                 name, seed) padded to the header length
+                 name, seed); written unpadded, so it ends exactly at
+                 the header length
 header   ...     bit-packed records (repro.trace.encode layout)
 ======== ======= ====================================================
 
+Because the header-length field is a u16, the metadata blob is limited
+to ``65535 - 32`` bytes; :func:`write_trace_file` rejects larger blobs
+with :class:`TraceFileError` before touching the filesystem.
+
 The JSON metadata keeps the predictor configuration with the trace —
 the consistency contract (engine predictor == generation predictor)
-should survive a trip through the filesystem.
+should survive a trip through the filesystem.  Readers verify the
+committed-instruction consistency field at offset 28 against the
+decoded records, so silent payload corruption that preserves record
+*count* but flips Tag bits is still caught.
 """
 
 from __future__ import annotations
@@ -40,6 +48,11 @@ from repro.trace.record import TraceRecord
 MAGIC = b"RESIMTRC"
 VERSION = 1
 
+#: The header-length field is a little-endian u16 covering the fixed
+#: 32-byte prefix plus the JSON metadata blob.
+MAX_HEADER_LENGTH = 0xFFFF
+_COMMITTED_MASK = 0xFFFF_FFFF
+
 
 class TraceFileError(ValueError):
     """Raised on malformed or incompatible trace files."""
@@ -53,6 +66,7 @@ class TraceFileHeader:
     record_count: int
     bit_length: int
     metadata: dict
+    committed_low32: int = 0
 
     @property
     def predictor_config(self) -> PredictorConfig | None:
@@ -85,16 +99,38 @@ def write_trace_file(
     predictor: PredictorConfig | None = None,
     benchmark: str | None = None,
     seed: int | None = None,
+    extra: dict | None = None,
 ) -> int:
-    """Serialize a trace; returns the number of bytes written."""
+    """Serialize a trace; returns the number of bytes written.
+
+    ``extra`` merges additional JSON-serializable keys into the
+    metadata blob (e.g. a kernel's entry PC, or sweep provenance);
+    the reserved ``predictor``/``benchmark``/``seed`` keys cannot be
+    overridden.
+
+    Raises
+    ------
+    TraceFileError
+        If the metadata blob pushes the header past the 65535-byte
+        limit of the u16 header-length field.  Nothing is written in
+        that case — previously this surfaced as a bare
+        ``OverflowError`` mid-serialization.
+    """
     payload, bit_length = encode_trace(records)
-    metadata = {
+    metadata = dict(extra or {})
+    metadata.update({
         "predictor": _predictor_metadata(predictor),
         "benchmark": benchmark,
         "seed": seed,
-    }
+    })
     blob = json.dumps(metadata, sort_keys=True).encode()
     header_length = 32 + len(blob)
+    if header_length > MAX_HEADER_LENGTH:
+        raise TraceFileError(
+            f"metadata blob is {len(blob)} bytes; the u16 header-length "
+            f"field caps the header at {MAX_HEADER_LENGTH} bytes "
+            f"({MAX_HEADER_LENGTH - 32} bytes of metadata)"
+        )
 
     buffer = io.BytesIO()
     buffer.write(MAGIC)
@@ -103,7 +139,7 @@ def write_trace_file(
     buffer.write(len(records).to_bytes(8, "little"))
     buffer.write(bit_length.to_bytes(8, "little"))
     committed = sum(1 for record in records if not record.tag)
-    buffer.write((committed & 0xFFFF_FFFF).to_bytes(4, "little"))
+    buffer.write((committed & _COMMITTED_MASK).to_bytes(4, "little"))
     buffer.write(blob)
     buffer.write(payload)
 
@@ -113,8 +149,13 @@ def write_trace_file(
 
 
 def read_trace_header(path: str | Path) -> TraceFileHeader:
-    """Parse just the header (cheap metadata inspection)."""
-    data = Path(path).read_bytes()
+    """Parse just the header (cheap metadata inspection).
+
+    Reads at most the 64 KB the u16 header-length field can address —
+    the payload (arbitrarily large) is never loaded.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read(MAX_HEADER_LENGTH)
     return _parse_header(data)[0]
 
 
@@ -129,15 +170,22 @@ def _parse_header(data: bytes) -> tuple[TraceFileHeader, int]:
         raise TraceFileError("corrupt header length")
     record_count = int.from_bytes(data[12:20], "little")
     bit_length = int.from_bytes(data[20:28], "little")
+    committed_low32 = int.from_bytes(data[28:32], "little")
     try:
         metadata = json.loads(data[32:header_length].decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise TraceFileError(f"corrupt metadata blob: {error}") from None
+    if not isinstance(metadata, dict):
+        raise TraceFileError(
+            f"metadata blob must be a JSON object, got "
+            f"{type(metadata).__name__}"
+        )
     header = TraceFileHeader(
         version=version,
         record_count=record_count,
         bit_length=bit_length,
         metadata=metadata,
+        committed_low32=committed_low32,
     )
     return header, header_length
 
@@ -150,8 +198,10 @@ def read_trace_file(
     Raises
     ------
     TraceFileError
-        On bad magic, unsupported version, corrupt header, or a
-        payload whose record count disagrees with the header.
+        On bad magic, unsupported version, corrupt header, a payload
+        whose record count disagrees with the header, or decoded
+        records whose committed (untagged) count disagrees with the
+        offset-28 consistency field.
     """
     data = Path(path).read_bytes()
     header, header_length = _parse_header(data)
@@ -163,5 +213,13 @@ def read_trace_file(
         raise TraceFileError(
             f"payload holds {len(records)} records, header claims "
             f"{header.record_count}"
+        )
+    committed = sum(1 for record in records if not record.tag)
+    if committed & _COMMITTED_MASK != header.committed_low32:
+        raise TraceFileError(
+            f"payload holds {committed} committed (untagged) records, "
+            f"header consistency field claims "
+            f"{header.committed_low32} (mod 2^32); trace Tag bits are "
+            f"corrupt"
         )
     return header, records

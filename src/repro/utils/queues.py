@@ -121,8 +121,14 @@ class CircularQueue(Generic[T]):
             yield item
 
     def clear(self) -> None:
-        """Drop all entries (used on pipeline flush)."""
-        self._slots = [None] * self._capacity
+        """Drop all entries (used on pipeline flush).
+
+        Clears occupied slots in place rather than reallocating the
+        ring — this runs on every mis-speculation recovery, so the
+        allocation would sit on the engine's hot path.
+        """
+        for offset in range(self._count):
+            self._slots[(self._head + offset) % self._capacity] = None
         self._head = 0
         self._count = 0
 

@@ -33,13 +33,21 @@ from repro.workloads.profiles import (
     get_profile,
 )
 from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.tracegen import (
+    UnknownWorkloadError,
+    generate_workload_trace,
+    is_known_workload,
+)
 
 __all__ = [
     "BenchmarkProfile",
     "KERNELS",
     "SPECINT_PROFILES",
     "SyntheticWorkload",
+    "UnknownWorkloadError",
+    "generate_workload_trace",
     "get_profile",
+    "is_known_workload",
     "kernel_program",
     "kernel_source",
 ]

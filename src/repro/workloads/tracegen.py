@@ -1,0 +1,77 @@
+"""One shared entry point for turning a workload name into a trace.
+
+Four subsystems need the same branch — "SPECINT profile → synthetic
+generator, kernel → assemble + functional tracer" — with the same
+front-end parameters threaded through (predictor, ROB, IFQ, so trace
+and engine stay consistent).  The CLI, the benchmark harness, the
+multicore simulator and the sweep runner all generate traces here, so
+a change to trace-generation parameters happens in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.functional.sim_bpred import SimBpred, TraceGenerationResult
+from repro.workloads.kernels import KERNELS, kernel_program
+from repro.workloads.profiles import SPECINT_PROFILES, get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.config import ProcessorConfig
+
+
+class UnknownWorkloadError(ValueError):
+    """Raised for a workload name that is neither a SPECINT profile
+    nor an assembly kernel."""
+
+    def __init__(self, workload: str) -> None:
+        super().__init__(
+            f"unknown workload {workload!r}; benchmarks: "
+            f"{', '.join(SPECINT_PROFILES)}; kernels: "
+            f"{', '.join(KERNELS)}"
+        )
+
+
+def is_known_workload(workload: str) -> bool:
+    """True for any name :func:`generate_workload_trace` accepts."""
+    return workload in SPECINT_PROFILES or workload in KERNELS
+
+
+def generate_workload_trace(
+    workload: str,
+    config: "ProcessorConfig",
+    *,
+    budget: int = 30_000,
+    seed: int = 7,
+) -> tuple[TraceGenerationResult, int | None]:
+    """Generate the tagged trace for one workload name.
+
+    Returns the generation result plus the engine start PC — a
+    kernel's entry point, or ``None`` for synthetic workloads (which
+    start at the default text base).  The generator's predictor/ROB/
+    IFQ parameters are taken from ``config`` so the consistency
+    contract (engine predictor == generation predictor) holds.
+
+    Raises
+    ------
+    UnknownWorkloadError
+        If ``workload`` names neither a profile nor a kernel.
+    """
+    if workload in SPECINT_PROFILES:
+        synthetic = SyntheticWorkload(
+            get_profile(workload), seed=seed,
+            predictor_config=config.predictor,
+            rob_entries=config.rob_entries,
+            ifq_entries=config.ifq_entries,
+        )
+        return synthetic.generate(budget), None
+    if workload in KERNELS:
+        program = kernel_program(workload)
+        tracer = SimBpred(
+            predictor_config=config.predictor,
+            rob_entries=config.rob_entries,
+            ifq_entries=config.ifq_entries,
+        )
+        return tracer.generate(program), program.entry
+    raise UnknownWorkloadError(workload)

@@ -73,6 +73,21 @@ def test_kernel_trace_study():
     assert "fibonacci" in output
 
 
+def test_sweep_quickstart(tmp_path):
+    results_dir = tmp_path / "sweep"
+    output = run_example("sweep_quickstart.py", "--budget", "1500",
+                         "--workers", "2",
+                         "--results-dir", str(results_dir))
+    assert "sweeping 16 design points" in output
+    assert "vs. published simulators" in output
+    assert (results_dir / "sweep.csv").exists()
+    # Second run resumes entirely from checkpoints.
+    output = run_example("sweep_quickstart.py", "--budget", "1500",
+                         "--workers", "2",
+                         "--results-dir", str(results_dir))
+    assert "resumed 16/16 points" in output
+
+
 def test_multicore_scaling():
     output = run_example("multicore_scaling.py", "--budget", "2000")
     assert "Gigabit Ethernet" in output

@@ -1,0 +1,206 @@
+"""Corruption-handling tests for the trace file format.
+
+Every malformed input a bulk-sweep deployment will eventually meet —
+truncated payloads, bad magic, oversized metadata, lying record
+counts, flipped Tag bits — must surface as :class:`TraceFileError`
+with a useful message, never as a bare ``OverflowError`` or silently
+wrong statistics.
+"""
+
+import json
+
+import pytest
+
+from repro.bpred.unit import PAPER_PREDICTOR
+from repro.trace.fileio import (
+    MAX_HEADER_LENGTH,
+    TraceFileError,
+    read_trace_file,
+    read_trace_header,
+    write_trace_file,
+)
+from repro.workloads import SyntheticWorkload, get_profile
+
+
+@pytest.fixture(scope="module")
+def records():
+    return SyntheticWorkload(get_profile("parser"),
+                             seed=11).generate(2000).records
+
+
+@pytest.fixture()
+def trace_path(records, tmp_path):
+    path = tmp_path / "trace.rtrc"
+    write_trace_file(path, records, predictor=PAPER_PREDICTOR,
+                     benchmark="parser", seed=11)
+    return path
+
+
+class TestOversizedHeader:
+    def test_oversized_metadata_raises_trace_file_error(self, records,
+                                                        tmp_path):
+        path = tmp_path / "big.rtrc"
+        huge = "x" * (MAX_HEADER_LENGTH + 1)
+        with pytest.raises(TraceFileError, match="header"):
+            write_trace_file(path, records[:4], benchmark=huge)
+
+    def test_nothing_written_on_oversized_metadata(self, records,
+                                                   tmp_path):
+        path = tmp_path / "big.rtrc"
+        with pytest.raises(TraceFileError):
+            write_trace_file(path, records[:4],
+                             benchmark="y" * (MAX_HEADER_LENGTH + 1))
+        assert not path.exists()
+
+    def test_largest_legal_metadata_roundtrips(self, records, tmp_path):
+        path = tmp_path / "edge.rtrc"
+        # Fill the blob to exactly the u16 limit: account for the JSON
+        # scaffolding around the benchmark string.
+        scaffold = len(json.dumps(
+            {"predictor": None, "benchmark": "", "seed": None},
+            sort_keys=True).encode())
+        benchmark = "b" * (MAX_HEADER_LENGTH - 32 - scaffold)
+        write_trace_file(path, records[:4], benchmark=benchmark)
+        header, decoded = read_trace_file(path)
+        assert header.metadata["benchmark"] == benchmark
+        assert decoded == records[:4]
+
+
+class TestCorruptHeaders:
+    def test_bad_magic(self, trace_path):
+        data = bytearray(trace_path.read_bytes())
+        data[:8] = b"NOTMAGIC"
+        trace_path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError, match="magic"):
+            read_trace_file(trace_path)
+
+    def test_short_file(self, tmp_path):
+        path = tmp_path / "short.rtrc"
+        path.write_bytes(b"RESIMTRC\x01\x00")
+        with pytest.raises(TraceFileError, match="magic"):
+            read_trace_file(path)
+
+    def test_header_length_beyond_file(self, trace_path):
+        data = bytearray(trace_path.read_bytes())
+        data[10:12] = (0xFFFF).to_bytes(2, "little")
+        trace_path.write_bytes(bytes(data[:200]))
+        with pytest.raises(TraceFileError, match="header length"):
+            read_trace_header(trace_path)
+
+    def test_corrupt_metadata_json(self, trace_path):
+        data = bytearray(trace_path.read_bytes())
+        data[33] = 0xFF  # stomp inside the JSON blob
+        trace_path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError, match="metadata"):
+            read_trace_header(trace_path)
+
+    def test_non_object_metadata_rejected(self, trace_path):
+        """Valid JSON that is not an object must not crash the
+        `header.metadata.get(...)` consumers downstream."""
+        data = bytearray(trace_path.read_bytes())
+        old_header_length = int.from_bytes(data[10:12], "little")
+        blob = b"[1, 2, 3]"
+        data[10:12] = (32 + len(blob)).to_bytes(2, "little")
+        rebuilt = bytes(data[:32]) + blob + bytes(data[old_header_length:])
+        trace_path.write_bytes(rebuilt)
+        with pytest.raises(TraceFileError, match="JSON object"):
+            read_trace_header(trace_path)
+
+
+class TestPayloadConsistency:
+    def test_truncated_payload(self, trace_path):
+        data = trace_path.read_bytes()
+        trace_path.write_bytes(data[: len(data) - len(data) // 4])
+        with pytest.raises(TraceFileError, match="truncated"):
+            read_trace_file(trace_path)
+
+    def test_wrong_record_count(self, trace_path):
+        data = bytearray(trace_path.read_bytes())
+        count = int.from_bytes(data[12:20], "little")
+        data[12:20] = (count + 5).to_bytes(8, "little")
+        trace_path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError, match="records"):
+            read_trace_file(trace_path)
+
+    def test_committed_count_mismatch_detected(self, trace_path):
+        """The offset-28 consistency field guards the Tag bits."""
+        data = bytearray(trace_path.read_bytes())
+        committed = int.from_bytes(data[28:32], "little")
+        data[28:32] = ((committed + 1) & 0xFFFF_FFFF).to_bytes(
+            4, "little")
+        trace_path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError, match="committed"):
+            read_trace_file(trace_path)
+
+    def test_read_trace_header_bounded_read(self, trace_path,
+                                            monkeypatch):
+        """Header inspection must not load the payload: reads are
+        capped at the 64 KB the u16 header-length field can address."""
+        import builtins
+        real_open = builtins.open
+        sizes = []
+
+        class Handle:
+            def __init__(self, inner):
+                self._inner = inner
+            def read(self, n=-1):
+                sizes.append(n)
+                return self._inner.read(n)
+            def __enter__(self):
+                return self
+            def __exit__(self, *exc):
+                self._inner.close()
+
+        def spy(path, mode="r", *a, **k):
+            inner = real_open(path, mode, *a, **k)
+            return Handle(inner) if "b" in mode else inner
+
+        monkeypatch.setattr(builtins, "open", spy)
+        header = read_trace_header(trace_path)
+        assert header.record_count > 0
+        assert sizes == [MAX_HEADER_LENGTH]
+
+    def test_committed_count_parsed_into_header(self, trace_path,
+                                                records):
+        header = read_trace_header(trace_path)
+        committed = sum(1 for record in records if not record.tag)
+        assert header.committed_low32 == committed & 0xFFFF_FFFF
+
+    def test_clean_roundtrip_still_passes(self, trace_path, records):
+        header, decoded = read_trace_file(trace_path)
+        assert decoded == records
+        assert header.metadata["benchmark"] == "parser"
+
+
+class TestExtraMetadata:
+    def test_extra_keys_roundtrip(self, records, tmp_path):
+        path = tmp_path / "extra.rtrc"
+        write_trace_file(path, records[:16], benchmark="parser",
+                         extra={"start_pc": 0x40_0000,
+                                "bits_per_instruction": 42.5})
+        header = read_trace_header(path)
+        assert header.metadata["start_pc"] == 0x40_0000
+        assert header.metadata["bits_per_instruction"] == 42.5
+        assert header.metadata["benchmark"] == "parser"
+
+    def test_reserved_keys_not_overridable(self, records, tmp_path):
+        path = tmp_path / "extra.rtrc"
+        write_trace_file(path, records[:16], benchmark="parser",
+                         extra={"benchmark": "forged"})
+        assert read_trace_header(path).metadata["benchmark"] == "parser"
+
+    def test_kernel_entry_pc_survives_cli_roundtrip(self, tmp_path,
+                                                    capsys):
+        """`resim trace <kernel>` persists start_pc and
+        `resim simulate --trace-file` honors it: stored-trace stats
+        must equal on-the-fly stats for the same kernel."""
+        from repro.cli import main
+        path = tmp_path / "kernel.rtrc"
+        assert main(["trace", "matmul", str(path)]) == 0
+        capsys.readouterr()
+        assert read_trace_header(path).metadata["start_pc"] is not None
+        assert main(["simulate", "--trace-file", str(path)]) == 0
+        stored = capsys.readouterr().out
+        assert main(["simulate", "matmul"]) == 0
+        direct = capsys.readouterr().out
+        assert stored.splitlines()[:8] == direct.splitlines()[:8]
