@@ -6,13 +6,19 @@ functional simulator), which is what a user of this library cares
 about when sizing their own experiments.
 """
 
-from repro.core import PAPER_4WIDE_PERFECT, ReSimEngine
+from repro.core import EngineObserver, PAPER_4WIDE_PERFECT, ReSimEngine
 from repro.functional import SimBpred
 from repro.workloads import SyntheticWorkload, get_profile, kernel_program
 
 
 def test_engine_host_throughput(benchmark):
-    """Engine-only: records per host second on a prepared trace."""
+    """Engine-only: records per host second on a prepared trace.
+
+    This is the zero-observer hot loop — the instrumentation API's
+    guarded dispatch must keep it within noise (±2%) of the
+    pre-observer engine; compare against
+    ``test_engine_observer_overhead`` to see what attached hooks cost.
+    """
     generation = SyntheticWorkload(get_profile("gzip"),
                                    seed=7).generate(10_000)
 
@@ -25,6 +31,40 @@ def test_engine_host_throughput(benchmark):
     print(f"\nengine: {rate / 1e3:.1f}k records/s host throughput "
           f"({cycles} simulated cycles)")
     assert cycles > 0
+
+
+def test_engine_observer_overhead(benchmark):
+    """Same trace with every hook attached: the instrumented ceiling."""
+    generation = SyntheticWorkload(get_profile("gzip"),
+                                   seed=7).generate(10_000)
+
+    class Count(EngineObserver):
+        def __init__(self):
+            self.cycles = self.commits = self.recoveries = 0
+
+        def on_cycle(self, engine):
+            self.cycles += 1
+
+        def on_commit(self, engine, op):
+            self.commits += 1
+
+        def on_recovery(self, engine, branch):
+            self.recoveries += 1
+
+    def simulate():
+        engine = ReSimEngine(PAPER_4WIDE_PERFECT, generation.records)
+        observer = Count()
+        engine.add_observer(observer)
+        engine.run()
+        return observer
+
+    observer = benchmark(simulate)
+    rate = len(generation.records) / benchmark.stats.stats.mean
+    print(f"\nengine+observers: {rate / 1e3:.1f}k records/s host "
+          f"throughput ({observer.cycles} cycles, "
+          f"{observer.commits} commits observed)")
+    assert observer.cycles > 0
+    assert observer.commits > 0
 
 
 def test_generator_host_throughput(benchmark):

@@ -16,10 +16,8 @@ Run:  python examples/quickstart.py
 
 from repro import (
     PAPER_4WIDE_PERFECT,
-    ReSimEngine,
-    SimBpred,
     SimFast,
-    ThroughputModel,
+    Simulation,
     VIRTEX4_LX40,
     VIRTEX5_LX50T,
     assemble,
@@ -62,30 +60,34 @@ def main() -> None:
     print(f"instructions    : {functional.instructions}")
     print(f"mix             : {functional.mix_summary()}")
 
-    tracer = SimBpred()  # the paper's two-level predictor configuration
-    generation = tracer.generate(program)
-    stats = generation.statistics()
+    # The Simulation facade runs the remaining pipeline in one go:
+    # trace the program with the paper's predictor (sim-bpred, wrong
+    # paths included), feed the ReSim timing engine, and project
+    # throughput onto the paper's two FPGA devices.
+    config = PAPER_4WIDE_PERFECT
+    simulation = (Simulation.for_program(program, config)
+                  .with_devices(VIRTEX4_LX40, VIRTEX5_LX50T))
+    session = simulation.run()
+
+    stats = session.trace_stats
     print("\n=== trace generation (sim-bpred) ===")
-    print(f"trace records   : {generation.total_records} "
-          f"({generation.wrong_path_instructions} wrong-path)")
-    print(f"mispredictions  : {generation.mispredictions}")
+    print(f"trace records   : {stats.total_records} "
+          f"({stats.wrong_path_records} wrong-path)")
+    print(f"mispredictions  : {int(session.stats.mispredictions)}")
     print(f"bits/instruction: {stats.bits_per_instruction:.2f}")
 
-    config = PAPER_4WIDE_PERFECT
-    engine = ReSimEngine(config, generation.records)
-    result = engine.run()
     print("\n=== ReSim timing simulation ===")
     print(f"configuration   : {config.describe()}")
-    print(f"major cycles    : {result.major_cycles}")
-    print(f"IPC             : {result.ipc:.3f}")
+    print(f"major cycles    : {session.major_cycles}")
+    print(f"IPC             : {session.ipc:.3f}")
 
     pipeline = select_pipeline(config.width, config.memory_ports)
     print(f"\ninternal pipeline: {pipeline.name} ({pipeline.figure}), "
           f"major cycle = {pipeline.minor_cycles_per_major} minor cycles")
     for device in (VIRTEX4_LX40, VIRTEX5_LX50T):
-        report = ThroughputModel(device).report(result)
         print(f"  {device.name:12s} @ {device.minor_cycle_mhz:5.0f} MHz "
-              f"-> {report.mips:6.2f} MIPS simulation throughput")
+              f"-> {session.mips(device.name):6.2f} MIPS simulation "
+              f"throughput")
 
 
 if __name__ == "__main__":

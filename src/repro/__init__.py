@@ -24,10 +24,44 @@ DATE 2009), including every substrate the paper depends on:
   (:mod:`repro.sweep`);
 * synthetic SPECINT workload profiles and real assembly kernels
   (:mod:`repro.workloads`), and an independent baseline timing
-  simulator for cross-validation (:mod:`repro.baseline`).
+  simulator for cross-validation (:mod:`repro.baseline`);
+* **the session facade** — one :class:`~repro.session.Simulation`
+  entry point over the whole pipeline (source → engine → FPGA
+  projection), with string-keyed component registries and an engine
+  observer/instrumentation API (:mod:`repro.session`).
 
 Quick start
 -----------
+>>> from repro import Simulation
+>>> result = (Simulation.for_workload("gzip")
+...           .with_budget(10_000)
+...           .with_devices("xc4vlx40")
+...           .run())
+>>> 0.5 < result.ipc < 4.0
+True
+>>> result.mips("xc4vlx40") > 1.0
+True
+
+The same run, described declaratively (the dict is what sweeps and
+remote runners serialize):
+
+>>> from repro.serialize import stats_to_dict
+>>> spec = {"workload": "gzip", "budget": 10_000,
+...         "config": "4wide-perfect"}
+>>> declarative = Simulation.from_spec(spec).run()
+>>> stats_to_dict(declarative.stats) == stats_to_dict(result.stats)
+True
+
+Every named component — workloads, processor configs, FPGA devices,
+predictor schemes, cache replacement policies — resolves through a
+registry in :mod:`repro.session`; register a new one and every name
+surface (CLI flags, specs, sweep axes) picks it up.
+
+Low-level API
+-------------
+The facade wires together pieces that remain public; hand-wiring them
+is still supported where finer control is needed:
+
 >>> from repro import (PAPER_4WIDE_PERFECT, ReSimEngine,
 ...                    SyntheticWorkload, get_profile)
 >>> workload = SyntheticWorkload(get_profile("gzip"), seed=7)
@@ -43,6 +77,7 @@ See ``examples/`` for runnable end-to-end scenarios and
 from repro.bpred import BranchPredictorUnit, PredictorConfig
 from repro.cache import CacheConfig, MemorySystem, PerfectMemory
 from repro.core import (
+    EngineObserver,
     PAPER_2WIDE_CACHE,
     PAPER_4WIDE_PERFECT,
     ProcessorConfig,
@@ -61,6 +96,17 @@ from repro.functional import SimBpred, SimFast
 from repro.isa import Program, assemble
 from repro.perf import ThroughputModel, evaluate_benchmark, evaluate_suite
 from repro.cosim import OnTheFlyCosimulation
+from repro.session import (
+    CONFIGS,
+    DEVICES,
+    PREDICTORS,
+    REPLACEMENT_POLICIES,
+    Registry,
+    SessionError,
+    SessionResult,
+    Simulation,
+    WORKLOADS,
+)
 from repro.sweep import SweepResult, SweepRunner, SweepSpec, run_sweep
 from repro.multicore import MultiCoreSimulator, TraceChannel
 from repro.trace import (
@@ -83,7 +129,10 @@ __version__ = "1.0.0"
 __all__ = [
     "AreaEstimator",
     "BranchPredictorUnit",
+    "CONFIGS",
     "CacheConfig",
+    "DEVICES",
+    "EngineObserver",
     "FrequencyModel",
     "KERNELS",
     "MemorySystem",
@@ -91,14 +140,20 @@ __all__ = [
     "OnTheFlyCosimulation",
     "PAPER_2WIDE_CACHE",
     "PAPER_4WIDE_PERFECT",
+    "PREDICTORS",
     "PerfectMemory",
     "PredictorConfig",
     "ProcessorConfig",
     "Program",
+    "REPLACEMENT_POLICIES",
     "ReSimEngine",
+    "Registry",
     "SPECINT_PROFILES",
+    "SessionError",
+    "SessionResult",
     "SimBpred",
     "SimFast",
+    "Simulation",
     "SimulationResult",
     "SweepResult",
     "SweepRunner",
@@ -108,6 +163,7 @@ __all__ = [
     "TraceChannel",
     "VIRTEX4_LX40",
     "VIRTEX5_LX50T",
+    "WORKLOADS",
     "__version__",
     "assemble",
     "decode_trace",

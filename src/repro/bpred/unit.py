@@ -36,6 +36,7 @@ from repro.bpred.static_ import AlwaysNotTaken, AlwaysTaken
 from repro.bpred.twolevel import TwoLevelPredictor
 from repro.isa.instruction import INSTRUCTION_BYTES
 from repro.isa.opcodes import BranchKind
+from repro.utils.registry import Registry
 
 
 @dataclass(frozen=True)
@@ -76,53 +77,84 @@ class PredictorConfig:
         )
 
 
-#: The closed set of direction-predictor schemes
-#: :func:`build_direction_predictor` accepts.
-PREDICTOR_SCHEMES = ("twolevel", "gshare", "bimodal", "comb", "taken",
-                     "nottaken", "perfect")
-
 #: The exact configuration used in Section V.C of the paper.
 PAPER_PREDICTOR = PredictorConfig()
 
 #: Perfect prediction, used for the FAST comparison (Table 1, right).
 PERFECT_PREDICTOR = PredictorConfig(scheme="perfect")
 
+#: Direction-predictor scheme registry: scheme name → builder taking a
+#: :class:`PredictorConfig`.  New schemes register here and are
+#: immediately usable wherever schemes are named (sweep axes, session
+#: specs, the ``--predictor`` CLI flag).
+PREDICTORS: Registry = Registry("predictor scheme")
 
-def build_direction_predictor(config: PredictorConfig) -> DirectionPredictor:
-    """Instantiate the direction predictor a config describes."""
-    scheme = config.scheme
-    if scheme == "twolevel":
-        return TwoLevelPredictor(
+
+@PREDICTORS.register("twolevel")
+def _build_twolevel(config: PredictorConfig) -> DirectionPredictor:
+    return TwoLevelPredictor(
+        l1_size=config.l1_size,
+        history_length=config.history_length,
+        l2_size=config.l2_size,
+    )
+
+
+@PREDICTORS.register("gshare")
+def _build_gshare(config: PredictorConfig) -> DirectionPredictor:
+    return TwoLevelPredictor(
+        l1_size=1,
+        history_length=config.history_length,
+        l2_size=config.l2_size,
+        xor=True,
+    )
+
+
+@PREDICTORS.register("bimodal")
+def _build_bimodal(config: PredictorConfig) -> DirectionPredictor:
+    return BimodalPredictor(table_size=config.bimodal_size)
+
+
+@PREDICTORS.register("comb")
+def _build_comb(config: PredictorConfig) -> DirectionPredictor:
+    return CombiningPredictor(
+        first=TwoLevelPredictor(
             l1_size=config.l1_size,
             history_length=config.history_length,
             l2_size=config.l2_size,
-        )
-    if scheme == "gshare":
-        return TwoLevelPredictor(
-            l1_size=1,
-            history_length=config.history_length,
-            l2_size=config.l2_size,
-            xor=True,
-        )
-    if scheme == "bimodal":
-        return BimodalPredictor(table_size=config.bimodal_size)
-    if scheme == "comb":
-        return CombiningPredictor(
-            first=TwoLevelPredictor(
-                l1_size=config.l1_size,
-                history_length=config.history_length,
-                l2_size=config.l2_size,
-            ),
-            second=BimodalPredictor(table_size=config.bimodal_size),
-            meta_size=config.meta_size,
-        )
-    if scheme == "taken":
-        return AlwaysTaken()
-    if scheme == "nottaken":
-        return AlwaysNotTaken()
-    if scheme == "perfect":
-        return PerfectPredictor()
-    raise ValueError(f"unknown predictor scheme {scheme!r}")
+        ),
+        second=BimodalPredictor(table_size=config.bimodal_size),
+        meta_size=config.meta_size,
+    )
+
+
+@PREDICTORS.register("taken")
+def _build_taken(config: PredictorConfig) -> DirectionPredictor:
+    return AlwaysTaken()
+
+
+@PREDICTORS.register("nottaken")
+def _build_nottaken(config: PredictorConfig) -> DirectionPredictor:
+    return AlwaysNotTaken()
+
+
+@PREDICTORS.register("perfect")
+def _build_perfect(config: PredictorConfig) -> DirectionPredictor:
+    return PerfectPredictor()
+
+
+#: The set of direction-predictor schemes
+#: :func:`build_direction_predictor` accepts (kept as a tuple for
+#: backward compatibility; the registry is the source of truth).
+PREDICTOR_SCHEMES = PREDICTORS.names()
+
+
+def build_direction_predictor(config: PredictorConfig) -> DirectionPredictor:
+    """Instantiate the direction predictor a config describes.
+
+    Raises :class:`~repro.utils.registry.RegistryError` (a
+    ``ValueError``) for an unknown scheme.
+    """
+    return PREDICTORS.get(config.scheme)(config)
 
 
 @dataclass(frozen=True)

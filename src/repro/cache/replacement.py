@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import abc
 
+from repro.utils.registry import Registry
 from repro.utils.rng import XorShiftRNG
 
 
@@ -88,13 +89,22 @@ class RandomPolicy(ReplacementPolicy):
         self._rng = XorShiftRNG(self._seed)
 
 
+#: Policy registry: name → ``(sets, assoc)``-constructible policy
+#: class.  The SimpleScalar single-letter forms are registered as
+#: aliases.  New policies register here and become usable from
+#: :class:`~repro.cache.cache.CacheConfig` ``replacement=`` strings
+#: (and therefore sweep axes and session specs) without new plumbing.
+REPLACEMENT_POLICIES: Registry[type[ReplacementPolicy]] = Registry(
+    "replacement policy")
+REPLACEMENT_POLICIES.register("lru", LruPolicy, aliases=("l",))
+REPLACEMENT_POLICIES.register("fifo", FifoPolicy, aliases=("f",))
+REPLACEMENT_POLICIES.register("random", RandomPolicy, aliases=("r",))
+
+
 def make_policy(name: str, sets: int, assoc: int) -> ReplacementPolicy:
-    """Instantiate a policy by its SimpleScalar-style letter or name."""
-    key = name.lower()
-    if key in ("l", "lru"):
-        return LruPolicy(sets, assoc)
-    if key in ("f", "fifo"):
-        return FifoPolicy(sets, assoc)
-    if key in ("r", "random"):
-        return RandomPolicy(sets, assoc)
-    raise ValueError(f"unknown replacement policy {name!r}")
+    """Instantiate a policy by its SimpleScalar-style letter or name.
+
+    Raises :class:`~repro.utils.registry.RegistryError` (a
+    ``ValueError``) for an unknown name.
+    """
+    return REPLACEMENT_POLICIES.get(name.lower())(sets, assoc)

@@ -26,97 +26,77 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
-from repro.core.config import PAPER_2WIDE_CACHE, PAPER_4WIDE_PERFECT
-from repro.core.engine import ReSimEngine
 from repro.core.minorpipe import select_pipeline
 from repro.fpga.area import AreaEstimator
 from repro.fpga.device import DEVICES, VIRTEX4_LX40, VIRTEX5_LX50T
 from repro.fpga.vhdlgen import generate_branch_predictor_vhdl
 from repro.multicore.simulator import MultiCoreSimulator, TraceChannel
-from repro.perf.throughput import ThroughputModel
-from repro.trace.fileio import (
-    TraceFileError,
-    read_trace_file,
-    write_trace_file,
-)
+from repro.session import CONFIGS, Simulation
+from repro.trace.fileio import TraceFileError
+from repro.utils.registry import RegistryError
 from repro.workloads.profiles import SPECINT_PROFILES
-from repro.workloads.tracegen import (
-    UnknownWorkloadError,
-    generate_workload_trace,
-)
-
-CONFIGS = {
-    "4wide-perfect": PAPER_4WIDE_PERFECT,
-    "2wide-cache": PAPER_2WIDE_CACHE,
-}
+from repro.workloads.tracegen import UnknownWorkloadError
 
 
 def _config(name: str):
     try:
-        return CONFIGS[name]
-    except KeyError:
-        raise SystemExit(
-            f"unknown config {name!r}; choose from {', '.join(CONFIGS)}"
-        )
+        return CONFIGS.get(name)
+    except RegistryError as error:
+        raise SystemExit(str(error))
 
 
 def _device(name: str):
     try:
-        return DEVICES[name]
-    except KeyError:
-        raise SystemExit(
-            f"unknown device {name!r}; choose from {', '.join(DEVICES)}"
-        )
-
-
-def _generate_records(args, config):
-    """Shared workload selection for `trace` and `simulate`."""
-    try:
-        generation, start_pc = generate_workload_trace(
-            args.workload, config, budget=args.budget, seed=args.seed)
-    except UnknownWorkloadError as error:
+        return DEVICES.get(name)
+    except RegistryError as error:
         raise SystemExit(str(error))
-    return generation.records, start_pc
+
+
+def _workload_simulation(args, config) -> Simulation:
+    """Shared workload selection for `trace` and `simulate`."""
+    return Simulation.for_workload(
+        args.workload, config, budget=args.budget, seed=args.seed)
 
 
 def cmd_trace(args) -> int:
     config = _config(args.config)
-    records, start_pc = _generate_records(args, config)
-    written = write_trace_file(
-        args.output, records, predictor=config.predictor,
-        benchmark=args.workload, seed=args.seed,
-        extra={} if start_pc is None else {"start_pc": start_pc},
-    )
-    print(f"wrote {len(records)} records ({written} bytes) "
+    simulation = _workload_simulation(args, config)
+    try:
+        records, written = simulation.save_trace(args.output)
+    except UnknownWorkloadError as error:
+        raise SystemExit(str(error))
+    print(f"wrote {records} records ({written} bytes) "
           f"to {args.output}")
     return 0
 
 
 def cmd_simulate(args) -> int:
     config = _config(args.config)
-    start_pc = None
     if args.trace_file:
+        simulation = Simulation.for_trace_file(
+            args.trace_file, config=config,
+        ).with_devices(VIRTEX4_LX40, VIRTEX5_LX50T)
         try:
-            header, records = read_trace_file(args.trace_file)
+            prepared = simulation.prepare()
         except TraceFileError as error:
             raise SystemExit(f"{args.trace_file}: {error}")
-        start_pc = header.metadata.get("start_pc")
-        stored = header.predictor_config
-        if stored is not None and stored != config.predictor:
+        if prepared.predictor_mismatch:
             print("warning: trace was generated with a different "
                   "predictor configuration; Tag bits may not match "
                   "this engine's predictions", file=sys.stderr)
     else:
-        records, start_pc = _generate_records(args, config)
-    engine = ReSimEngine(config, records, start_pc=start_pc)
-    result = engine.run()
-    print(result.stats.report())
+        simulation = _workload_simulation(args, config).with_devices(
+            VIRTEX4_LX40, VIRTEX5_LX50T)
+    try:
+        session = simulation.run()
+    except UnknownWorkloadError as error:
+        raise SystemExit(str(error))
+    print(session.stats.report())
     pipeline = select_pipeline(config.width, config.memory_ports)
     print(f"\ninternal pipeline: {pipeline.name} "
           f"(major = {pipeline.minor_cycles_per_major} minor cycles)")
     for device in (VIRTEX4_LX40, VIRTEX5_LX50T):
-        report = ThroughputModel(device).report(result)
-        print(f"  {device.name:12s} {report.mips:7.2f} MIPS")
+        print(f"  {device.name:12s} {session.mips(device.name):7.2f} MIPS")
     return 0
 
 

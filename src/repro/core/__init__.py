@@ -29,7 +29,7 @@ from repro.core.config import (
     PAPER_4WIDE_PERFECT,
     ProcessorConfig,
 )
-from repro.core.engine import ReSimEngine, SimulationResult
+from repro.core.engine import EngineObserver, ReSimEngine, SimulationResult
 from repro.core.minorpipe import (
     ImprovedPipeline,
     MinorPipeline,
@@ -40,6 +40,7 @@ from repro.core.minorpipe import (
 from repro.core.stats import SimulationStatistics
 
 __all__ = [
+    "EngineObserver",
     "ImprovedPipeline",
     "MinorPipeline",
     "OptimizedPipeline",

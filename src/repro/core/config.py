@@ -65,6 +65,12 @@ class ProcessorConfig:
             ("rob_entries", self.rob_entries),
             ("lsq_entries", self.lsq_entries),
             ("alu_count", self.alu_count),
+            ("mul_count", self.mul_count),
+            ("div_count", self.div_count),
+            ("alu_latency", self.alu_latency),
+            ("mul_latency", self.mul_latency),
+            ("div_latency", self.div_latency),
+            ("memory_latency", self.memory_latency),
             ("mem_read_ports", self.mem_read_ports),
             ("mem_write_ports", self.mem_write_ports),
         ):

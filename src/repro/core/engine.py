@@ -65,6 +65,39 @@ from repro.trace.record import BranchRecord, TraceRecord
 from repro.utils.queues import CircularQueue
 
 
+class EngineObserver:
+    """Instrumentation hooks into one engine run.
+
+    Subclass and override any subset; un-overridden hooks are never
+    dispatched (the engine collects only overridden methods at attach
+    time, and the hot loop pays a single falsy check per cycle when no
+    observers are registered — benchmarked in
+    ``benchmarks/bench_engine.py``).
+
+    Hooks fire *after* the event they describe:
+
+    * :meth:`on_cycle` — once per major cycle, after all six stages;
+    * :meth:`on_commit` — once per architecturally committed
+      instruction (wrong-path ops never commit, so never appear);
+    * :meth:`on_recovery` — once per mis-speculation recovery, with
+      the faulting branch, after the pipeline is flushed and fetch is
+      redirected.
+
+    Observers may read any public engine state (``engine.cycle``,
+    ``engine.stats``, ``engine.predictor``...) but must not mutate it.
+    """
+
+    def on_cycle(self, engine: "ReSimEngine") -> None:
+        """Called after every major cycle."""
+
+    def on_commit(self, engine: "ReSimEngine", op: InFlightOp) -> None:
+        """Called for every committed instruction."""
+
+    def on_recovery(self, engine: "ReSimEngine",
+                    branch: InFlightOp) -> None:
+        """Called when a mispredicted branch retires and recovers."""
+
+
 @dataclass
 class SimulationResult:
     """Outcome of one engine run (counts only; throughput and wall
@@ -140,6 +173,14 @@ class ReSimEngine:
         self._spec_branch_seq = -1         # branch awaiting resolution
         self._last_fetch_line = -1         # fetch line buffer
 
+        # Instrumentation: hook tuples stay empty () unless an
+        # observer overriding the respective method is attached, so
+        # the guarded dispatch below is one falsy check.
+        self._observers: list[EngineObserver] = []
+        self._cycle_hooks: tuple = ()
+        self._commit_hooks: tuple = ()
+        self._recovery_hooks: tuple = ()
+
         self.stats = SimulationStatistics()
 
     # ------------------------------------------------------------------
@@ -176,22 +217,103 @@ class ReSimEngine:
                 and self._ifq.is_empty
                 and self._decouple.is_empty)
 
-    def run(self, max_cycles: int | None = None) -> SimulationResult:
-        """Simulate until the trace is drained.
+    @property
+    def observers(self) -> tuple[EngineObserver, ...]:
+        return tuple(self._observers)
+
+    def add_observer(self, observer: EngineObserver) -> None:
+        """Attach instrumentation hooks to this engine.
+
+        Only the methods ``observer``'s class actually overrides are
+        dispatched; attaching an observer that overrides nothing costs
+        nothing.
+        """
+        self._observers.append(observer)
+        self._rebuild_hooks()
+
+    def remove_observer(self, observer: EngineObserver) -> None:
+        self._observers.remove(observer)
+        self._rebuild_hooks()
+
+    def _rebuild_hooks(self) -> None:
+        base = EngineObserver
+        self._cycle_hooks = tuple(
+            obs.on_cycle for obs in self._observers
+            if type(obs).on_cycle is not base.on_cycle)
+        self._commit_hooks = tuple(
+            obs.on_commit for obs in self._observers
+            if type(obs).on_commit is not base.on_commit)
+        self._recovery_hooks = tuple(
+            obs.on_recovery for obs in self._observers
+            if type(obs).on_recovery is not base.on_recovery)
+
+    def run(
+        self,
+        max_cycles: int | None = None,
+        *,
+        warmup_instructions: int = 0,
+        roi_instructions: int | None = None,
+        stop_when=None,
+    ) -> SimulationResult:
+        """Simulate until the trace is drained (or the ROI ends).
 
         ``max_cycles`` guards against pathological configurations; the
         default allows a very conservative 64 cycles per record.
+
+        Instrumentation-window controls (all default to off, leaving
+        the classic run-to-drain behaviour bit-identical):
+
+        ``warmup_instructions``
+            Fast-forward: simulate until this many instructions have
+            committed, then reset the statistics while keeping all
+            microarchitectural state (predictor, caches, in-flight
+            window) warm.  The returned statistics cover only the
+            post-warmup region.
+        ``roi_instructions``
+            Region of interest: stop once this many instructions have
+            committed *after* warmup, even if trace records remain.
+        ``stop_when``
+            Early-stop predicate, called with the engine after each
+            cycle; simulation stops when it returns true.
         """
         if max_cycles is None:
             max_cycles = 64 * max(1, len(self._records)) + 10_000
-        while not self.done:
-            if self._cycle >= max_cycles:
-                raise RuntimeError(
-                    f"simulation exceeded {max_cycles} cycles "
-                    f"({self._cursor}/{len(self._records)} records consumed)"
-                )
-            self.step()
+        if warmup_instructions < 0:
+            raise ValueError("warmup_instructions must be >= 0")
+        if roi_instructions is not None and roi_instructions <= 0:
+            raise ValueError("roi_instructions must be positive")
+
+        if warmup_instructions:
+            while (not self.done
+                   and int(self.stats.committed_instructions)
+                   < warmup_instructions):
+                self._check_cycle_budget(max_cycles)
+                self.step()
+            self.stats = SimulationStatistics()
+
+        if roi_instructions is None and stop_when is None:
+            # The hot path: identical to the pre-instrumentation loop.
+            while not self.done:
+                self._check_cycle_budget(max_cycles)
+                self.step()
+        else:
+            while not self.done:
+                self._check_cycle_budget(max_cycles)
+                self.step()
+                if (roi_instructions is not None
+                        and int(self.stats.committed_instructions)
+                        >= roi_instructions):
+                    break
+                if stop_when is not None and stop_when(self):
+                    break
         return SimulationResult(config=self._config, stats=self.stats)
+
+    def _check_cycle_budget(self, max_cycles: int) -> None:
+        if self._cycle >= max_cycles:
+            raise RuntimeError(
+                f"simulation exceeded {max_cycles} cycles "
+                f"({self._cursor}/{len(self._records)} records consumed)"
+            )
 
     def step(self) -> None:
         """Advance exactly one major cycle."""
@@ -209,6 +331,10 @@ class ReSimEngine:
         self.stats.ifq_occupancy.sample(len(self._ifq))
         self.stats.rob_occupancy.sample(len(self._rob))
         self.stats.lsq_occupancy.sample(len(self._lsq))
+
+        if self._cycle_hooks:
+            for hook in self._cycle_hooks:
+                hook(self)
 
     # ------------------------------------------------------------------
     # Commit
@@ -252,10 +378,16 @@ class ReSimEngine:
             elif op.is_branch:
                 self._commit_branch(op)
                 committed += 1
+                if self._commit_hooks:
+                    for hook in self._commit_hooks:
+                        hook(self, op)
                 if op.seq == self._spec_branch_seq:
                     self._recover_from_misprediction(op)
                     return  # pipeline flushed; stop committing
                 continue
+            if self._commit_hooks:
+                for hook in self._commit_hooks:
+                    hook(self, op)
             committed += 1
 
     def _commit_branch(self, op: InFlightOp) -> None:
@@ -309,6 +441,9 @@ class ReSimEngine:
             self._config.misspeculation_penalty
         )
         self.stats.mispredictions.increment()
+        if self._recovery_hooks:
+            for hook in self._recovery_hooks:
+                hook(self, branch)
 
     # ------------------------------------------------------------------
     # Writeback

@@ -27,12 +27,10 @@ import time
 from dataclasses import dataclass
 
 from repro.core.config import ProcessorConfig
-from repro.core.engine import ReSimEngine
 from repro.core.minorpipe import select_pipeline
 from repro.fpga.device import FpgaDevice
-from repro.functional.sim_bpred import SimBpred
 from repro.isa.program import Program
-from repro.trace.stats import measure_trace
+from repro.session import Simulation
 
 
 @dataclass(frozen=True)
@@ -105,15 +103,12 @@ class OnTheFlyCosimulation:
     def run(self, program: Program,
             inputs: list[int] | None = None) -> CosimResult:
         """Co-simulate one assembled program end to end."""
-        tracer = SimBpred(
-            predictor_config=self._config.predictor,
-            rob_entries=self._config.rob_entries,
-            ifq_entries=self._config.ifq_entries,
-        )
+        simulation = Simulation.for_program(program, self._config,
+                                            inputs=inputs)
         produce_start = time.perf_counter()
-        generation = tracer.generate(program, inputs=inputs)
+        prepared = simulation.prepare()
         produce_seconds = max(time.perf_counter() - produce_start, 1e-9)
-        records = generation.records
+        records = prepared.records
 
         # Streamed engine: the trace list grows chunk by chunk while
         # the engine steps.  The link is flow-controlled: a new chunk
@@ -122,8 +117,7 @@ class OnTheFlyCosimulation:
         # cycle-identical to the offline one (asserted via
         # ``timing_transparent``).
         stream: list = []
-        engine = ReSimEngine(self._config, stream,
-                             start_pc=program.entry)
+        engine = simulation.build_engine(trace=stream)
         chunks = 0
         position = 0
         while True:
@@ -139,10 +133,9 @@ class OnTheFlyCosimulation:
                 break
             engine.step()
 
-        offline = ReSimEngine(self._config, records,
-                              start_pc=program.entry).run()
+        offline = simulation.run().result
 
-        stats = measure_trace(records)
+        stats = prepared.trace_stats
         pipeline = select_pipeline(self._config.width,
                                    self._config.memory_ports)
         simulate_rate = (

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.utils.registry import Registry
+
 
 @dataclass(frozen=True)
 class FpgaDevice:
@@ -95,9 +97,12 @@ VIRTEX5_LX110T = FpgaDevice(
     minor_cycle_mhz=105.0, measured=False,
 )
 
-#: Registry by name.
-DEVICES: dict[str, FpgaDevice] = {
-    device.name: device
-    for device in (VIRTEX4_LX40, VIRTEX5_LX50T, VIRTEX4_LX100,
-                   VIRTEX5_LX110T)
-}
+#: Registry by name.  New parts register here (``DEVICES.register``)
+#: and become usable by every name-driven surface — ``--device`` CLI
+#: flags, session specs, multicore studies — without touching call
+#: sites.
+DEVICES: Registry[FpgaDevice] = Registry("device")
+for _device in (VIRTEX4_LX40, VIRTEX5_LX50T, VIRTEX4_LX100,
+                VIRTEX5_LX110T):
+    DEVICES.register(_device.name, _device)
+del _device

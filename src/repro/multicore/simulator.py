@@ -27,13 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import ProcessorConfig
-from repro.core.engine import ReSimEngine
 from repro.core.minorpipe import select_pipeline
 from repro.fpga.area import AreaEstimator
 from repro.fpga.device import FpgaDevice
 from repro.perf.throughput import ThroughputModel, ThroughputReport
+from repro.session import Simulation
 from repro.trace.stats import TraceStatistics
-from repro.workloads.tracegen import generate_workload_trace
 
 #: Default shared trace-channel capacity, in Gb/s.  The paper points
 #: at tightly-coupled CPU-FPGA attachments (the DRC board's
@@ -216,17 +215,14 @@ class MultiCoreSimulator:
                                    self._config.memory_ports)
         model = ThroughputModel(self._device, pipeline)
         for core_index, name in enumerate(benchmarks):
-            generation, start_pc = generate_workload_trace(
+            session = Simulation.for_workload(
                 name, self._config, budget=budget,
                 seed=seed + core_index,
-            )
-            engine_result = ReSimEngine(
-                self._config, generation.records, start_pc=start_pc,
             ).run()
             result.cores.append(CoreResult(
                 core=core_index,
                 benchmark=name,
-                report=model.report(engine_result),
-                trace_stats=generation.statistics(),
+                report=model.report(session.result),
+                trace_stats=session.trace_stats,
             ))
         return result

@@ -12,11 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import ProcessorConfig
-from repro.core.engine import ReSimEngine, SimulationResult
+from repro.core.engine import SimulationResult
 from repro.fpga.device import FpgaDevice, VIRTEX4_LX40, VIRTEX5_LX50T
-from repro.perf.throughput import ThroughputModel, ThroughputReport
+from repro.perf.throughput import ThroughputReport
+from repro.session import Simulation
 from repro.trace.stats import TraceStatistics
-from repro.workloads.tracegen import generate_workload_trace
 
 #: Default devices: the paper's two implementation targets.
 DEFAULT_DEVICES = (VIRTEX4_LX40, VIRTEX5_LX50T)
@@ -75,19 +75,17 @@ def evaluate_benchmark(
     The workload's predictor configuration and wrong-path block bound
     are taken from ``config`` so trace and engine stay consistent.
     """
-    generation, start_pc = generate_workload_trace(
-        benchmark, config, budget=budget, seed=seed)
-    engine = ReSimEngine(config, generation.records, start_pc=start_pc)
-    result = engine.run()
-    row = BenchmarkRow(
+    session = (Simulation.for_workload(benchmark, config,
+                                       budget=budget, seed=seed)
+               .with_devices(*devices)
+               .run())
+    return BenchmarkRow(
         benchmark=benchmark,
         config=config,
-        result=result,
-        trace_stats=generation.statistics(),
+        result=session.result,
+        trace_stats=session.trace_stats,
+        reports=dict(session.reports),
     )
-    for device in devices:
-        row.reports[device.name] = ThroughputModel(device).report(result)
-    return row
 
 
 def evaluate_suite(

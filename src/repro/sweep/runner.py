@@ -41,15 +41,15 @@ from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
 from repro.bpred.unit import PredictorConfig
-from repro.core.engine import ReSimEngine
-from repro.sweep.result import SweepOutcome, SweepResult
-from repro.sweep.serialize import (
+from repro.serialize import (
     canonical_digest,
     config_from_dict,
     config_to_dict,
     stats_from_dict,
     stats_to_dict,
 )
+from repro.session import Simulation
+from repro.sweep.result import SweepOutcome, SweepResult
 from repro.sweep.spec import SweepError, SweepPoint, SweepSpec
 from repro.trace.fileio import (
     TraceFileError,
@@ -61,7 +61,6 @@ from repro.trace.record import TraceRecord
 from repro.workloads.profiles import SPECINT_PROFILES
 from repro.workloads.tracegen import (
     UnknownWorkloadError,
-    generate_workload_trace,
     is_known_workload,
 )
 
@@ -119,7 +118,8 @@ def _simulate_point(trace_path: str, config_dict: dict,
     """
     config = config_from_dict(config_dict)
     records = _load_records(trace_path)
-    result = ReSimEngine(config, records, start_pc=start_pc).run()
+    result = Simulation.for_records(
+        records, config=config, start_pc=start_pc).run().result
     payload = {
         "schema": CHECKPOINT_SCHEMA,
         "sweep": provenance,
@@ -241,12 +241,13 @@ class SweepRunner:
     def _generate_trace(self, predictor: PredictorConfig):
         """(records, start_pc, bits/instruction) for one generation
         predictor; ROB/IFQ generation parameters come from the base."""
-        generation, start_pc = generate_workload_trace(
+        simulation = Simulation.for_workload(
             self.workload, replace(self.spec.base, predictor=predictor),
             budget=self.budget, seed=self.seed,
         )
-        bits = generation.statistics().bits_per_instruction
-        return generation.records, start_pc, bits
+        prepared = simulation.prepare()
+        bits = prepared.trace_stats.bits_per_instruction
+        return prepared.records, prepared.start_pc, bits
 
     def prepare_trace(self, predictor: PredictorConfig) -> _TraceInfo:
         """Generate the shared trace for one generation predictor, or

@@ -1,95 +1,25 @@
-"""JSON-safe serialization of configs and statistics.
+"""Backward-compatible re-export of :mod:`repro.serialize`.
 
-The sweep subsystem moves :class:`~repro.core.config.ProcessorConfig`
-objects across process boundaries and persists
-:class:`~repro.core.stats.SimulationStatistics` into checkpoint files,
-so both need a lossless, human-inspectable dict form.  Everything here
-round-trips exactly:
-
->>> from repro.core.config import PAPER_4WIDE_PERFECT
->>> config_from_dict(config_to_dict(PAPER_4WIDE_PERFECT)) \
-...     == PAPER_4WIDE_PERFECT
-True
-
-:func:`config_key` derives the stable identifier used to name
-checkpoint files — two runs of the same sweep (even on different
-machines) agree on which design point a checkpoint belongs to.
+The config/statistics (de)serialization helpers started life here as
+sweep internals; the session facade (:mod:`repro.session`) now shares
+them, so the single implementation lives in :mod:`repro.serialize`.
+This module remains so existing imports keep working.
 """
 
-from __future__ import annotations
+from repro.serialize import (
+    canonical_digest,
+    config_from_dict,
+    config_key,
+    config_to_dict,
+    stats_from_dict,
+    stats_to_dict,
+)
 
-import hashlib
-import json
-from dataclasses import asdict, fields
-
-from repro.bpred.unit import PredictorConfig
-from repro.cache.cache import CacheConfig
-from repro.core.config import ProcessorConfig
-from repro.core.stats import Counter64, OccupancySampler, SimulationStatistics
-
-
-def config_to_dict(config: ProcessorConfig) -> dict:
-    """Flatten a processor config (and its nested predictor/cache
-    configs) into JSON-serializable primitives."""
-    return asdict(config)
-
-
-def config_from_dict(data: dict) -> ProcessorConfig:
-    """Inverse of :func:`config_to_dict`."""
-    data = dict(data)
-    data["predictor"] = PredictorConfig(**data["predictor"])
-    data["icache"] = CacheConfig(**data["icache"])
-    data["dcache"] = CacheConfig(**data["dcache"])
-    return ProcessorConfig(**data)
-
-
-def canonical_digest(data: dict, length: int = 16) -> str:
-    """Truncated SHA-256 over a dict's canonical JSON form: stable
-    across processes and interpreter restarts (unlike ``hash()``),
-    and short enough to be a filename stem.  Every identifier derived
-    from a config shares this one canonicalization."""
-    canonical = json.dumps(data, sort_keys=True)
-    return hashlib.sha256(canonical.encode()).hexdigest()[:length]
-
-
-def config_key(config: ProcessorConfig) -> str:
-    """Short stable identifier of one design point."""
-    return canonical_digest(config_to_dict(config))
-
-
-def stats_to_dict(stats: SimulationStatistics) -> dict:
-    """Flatten simulation statistics into JSON primitives."""
-    out: dict = {}
-    for spec in fields(stats):
-        value = getattr(stats, spec.name)
-        if isinstance(value, Counter64):
-            out[spec.name] = int(value)
-        elif isinstance(value, OccupancySampler):
-            out[spec.name] = {"total": value.total,
-                              "samples": value.samples,
-                              "peak": value.peak}
-        else:  # pragma: no cover - future plain fields
-            out[spec.name] = value
-    return out
-
-
-def stats_from_dict(data: dict) -> SimulationStatistics:
-    """Inverse of :func:`stats_to_dict`.
-
-    Unknown keys are ignored so a checkpoint written by a newer
-    version (extra counters) still loads; missing keys keep their
-    zero defaults.
-    """
-    stats = SimulationStatistics()
-    for spec in fields(stats):
-        if spec.name not in data:
-            continue
-        value = data[spec.name]
-        current = getattr(stats, spec.name)
-        if isinstance(current, Counter64):
-            setattr(stats, spec.name, Counter64(int(value)))
-        elif isinstance(current, OccupancySampler):
-            setattr(stats, spec.name, OccupancySampler(**value))
-        else:  # pragma: no cover - future plain fields
-            setattr(stats, spec.name, value)
-    return stats
+__all__ = [
+    "canonical_digest",
+    "config_from_dict",
+    "config_key",
+    "config_to_dict",
+    "stats_from_dict",
+    "stats_to_dict",
+]

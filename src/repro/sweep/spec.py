@@ -31,7 +31,7 @@ from dataclasses import dataclass, fields, replace
 from itertools import product
 from typing import Iterable, Mapping, Sequence
 
-from repro.bpred.unit import PREDICTOR_SCHEMES, PredictorConfig
+from repro.bpred.unit import PREDICTORS, PredictorConfig
 from repro.cache.cache import CacheConfig
 from repro.core.config import PAPER_4WIDE_PERFECT, ProcessorConfig
 from repro.sweep.serialize import config_key
@@ -105,10 +105,12 @@ def _coerce(name: str, value: object) -> object:
                 f"predictor axis values must be scheme strings, kwargs "
                 f"dicts, or PredictorConfig, got {value!r}"
             )
-        if value.scheme not in PREDICTOR_SCHEMES:
+        if value.scheme not in PREDICTORS:
+            # Registry membership, not the import-time tuple snapshot:
+            # schemes registered after import are valid axis values.
             raise SweepError(
                 f"unknown predictor scheme {value.scheme!r}; choose "
-                f"from {', '.join(PREDICTOR_SCHEMES)}"
+                f"from {', '.join(PREDICTORS)}"
             )
         return value
     if name in ("icache", "dcache"):

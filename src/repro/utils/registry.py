@@ -1,0 +1,152 @@
+"""String-keyed component registries.
+
+The reconfigurability story of the paper — one simulator, many
+scenarios — needs every pluggable component to be *nameable*: a CLI
+flag, a JSON run spec, and a sweep axis must all be able to say
+``"gshare"`` or ``"xc4vlx40"`` and mean the same thing.  This module
+provides the one registry type every component family shares:
+
+* FPGA devices        — :data:`repro.fpga.device.DEVICES`
+* predictor schemes   — :data:`repro.bpred.unit.PREDICTORS`
+* replacement policies— :data:`repro.cache.replacement.REPLACEMENT_POLICIES`
+* workloads           — :data:`repro.workloads.tracegen.WORKLOADS`
+* named processor configs — :data:`repro.session.CONFIGS`
+
+A :class:`Registry` is a :class:`~collections.abc.Mapping`, so code
+that used the previous plain dicts (``DEVICES[name]``,
+``', '.join(DEVICES)``, ``name in DEVICES``) keeps working unchanged.
+New components register without touching any call site:
+
+>>> palette = Registry("color")
+>>> palette.register("red", 0xFF0000)
+16711680
+>>> palette.get("red")
+16711680
+>>> "red" in palette
+True
+>>> palette.get("mauve")
+Traceback (most recent call last):
+    ...
+repro.utils.registry.RegistryError: unknown color 'mauve'; choose from red
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Mapping, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistryError(KeyError, ValueError):
+    """Unknown component name.
+
+    Subclasses *both* ``KeyError`` (a registry is a mapping, and
+    pre-registry call sites catch ``KeyError`` around ``DEVICES[...]``)
+    and ``ValueError`` (pre-registry factories like
+    ``build_direction_predictor`` and ``make_policy`` raised
+    ``ValueError`` for unknown names, and their tests still expect it).
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
+class Registry(Mapping[str, T], Generic[T]):
+    """A named family of components, looked up by string key.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component-family name, used in error messages
+        (``unknown predictor scheme 'oracle'; choose from ...``).
+    initial:
+        Optional starting ``name -> component`` mapping.
+    """
+
+    def __init__(self, kind: str,
+                 initial: Mapping[str, T] | None = None) -> None:
+        self._kind = kind
+        self._components: dict[str, T] = dict(initial or {})
+        self._aliases: dict[str, str] = {}
+
+    # -- registration --------------------------------------------------
+
+    def register(self, name: str, component: T | None = None, *,
+                 aliases: tuple[str, ...] = (),
+                 overwrite: bool = False):
+        """Register one component; returns it (usable as a decorator).
+
+        ``aliases`` are alternative lookup keys that resolve to the
+        same component but are hidden from iteration (so short forms
+        like ``"l"`` for ``"lru"`` don't clutter listings).
+        Registering an already-taken name raises unless ``overwrite``.
+        """
+        if component is None:  # decorator form: @reg.register("name")
+            def decorator(obj: T) -> T:
+                self.register(name, obj, aliases=aliases,
+                              overwrite=overwrite)
+                return obj
+            return decorator
+        if not overwrite and (name in self._components
+                              or name in self._aliases):
+            raise ValueError(
+                f"{self._kind} {name!r} is already registered"
+            )
+        self._components[name] = component
+        for alias in aliases:
+            if not overwrite and (alias in self._components
+                                  or alias in self._aliases):
+                raise ValueError(
+                    f"{self._kind} alias {alias!r} is already registered"
+                )
+            self._aliases[alias] = name
+        return component
+
+    # -- lookup --------------------------------------------------------
+
+    _RAISE = object()  # sentinel: one-argument get() raises
+
+    def get(self, name: str, default=_RAISE) -> T:  # type: ignore[override]
+        """The component registered under ``name`` (or an alias).
+
+        With no ``default``, raises :class:`RegistryError` — listing
+        the valid names — for anything unknown: a silent ``None`` for
+        a typo'd component name is exactly the failure mode registries
+        exist to prevent.  The two-argument dict form
+        (``registry.get(name, fallback)``) still returns the fallback,
+        so callers written against the previous plain dicts keep
+        working.
+        """
+        key = self._aliases.get(name, name)
+        try:
+            return self._components[key]
+        except KeyError:
+            if default is not Registry._RAISE:
+                return default
+            raise RegistryError(
+                f"unknown {self._kind} {name!r}; choose from "
+                f"{', '.join(self._components)}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical registered names, in registration order."""
+        return tuple(self._components)
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    # -- Mapping interface --------------------------------------------
+
+    def __getitem__(self, name: str) -> T:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __repr__(self) -> str:
+        return (f"Registry({self._kind!r}, "
+                f"{{{', '.join(self._components)}}})")

@@ -1,18 +1,27 @@
 """One shared entry point for turning a workload name into a trace.
 
-Four subsystems need the same branch — "SPECINT profile → synthetic
-generator, kernel → assemble + functional tracer" — with the same
-front-end parameters threaded through (predictor, ROB, IFQ, so trace
-and engine stay consistent).  The CLI, the benchmark harness, the
-multicore simulator and the sweep runner all generate traces here, so
-a change to trace-generation parameters happens in exactly one place.
+Every trace-producing subsystem needs the same branch — "SPECINT
+profile → synthetic generator, kernel → assemble + functional tracer"
+— with the same front-end parameters threaded through (predictor, ROB,
+IFQ, so trace and engine stay consistent).  The session facade, the
+CLI, the benchmark harness, the multicore simulator and the sweep
+runner all generate traces here, so a change to trace-generation
+parameters happens in exactly one place.
+
+Workloads are named components: the :data:`WORKLOADS` registry maps
+each name to a :class:`WorkloadSource`, so new workloads (a new
+profile, a new kernel, or an entirely new source kind) register once
+and are immediately reachable from CLI flags, sweep specs, and
+:class:`~repro.session.Simulation` specs.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.functional.sim_bpred import SimBpred, TraceGenerationResult
+from repro.utils.registry import Registry
 from repro.workloads.kernels import KERNELS, kernel_program
 from repro.workloads.profiles import SPECINT_PROFILES, get_profile
 from repro.workloads.synthetic import SyntheticWorkload
@@ -33,9 +42,80 @@ class UnknownWorkloadError(ValueError):
         )
 
 
+def build_tracer(config: "ProcessorConfig") -> SimBpred:
+    """A functional tracer wired to one processor config.
+
+    The generator's predictor/ROB/IFQ parameters must match the
+    engine's (the consistency contract of Section V.A); this is the
+    single place that wiring happens.
+    """
+    return SimBpred(
+        predictor_config=config.predictor,
+        rob_entries=config.rob_entries,
+        ifq_entries=config.ifq_entries,
+    )
+
+
+@dataclass(frozen=True)
+class SyntheticSource:
+    """A statistical SPECINT profile, traced by the synthetic
+    generator (starts at the default text base → ``start_pc`` None)."""
+
+    profile_name: str
+    kind: str = "synthetic"
+
+    def generate(self, config: "ProcessorConfig", *, budget: int,
+                 seed: int) -> tuple[TraceGenerationResult, int | None]:
+        synthetic = SyntheticWorkload(
+            get_profile(self.profile_name), seed=seed,
+            predictor_config=config.predictor,
+            rob_entries=config.rob_entries,
+            ifq_entries=config.ifq_entries,
+        )
+        return synthetic.generate(budget), None
+
+
+@dataclass(frozen=True)
+class KernelSource:
+    """A real assembly kernel, assembled and traced through the
+    functional simulator (runs to completion; budget/seed unused)."""
+
+    kernel_name: str
+    kind: str = "kernel"
+
+    def generate(self, config: "ProcessorConfig", *, budget: int,
+                 seed: int) -> tuple[TraceGenerationResult, int | None]:
+        program = kernel_program(self.kernel_name)
+        return build_tracer(config).generate(program), program.entry
+
+
+#: Workload registry: name → trace source.  Populated from the profile
+#: and kernel tables at import; anything registered later (a custom
+#: profile, a new source kind) is equally reachable by name.
+WORKLOADS: Registry = Registry("workload")
+for _name in SPECINT_PROFILES:
+    WORKLOADS.register(_name, SyntheticSource(_name))
+for _name in KERNELS:
+    WORKLOADS.register(_name, KernelSource(_name))
+del _name
+
+
+def _resolve_source(workload: str):
+    """Workload name → source, falling back to the profile/kernel
+    tables for names added after import (the pre-registry behaviour)."""
+    if workload in WORKLOADS:
+        return WORKLOADS.get(workload)
+    if workload in SPECINT_PROFILES:
+        return SyntheticSource(workload)
+    if workload in KERNELS:
+        return KernelSource(workload)
+    raise UnknownWorkloadError(workload)
+
+
 def is_known_workload(workload: str) -> bool:
     """True for any name :func:`generate_workload_trace` accepts."""
-    return workload in SPECINT_PROFILES or workload in KERNELS
+    return (workload in WORKLOADS or workload in SPECINT_PROFILES
+            or workload in KERNELS)
 
 
 def generate_workload_trace(
@@ -58,20 +138,5 @@ def generate_workload_trace(
     UnknownWorkloadError
         If ``workload`` names neither a profile nor a kernel.
     """
-    if workload in SPECINT_PROFILES:
-        synthetic = SyntheticWorkload(
-            get_profile(workload), seed=seed,
-            predictor_config=config.predictor,
-            rob_entries=config.rob_entries,
-            ifq_entries=config.ifq_entries,
-        )
-        return synthetic.generate(budget), None
-    if workload in KERNELS:
-        program = kernel_program(workload)
-        tracer = SimBpred(
-            predictor_config=config.predictor,
-            rob_entries=config.rob_entries,
-            ifq_entries=config.ifq_entries,
-        )
-        return tracer.generate(program), program.entry
-    raise UnknownWorkloadError(workload)
+    return _resolve_source(workload).generate(config, budget=budget,
+                                              seed=seed)

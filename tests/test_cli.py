@@ -1,0 +1,138 @@
+"""CLI smoke tests: every subcommand through ``main(argv)``.
+
+Each subcommand must exit 0 on a healthy invocation (tiny budgets,
+tmp-dir outputs), and ``simulate`` must print exactly the numbers a
+direct :class:`repro.session.Simulation` run produces — the CLI is a
+thin shell over the facade, and this pins it there.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.session import CONFIGS, Simulation
+
+BUDGET = "1500"
+
+
+class TestTrace:
+    def test_synthetic_workload(self, tmp_path, capsys):
+        out = tmp_path / "gzip.rtrc"
+        assert main(["trace", "gzip", str(out),
+                     "--budget", BUDGET]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_kernel_records_start_pc(self, tmp_path):
+        out = tmp_path / "vecsum.rtrc"
+        assert main(["trace", "vecsum", str(out),
+                     "--budget", BUDGET]) == 0
+        from repro.trace.fileio import read_trace_header
+        header = read_trace_header(out)
+        assert "start_pc" in header.metadata
+
+    def test_unknown_workload_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["trace", "doom", str(tmp_path / "x.rtrc"),
+                  "--budget", BUDGET])
+
+
+class TestSimulate:
+    def test_workload_output_matches_direct_simulation(self, capsys):
+        assert main(["simulate", "gzip", "--budget", BUDGET]) == 0
+        cli_output = capsys.readouterr().out
+
+        session = (Simulation.for_workload(
+            "gzip", CONFIGS.get("4wide-perfect"),
+            budget=int(BUDGET), seed=7)
+            .with_devices("xc4vlx40", "xc5vlx50t").run())
+        assert session.stats.report() in cli_output
+        assert f"{session.mips('xc4vlx40'):7.2f} MIPS" in cli_output
+        assert f"{session.mips('xc5vlx50t'):7.2f} MIPS" in cli_output
+
+    def test_trace_file_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "vecsum.rtrc"
+        assert main(["trace", "vecsum", str(out),
+                     "--budget", BUDGET]) == 0
+        capsys.readouterr()
+        assert main(["simulate", "--trace-file", str(out)]) == 0
+        direct = Simulation.for_trace_file(out).run()
+        assert direct.stats.report() in capsys.readouterr().out
+
+    def test_predictor_mismatch_warns(self, tmp_path, capsys):
+        out = tmp_path / "t.rtrc"
+        assert main(["trace", "vecsum", str(out),
+                     "--budget", BUDGET]) == 0
+        assert main(["simulate", "--trace-file", str(out),
+                     "--config", "2wide-cache"]) == 0
+        assert "different" in capsys.readouterr().err
+
+    def test_corrupt_trace_file_exits(self, tmp_path):
+        bad = tmp_path / "bad.rtrc"
+        bad.write_bytes(b"not a trace file")
+        with pytest.raises(SystemExit, match="bad.rtrc"):
+            main(["simulate", "--trace-file", str(bad)])
+
+    def test_unknown_config_exits(self):
+        with pytest.raises(SystemExit, match="unknown config"):
+            main(["simulate", "gzip", "--config", "9wide"])
+
+
+class TestTables:
+    def test_table4_renders(self, capsys):
+        assert main(["tables", "table4", "--budget", "1000"]) == 0
+        assert "Area" in capsys.readouterr().out
+
+    def test_unknown_table_exits(self):
+        with pytest.raises(SystemExit, match="unknown table"):
+            main(["tables", "table9"])
+
+
+class TestArea:
+    def test_area_breakdown(self, capsys):
+        assert main(["area"]) == 0
+        assert "slices" in capsys.readouterr().out.lower()
+
+    def test_with_caches(self, capsys):
+        assert main(["area", "--with-caches"]) == 0
+        capsys.readouterr()
+
+
+class TestVhdl:
+    def test_emits_sources(self, tmp_path, capsys):
+        rtl = tmp_path / "rtl"
+        assert main(["vhdl", str(rtl)]) == 0
+        written = list(rtl.glob("*.vhd"))
+        assert written
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestMulticore:
+    def test_runs_on_large_device(self, capsys):
+        assert main(["multicore", "gzip", "--budget", BUDGET,
+                     "--device", "xc4vlx100"]) == 0
+        out = capsys.readouterr().out
+        assert "instance(s)" in out
+        assert "aggregate MIPS" in out
+
+    def test_unknown_device_exits(self):
+        with pytest.raises(SystemExit, match="unknown device"):
+            main(["multicore", "gzip", "--device", "xc1"])
+
+
+class TestSweep:
+    def test_sweep_and_resume(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        argv = ["sweep", "gzip", "--rob", "8,16",
+                "--budget", BUDGET, "--results-dir", str(results),
+                "--json", str(tmp_path / "sweep.json")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 design points" in first
+        document = json.loads((tmp_path / "sweep.json").read_text())
+        assert len(document["outcomes"]) == 2
+
+        # Rerun: everything satisfied from checkpoints.
+        assert main(argv) == 0
+        assert "2 resumed from checkpoints" in capsys.readouterr().out

@@ -9,10 +9,14 @@ import doctest
 import pytest
 
 import repro
+import repro.serialize
 import repro.utils.bitio
+import repro.utils.registry
 
 
-@pytest.mark.parametrize("module", [repro.utils.bitio, repro],
+@pytest.mark.parametrize("module", [repro.utils.bitio, repro,
+                                    repro.serialize,
+                                    repro.utils.registry],
                          ids=lambda m: m.__name__)
 def test_module_doctests(module):
     result = doctest.testmod(module, verbose=False)
