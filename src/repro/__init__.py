@@ -110,9 +110,16 @@ from repro.session import (
 from repro.sweep import SweepResult, SweepRunner, SweepSpec, run_sweep
 from repro.multicore import MultiCoreSimulator, TraceChannel
 from repro.trace import (
+    ConcatSource,
+    FileSource,
+    InMemorySource,
+    SegmentedTraceWriter,
+    TraceSource,
     decode_trace,
     encode_trace,
+    iter_trace_records,
     measure_trace,
+    read_segment_table,
     read_trace_file,
     write_trace_file,
 )
@@ -122,6 +129,7 @@ from repro.workloads import (
     SyntheticWorkload,
     get_profile,
     kernel_program,
+    write_workload_trace,
 )
 
 __version__ = "1.0.0"
@@ -131,9 +139,12 @@ __all__ = [
     "BranchPredictorUnit",
     "CONFIGS",
     "CacheConfig",
+    "ConcatSource",
     "DEVICES",
     "EngineObserver",
+    "FileSource",
     "FrequencyModel",
+    "InMemorySource",
     "KERNELS",
     "MemorySystem",
     "MultiCoreSimulator",
@@ -149,6 +160,7 @@ __all__ = [
     "ReSimEngine",
     "Registry",
     "SPECINT_PROFILES",
+    "SegmentedTraceWriter",
     "SessionError",
     "SessionResult",
     "SimBpred",
@@ -161,6 +173,7 @@ __all__ = [
     "SyntheticWorkload",
     "ThroughputModel",
     "TraceChannel",
+    "TraceSource",
     "VIRTEX4_LX40",
     "VIRTEX5_LX50T",
     "WORKLOADS",
@@ -172,10 +185,13 @@ __all__ = [
     "evaluate_suite",
     "generate_branch_predictor_vhdl",
     "get_profile",
+    "iter_trace_records",
     "kernel_program",
     "measure_trace",
+    "read_segment_table",
     "read_trace_file",
     "run_sweep",
     "select_pipeline",
     "write_trace_file",
+    "write_workload_trace",
 ]

@@ -3,8 +3,11 @@
 Subcommands mirror how the paper's system is used:
 
 * ``trace``    — generate a tagged trace (synthetic benchmark or
-  assembled kernel) and write it to a trace file;
-* ``simulate`` — run a trace file (or generate one on the fly) through
+  assembled kernel), streaming it straight into a segmented trace
+  file; ``trace info FILE`` inspects a stored trace (header, format
+  version, metadata, segment table) without decoding its payload;
+* ``simulate`` — run a trace file (streamed by default; see
+  ``--in-memory``, ``--progress``) or generate one on the fly through
   the timing engine and print statistics + FPGA-projected MIPS;
 * ``tables``   — regenerate the paper's Tables 1-4;
 * ``area``     — print the Table 4 area breakdown for a configuration;
@@ -27,15 +30,24 @@ from dataclasses import replace
 from pathlib import Path
 
 from repro.core.minorpipe import select_pipeline
+from repro.core.observers import ProgressObserver
 from repro.fpga.area import AreaEstimator
 from repro.fpga.device import DEVICES, VIRTEX4_LX40, VIRTEX5_LX50T
 from repro.fpga.vhdlgen import generate_branch_predictor_vhdl
 from repro.multicore.simulator import MultiCoreSimulator, TraceChannel
 from repro.session import CONFIGS, Simulation
-from repro.trace.fileio import TraceFileError
+from repro.trace.fileio import (
+    DEFAULT_SEGMENT_RECORDS,
+    TraceFileError,
+    read_segment_table,
+    read_trace_header,
+)
 from repro.utils.registry import RegistryError
 from repro.workloads.profiles import SPECINT_PROFILES
-from repro.workloads.tracegen import UnknownWorkloadError
+from repro.workloads.tracegen import (
+    UnknownWorkloadError,
+    write_workload_trace,
+)
 
 
 def _config(name: str):
@@ -59,27 +71,98 @@ def _workload_simulation(args, config) -> Simulation:
 
 
 def cmd_trace(args) -> int:
+    if args.workload == "info":
+        return cmd_trace_info(args)
     config = _config(args.config)
-    simulation = _workload_simulation(args, config)
     try:
-        records, written = simulation.save_trace(args.output)
+        written = write_workload_trace(
+            args.workload, config, args.output,
+            budget=args.budget, seed=args.seed,
+            segment_records=args.segment_records,
+        )
     except UnknownWorkloadError as error:
         raise SystemExit(str(error))
-    print(f"wrote {records} records ({written} bytes) "
-          f"to {args.output}")
+    except TraceFileError as error:
+        raise SystemExit(f"{args.output}: {error}")
+    print(f"wrote {written.record_count} records "
+          f"({written.bytes_written} bytes) to {args.output}")
+    return 0
+
+
+def _describe_predictor(blob) -> str:
+    if not isinstance(blob, dict):
+        return "(not recorded)"
+    scheme = blob.get("scheme", "?")
+    details = ", ".join(f"{key}={value}" for key, value in sorted(blob.items())
+                        if key != "scheme" and value is not None)
+    return f"{scheme} ({details})" if details else scheme
+
+
+def cmd_trace_info(args) -> int:
+    """`resim trace info <file>`: inspect a stored trace."""
+    path = Path(args.output)
+    try:
+        header = read_trace_header(path)
+        segments = read_segment_table(path)
+    except OSError as error:
+        raise SystemExit(f"{path}: {error.strerror or error}")
+    except TraceFileError as error:
+        raise SystemExit(f"{path}: {error}")
+    size = path.stat().st_size
+    print(f"{path}")
+    print(f"  format version       : {header.version}"
+          + ("" if header.version != 1 else " (monolithic payload)"))
+    print(f"  file size            : {size} bytes")
+    print(f"  records              : {header.record_count}")
+    print(f"  committed (low 32)   : {header.committed_low32}")
+    print(f"  payload bits         : {header.bit_length}")
+    print(f"  bits per instruction : {header.bits_per_instruction:.2f}")
+    metadata = dict(header.metadata)
+    predictor = metadata.pop("predictor", None)
+    print(f"  generation predictor : {_describe_predictor(predictor)}")
+    for key in sorted(metadata):
+        if metadata[key] is not None:
+            print(f"  {key:21s}: {metadata[key]}")
+    if header.version == 1:
+        print(f"  segments             : (none; v1 payload spans "
+              f"{segments[0].byte_length} bytes)")
+        return 0
+    print(f"  segments             : {header.segment_count} "
+          f"(nominal {header.segment_records} records each)")
+    rows = segments if len(segments) <= 8 else segments[:8]
+    for segment in rows:
+        print(f"    [{segment.index:4d}] {segment.record_count:8d} "
+              f"records, {segment.bit_length:10d} bits at offset "
+              f"{segment.payload_offset}")
+    if len(segments) > len(rows):
+        print(f"    ... {len(segments) - len(rows)} more segment(s)")
     return 0
 
 
 def cmd_simulate(args) -> int:
     config = _config(args.config)
+    if args.progress_records < 1:
+        raise SystemExit(
+            f"--progress-records must be positive, "
+            f"got {args.progress_records}")
     if args.trace_file:
         simulation = Simulation.for_trace_file(
             args.trace_file, config=config,
+            streaming=not args.in_memory,
         ).with_devices(VIRTEX4_LX40, VIRTEX5_LX50T)
+        if args.progress:
+            # Attach before prepare(): every with_* clone invalidates
+            # the prepared-trace cache, and preparing twice would
+            # decode an --in-memory trace file twice.
+            simulation = simulation.with_observer(
+                ProgressObserver(args.progress_records))
         try:
             prepared = simulation.prepare()
         except TraceFileError as error:
             raise SystemExit(f"{args.trace_file}: {error}")
+        except OSError as error:
+            raise SystemExit(
+                f"{args.trace_file}: {error.strerror or error}")
         if prepared.predictor_mismatch:
             print("warning: trace was generated with a different "
                   "predictor configuration; Tag bits may not match "
@@ -87,10 +170,17 @@ def cmd_simulate(args) -> int:
     else:
         simulation = _workload_simulation(args, config).with_devices(
             VIRTEX4_LX40, VIRTEX5_LX50T)
+        if args.progress:
+            simulation = simulation.with_observer(
+                ProgressObserver(args.progress_records))
     try:
         session = simulation.run()
     except UnknownWorkloadError as error:
         raise SystemExit(str(error))
+    except TraceFileError as error:
+        # Streamed payload corruption surfaces during the run, not at
+        # prepare time (only one segment is ever decoded ahead).
+        raise SystemExit(f"{args.trace_file}: {error}")
     print(session.stats.report())
     pipeline = select_pipeline(config.width, config.memory_ports)
     print(f"\ninternal pipeline: {pipeline.name} "
@@ -139,8 +229,15 @@ def cmd_multicore(args) -> int:
     print(f"{device.name}: up to {simulator.max_instances} instance(s)")
     benchmarks = args.benchmarks or list(SPECINT_PROFILES)
     count = min(len(benchmarks), max(1, simulator.max_instances))
-    result = simulator.run(benchmarks[:count], budget=args.budget,
-                           seed=args.seed)
+    try:
+        result = simulator.run(benchmarks[:count], budget=args.budget,
+                               seed=args.seed)
+    except UnknownWorkloadError as error:
+        raise SystemExit(str(error))
+    except (TraceFileError, OSError) as error:
+        # A core given a .rtrc path: missing or corrupt trace files
+        # must not escape as tracebacks.
+        raise SystemExit(str(error))
     print(result.summary())
     return 0
 
@@ -257,10 +354,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--budget", type=int, default=20_000)
         p.add_argument("--seed", type=int, default=7)
 
-    trace = sub.add_parser("trace", help="generate a trace file")
+    trace = sub.add_parser(
+        "trace",
+        help="generate a trace file, or inspect one (trace info FILE)")
     add_common(trace)
-    trace.add_argument("workload", help="benchmark profile or kernel name")
-    trace.add_argument("output", help="output trace file path")
+    trace.add_argument(
+        "workload",
+        help="benchmark profile or kernel name, or the literal 'info' "
+             "to inspect an existing trace file")
+    trace.add_argument(
+        "output",
+        help="output trace file path (with 'info': the file to inspect)")
+    trace.add_argument("--segment-records", type=int,
+                       default=DEFAULT_SEGMENT_RECORDS,
+                       help="records per v2 segment (decode granularity "
+                            "of streaming readers)")
     trace.set_defaults(func=cmd_trace)
 
     simulate = sub.add_parser("simulate", help="run the timing engine")
@@ -268,6 +376,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("workload", nargs="?", default="gzip")
     simulate.add_argument("--trace-file", default=None,
                           help="simulate a stored trace instead")
+    simulate.add_argument("--in-memory", action="store_true",
+                          help="decode the whole trace file up front "
+                               "instead of streaming it")
+    simulate.add_argument("--progress", action="store_true",
+                          help="print periodic progress lines to stderr")
+    simulate.add_argument("--progress-records", type=int,
+                          default=100_000,
+                          help="records between progress lines")
     simulate.set_defaults(func=cmd_simulate)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")

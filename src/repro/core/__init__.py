@@ -30,6 +30,7 @@ from repro.core.config import (
     ProcessorConfig,
 )
 from repro.core.engine import EngineObserver, ReSimEngine, SimulationResult
+from repro.core.observers import ProgressObserver
 from repro.core.minorpipe import (
     ImprovedPipeline,
     MinorPipeline,
@@ -47,6 +48,7 @@ __all__ = [
     "PAPER_2WIDE_CACHE",
     "PAPER_4WIDE_PERFECT",
     "ProcessorConfig",
+    "ProgressObserver",
     "ReSimEngine",
     "SimplePipeline",
     "SimulationResult",

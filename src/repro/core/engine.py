@@ -62,6 +62,7 @@ from repro.isa.instruction import INSTRUCTION_BYTES
 from repro.isa.opcodes import BranchKind, FuClass
 from repro.isa.program import TEXT_BASE
 from repro.trace.record import BranchRecord, TraceRecord
+from repro.trace.source import TraceSource, as_source
 from repro.utils.queues import CircularQueue
 
 
@@ -124,8 +125,12 @@ class ReSimEngine:
     config:
         The simulated processor.
     trace:
-        Tagged record stream (from :class:`~repro.functional.SimBpred`
-        or :class:`~repro.workloads.SyntheticWorkload`); the
+        Tagged record stream: either a
+        :class:`~repro.trace.source.TraceSource` (streamed file,
+        shard concatenation, growing in-memory FIFO) or a plain
+        record sequence, which is wrapped in an
+        :class:`~repro.trace.source.InMemorySource`.  Both paths run
+        the same fetch code and produce bit-identical statistics; the
         predictor configuration used at generation must match
         ``config.predictor``.
     start_pc:
@@ -140,13 +145,12 @@ class ReSimEngine:
     def __init__(
         self,
         config: ProcessorConfig,
-        trace: Sequence[TraceRecord],
+        trace: Sequence[TraceRecord] | TraceSource,
         start_pc: int | None = None,
         update_predictor_at_commit: bool = True,
     ) -> None:
         self._config = config
-        self._records = trace
-        self._cursor = 0
+        self._source = as_source(trace)
         self._cycle = 0
         self._seq = 0
         self._update_at_commit = update_predictor_at_commit
@@ -204,15 +208,26 @@ class ReSimEngine:
         return self._memory
 
     @property
+    def source(self) -> TraceSource:
+        """The trace cursor feeding fetch."""
+        return self._source
+
+    @property
     def cursor_position(self) -> int:
         """Trace records consumed so far (streaming drivers use this
         to keep the input FIFO's lookahead topped up)."""
-        return self._cursor
+        return self._source.consumed
+
+    @property
+    def total_records(self) -> int:
+        """The source's current stream-length estimate (exact for
+        files; the live length for growing in-memory streams)."""
+        return self._source.total_records
 
     @property
     def done(self) -> bool:
         """All records consumed and the pipeline drained."""
-        return (self._cursor >= len(self._records)
+        return (self._source.exhausted
                 and self._rob.is_empty
                 and self._ifq.is_empty
                 and self._decouple.is_empty)
@@ -277,7 +292,7 @@ class ReSimEngine:
             cycle; simulation stops when it returns true.
         """
         if max_cycles is None:
-            max_cycles = 64 * max(1, len(self._records)) + 10_000
+            max_cycles = 64 * max(1, self._source.total_records) + 10_000
         if warmup_instructions < 0:
             raise ValueError("warmup_instructions must be >= 0")
         if roi_instructions is not None and roi_instructions <= 0:
@@ -312,7 +327,8 @@ class ReSimEngine:
         if self._cycle >= max_cycles:
             raise RuntimeError(
                 f"simulation exceeded {max_cycles} cycles "
-                f"({self._cursor}/{len(self._records)} records consumed)"
+                f"({self._source.consumed}/{self._source.total_records} "
+                f"records consumed)"
             )
 
     def step(self) -> None:
@@ -423,9 +439,8 @@ class ReSimEngine:
         self._rename.squash_wrong_path()
 
         # Discard the rest of the tagged block.
-        while (self._cursor < len(self._records)
-               and self._records[self._cursor].tag):
-            self._cursor += 1
+        while self._source.peek_is_tagged():
+            self._source.next()
             self.stats.discarded_wrong_path.increment()
             self.stats.trace_records_consumed.increment()
 
@@ -598,9 +613,9 @@ class ReSimEngine:
 
         fetched = 0
         while fetched < self._config.width and not self._ifq.is_full:
-            if self._cursor >= len(self._records):
+            record = self._source.peek()
+            if record is None:
                 break
-            record = self._records[self._cursor]
             if self._speculative:
                 if not record.tag:
                     break  # wrong-path block exhausted: fetch starves
@@ -632,7 +647,7 @@ class ReSimEngine:
         """Consume one trace record into the IFQ."""
         op = InFlightOp(seq=self._seq, record=record, pc=pc)
         self._seq += 1
-        self._cursor += 1
+        self._source.next()
         op.fetched_cycle = self._cycle
         self._ifq.push(op)
         self.stats.fetched_instructions.increment()
@@ -650,8 +665,7 @@ class ReSimEngine:
             self._bpred.update(pc, record.branch_kind, record.taken,
                                record.target, resolution)
 
-        tagged_next = (self._cursor < len(self._records)
-                       and self._records[self._cursor].tag)
+        tagged_next = self._source.peek_is_tagged()
         if resolution.mispredicted != tagged_next:
             # The engine's predictor state has drifted from the
             # generator's (possible with commit-time training while

@@ -1,9 +1,10 @@
 """Streaming co-simulation driver.
 
 The functional simulator produces tagged records chunk by chunk; the
-engine consumes them as they arrive (its trace is a growing list —
+engine consumes them as they arrive through an
+:class:`~repro.trace.source.InMemorySource` over a growing list —
 fetch simply starves until the next chunk lands, exactly like the
-hardware waiting on its input FIFO).  At the end the driver verifies
+hardware waiting on its input FIFO.  At the end the driver verifies
 the streamed run produced *identical timing* to an offline run over
 the full trace: chunked delivery must be performance-transparent to
 the simulated machine, because trace content, not arrival batching,
@@ -31,6 +32,7 @@ from repro.core.minorpipe import select_pipeline
 from repro.fpga.device import FpgaDevice
 from repro.isa.program import Program
 from repro.session import Simulation
+from repro.trace.source import InMemorySource
 
 
 @dataclass(frozen=True)
@@ -110,14 +112,15 @@ class OnTheFlyCosimulation:
         produce_seconds = max(time.perf_counter() - produce_start, 1e-9)
         records = prepared.records
 
-        # Streamed engine: the trace list grows chunk by chunk while
-        # the engine steps.  The link is flow-controlled: a new chunk
-        # is delivered whenever the input FIFO's lookahead drops below
-        # one chunk, so fetch never starves and the streamed run is
-        # cycle-identical to the offline one (asserted via
-        # ``timing_transparent``).
+        # Streamed engine: an InMemorySource over a list that grows
+        # chunk by chunk while the engine steps (the source reads its
+        # length live, so appended chunks become visible).  The link
+        # is flow-controlled: a new chunk is delivered whenever the
+        # input FIFO's lookahead drops below one chunk, so fetch never
+        # starves and the streamed run is cycle-identical to the
+        # offline one (asserted via ``timing_transparent``).
         stream: list = []
-        engine = simulation.build_engine(trace=stream)
+        engine = simulation.build_engine(trace=InMemorySource(stream))
         chunks = 0
         position = 0
         while True:

@@ -57,7 +57,17 @@ _SIZE_TO_LOG2 = {1: 0, 2: 1, 4: 2, 8: 3}
 
 @dataclass
 class TraceGenerationResult:
-    """A generated trace plus everything measured while producing it."""
+    """A generated trace plus everything measured while producing it.
+
+    ``records`` is normally a plain list, but generators accept any
+    append/extend sink (see their ``sink`` parameter) so records can
+    stream straight into a
+    :class:`~repro.trace.fileio.SegmentedTraceWriter` without ever
+    being held in memory; in that mode :attr:`total_records` and
+    :meth:`statistics` are the *sink's* business (e.g.
+    :func:`repro.workloads.tracegen.write_workload_trace` counts and
+    measures as it writes).
+    """
 
     records: list[TraceRecord] = field(default_factory=list)
     committed_instructions: int = 0
@@ -157,12 +167,20 @@ class SimBpred:
         return self._block_limit
 
     def generate(self, program: Program,
-                 inputs: list[int] | None = None) -> TraceGenerationResult:
-        """Run ``program`` and emit its tagged trace."""
+                 inputs: list[int] | None = None,
+                 sink=None) -> TraceGenerationResult:
+        """Run ``program`` and emit its tagged trace.
+
+        ``sink`` (any object with ``append``/``extend``) receives the
+        records instead of the result's in-memory list — the
+        streaming-generation mode used by
+        :func:`repro.workloads.tracegen.write_workload_trace`.
+        """
         state = MachineState(program)
         executor = Executor(inputs=inputs)
         predictor = BranchPredictorUnit(self._config)
-        result = TraceGenerationResult()
+        result = TraceGenerationResult(
+            records=[] if sink is None else sink)
 
         for step in executor.run(state, self._max_instructions):
             instr = step.instruction

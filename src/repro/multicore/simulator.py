@@ -25,6 +25,7 @@ conclusion poses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.config import ProcessorConfig
 from repro.core.minorpipe import select_pipeline
@@ -32,7 +33,8 @@ from repro.fpga.area import AreaEstimator
 from repro.fpga.device import FpgaDevice
 from repro.perf.throughput import ThroughputModel, ThroughputReport
 from repro.session import Simulation
-from repro.trace.stats import TraceStatistics
+from repro.trace.source import FileSource
+from repro.trace.stats import TraceStatistics, measure_trace
 
 #: Default shared trace-channel capacity, in Gb/s.  The paper points
 #: at tightly-coupled CPU-FPGA attachments (the DRC board's
@@ -161,6 +163,12 @@ class MultiCoreSimulator:
     ) -> MultiCoreResult:
         """Simulate one workload per core (round-robin over names).
 
+        Each entry is either a workload name (SPECINT profile or
+        kernel) or a path to a stored ``.rtrc`` trace file — stored
+        traces are *streamed* through the trace-source layer, so a
+        many-core study over long pre-generated traces holds one
+        decoded segment per core, not one record list per core.
+
         Raises
         ------
         ValueError
@@ -201,6 +209,40 @@ class MultiCoreSimulator:
                 results.append(result)
         return results
 
+    def _core_simulation(self, name: str, budget: int,
+                         seed: int) -> tuple[Simulation, str]:
+        """One core's Simulation (workload name or trace-file path)
+        plus its display label.
+
+        Only the ``.rtrc`` suffix selects the trace-file path — a
+        stray local file that happens to share a workload's name must
+        never shadow the workload.
+        """
+        if name.endswith(".rtrc"):
+            return (Simulation.for_trace_file(name, self._config),
+                    Path(name).stem)
+        return (Simulation.for_workload(name, self._config,
+                                        budget=budget, seed=seed),
+                name)
+
+    @staticmethod
+    def _header_stats(simulation: Simulation) -> TraceStatistics:
+        """Record statistics for a core without a generation
+        by-product (a streamed ``.rtrc`` core).
+
+        The bandwidth model only consumes ``bits_per_instruction``,
+        which the trace-file header carries exactly (total payload
+        bits / record count) — so a stored trace is *not* decoded a
+        second time just to re-derive it.  Only the totals are
+        populated; kind counts stay zero.
+        """
+        prepared = simulation.prepare()
+        if isinstance(prepared.source, FileSource):
+            header = prepared.source.header
+            return TraceStatistics(total_records=header.record_count,
+                                   total_bits=header.bit_length)
+        return measure_trace(prepared.open_source())
+
     def _run_unchecked(self, benchmarks: list[str], budget: int,
                        seed: int) -> MultiCoreResult:
         """`run` without the placement guard (scaling studies)."""
@@ -215,14 +257,16 @@ class MultiCoreSimulator:
                                    self._config.memory_ports)
         model = ThroughputModel(self._device, pipeline)
         for core_index, name in enumerate(benchmarks):
-            session = Simulation.for_workload(
-                name, self._config, budget=budget,
-                seed=seed + core_index,
-            ).run()
+            simulation, label = self._core_simulation(
+                name, budget, seed + core_index)
+            session = simulation.run()
+            trace_stats = (session.trace_stats
+                           if session.trace_stats is not None
+                           else self._header_stats(simulation))
             result.cores.append(CoreResult(
                 core=core_index,
-                benchmark=name,
+                benchmark=label,
                 report=model.report(session.result),
-                trace_stats=session.trace_stats,
+                trace_stats=trace_stats,
             ))
         return result

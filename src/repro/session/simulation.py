@@ -60,8 +60,13 @@ from repro.core.engine import EngineObserver, ReSimEngine, SimulationResult
 from repro.fpga.device import DEVICES, FpgaDevice
 from repro.isa.program import Program
 from repro.serialize import config_from_dict, config_to_dict, stats_to_dict
-from repro.trace.fileio import read_trace_file, write_trace_file
+from repro.trace.fileio import (
+    read_trace_file,
+    read_trace_header,
+    write_trace_file,
+)
 from repro.trace.record import TraceRecord
+from repro.trace.source import FileSource, InMemorySource, TraceSource
 from repro.trace.stats import TraceStatistics, measure_trace
 from repro.utils.registry import Registry
 from repro.workloads.tracegen import build_tracer, generate_workload_trace
@@ -79,7 +84,7 @@ SPEC_SCHEMA = 1
 _SPEC_KEYS = frozenset((
     "schema", "workload", "trace_file", "config", "budget", "seed",
     "start_pc", "update_predictor_at_commit", "warmup_instructions",
-    "roi_instructions", "devices", "max_cycles",
+    "roi_instructions", "devices", "max_cycles", "streaming",
 ))
 
 
@@ -89,7 +94,14 @@ class SessionError(ValueError):
 
 @dataclass(frozen=True)
 class PreparedTrace:
-    """A trace source materialized into records the engine can run.
+    """A prepared trace the engine can run — materialized or streamed.
+
+    Exactly one of ``records`` (in-memory sequence) and ``source``
+    (a rewindable streaming :class:`~repro.trace.source.TraceSource`,
+    e.g. a :class:`~repro.trace.source.FileSource`) is set; consumers
+    call :meth:`open_source` for a fresh engine-ready cursor either
+    way, and only code that truly needs the whole list (``save_trace``)
+    calls :meth:`materialize`.
 
     ``trace_stats`` carries record-stream statistics
     (bits/instruction etc.) when the source computed them anyway;
@@ -100,15 +112,42 @@ class PreparedTrace:
     to warn or refuse).
     """
 
-    records: Sequence[TraceRecord]
+    records: Sequence[TraceRecord] | None
     start_pc: int | None
     trace_stats: TraceStatistics | None = None
     predictor_mismatch: bool = False
+    source: TraceSource | None = None
+
+    def __post_init__(self) -> None:
+        if (self.records is None) == (self.source is None):
+            raise SessionError(
+                "PreparedTrace needs exactly one of records/source")
+
+    @property
+    def record_count(self) -> int:
+        """Stream length without materializing."""
+        if self.records is not None:
+            return len(self.records)
+        return self.source.total_records
+
+    def open_source(self) -> TraceSource:
+        """A fresh cursor over the prepared trace (every call rewinds,
+        so repeated ``run()``s see the full stream)."""
+        if self.records is not None:
+            return InMemorySource(self.records)
+        return self.source.fresh()
+
+    def materialize(self) -> Sequence[TraceRecord]:
+        """The full record list (decodes a streamed source)."""
+        if self.records is not None:
+            return self.records
+        return list(self.source.fresh())
 
 
 # ---------------------------------------------------------------------
-# Trace sources.  Each knows how to materialize records and whether it
-# can be described in a serializable spec.
+# Trace sources.  Each knows how to prepare an engine-ready trace
+# (in-memory records or a streaming TraceSource) and whether it can be
+# described in a serializable spec.
 
 
 @dataclass(frozen=True)
@@ -132,22 +171,34 @@ class _WorkloadSource:
 @dataclass(frozen=True)
 class _TraceFileSource:
     path: str
+    streaming: bool = True
 
     def prepare(self, sim: "Simulation") -> PreparedTrace:
-        header, records = read_trace_file(self.path)
+        if self.streaming:
+            source = FileSource(self.path)
+            header = source.header
+            records = None
+        else:
+            header, records = read_trace_file(self.path)
+            source = None
         stored = header.predictor_config
         return PreparedTrace(
             records=records,
+            source=source,
             start_pc=header.metadata.get("start_pc"),
             predictor_mismatch=(stored is not None
                                 and stored != sim.config.predictor),
         )
 
     def spec_entry(self) -> dict:
-        return {"trace_file": self.path}
+        entry: dict = {"trace_file": self.path}
+        if not self.streaming:
+            entry["streaming"] = False
+        return entry
 
     def describe(self) -> str:
-        return f"trace file {self.path!r}"
+        mode = "streamed" if self.streaming else "in-memory"
+        return f"trace file {self.path!r} ({mode})"
 
 
 @dataclass(frozen=True)
@@ -323,9 +374,20 @@ class Simulation:
     @classmethod
     def for_trace_file(cls, path: str | Path,
                        config: ProcessorConfig = PAPER_4WIDE_PERFECT,
+                       *, streaming: bool = True,
                        ) -> "Simulation":
-        """A run over a stored ``.rtrc`` trace file."""
-        return cls(config, source=_TraceFileSource(str(path)))
+        """A run over a stored ``.rtrc`` trace file.
+
+        By default the file is *streamed* through a
+        :class:`~repro.trace.source.FileSource` — peak resident
+        memory is bounded by the segment size, not the trace length,
+        and statistics are bit-identical to the in-memory path.  Pass
+        ``streaming=False`` to decode the whole trace up front (worth
+        it only when the same Simulation object will be re-run many
+        times and the decode cost dominates).
+        """
+        return cls(config,
+                   source=_TraceFileSource(str(path), streaming))
 
     @classmethod
     def for_records(cls, records: Sequence[TraceRecord],
@@ -388,10 +450,18 @@ class Simulation:
                 "spec needs exactly one source: 'workload' or "
                 "'trace_file'"
             )
+        streaming = spec.get("streaming")
         if workload is not None:
+            if streaming is not None:
+                raise SessionError(
+                    "spec key 'streaming' applies only to "
+                    "'trace_file' sources"
+                )
             source = _WorkloadSource(workload)
         else:
-            source = _TraceFileSource(str(trace_file))
+            source = _TraceFileSource(
+                str(trace_file),
+                True if streaming is None else bool(streaming))
 
         config = spec.get("config", PAPER_4WIDE_PERFECT)
         if isinstance(config, str):
@@ -589,24 +659,27 @@ class Simulation:
 
     def trace_statistics(self) -> TraceStatistics:
         """Record-stream statistics of the prepared trace, measuring
-        on demand for sources that don't compute them anyway."""
+        on demand for sources that don't compute them anyway (a
+        streamed trace file is measured in one constant-memory pass,
+        never materialized)."""
         prepared = self.prepare()
         if prepared.trace_stats is not None:
             return prepared.trace_stats
-        return measure_trace(list(prepared.records))
+        return measure_trace(prepared.open_source())
 
     def build_engine(
-            self, trace: Sequence[TraceRecord] | None = None
+            self,
+            trace: Sequence[TraceRecord] | TraceSource | None = None,
     ) -> ReSimEngine:
         """Construct the configured engine, observers attached.
 
-        ``trace`` overrides the prepared records — the streaming
-        co-simulation driver passes its growing chunk list here while
+        ``trace`` overrides the prepared source — the streaming
+        co-simulation driver passes its growing input FIFO here while
         keeping the facade's start PC and observer wiring.
         """
         if trace is None:
             prepared = self.prepare()
-            trace = prepared.records
+            trace = prepared.open_source()
             start_pc = (self._start_pc if self._start_pc is not None
                         else prepared.start_pc)
         else:
@@ -651,12 +724,14 @@ class Simulation:
     def save_trace(self, path: str | Path, *,
                    benchmark: str | None = None,
                    extra: dict | None = None) -> tuple[int, int]:
-        """Persist the prepared trace as a ``.rtrc`` file.
+        """Persist the prepared trace as a ``.rtrc`` file (format v2).
 
         Returns ``(record_count, bytes_written)``.  The file carries
         the generation predictor, the workload name, the seed and the
         start PC, so ``Simulation.for_trace_file`` reproduces this
-        run's timing exactly.
+        run's timing exactly.  (To generate-and-persist a workload
+        without ever holding the record list, use
+        :func:`repro.workloads.tracegen.write_workload_trace`.)
         """
         prepared = self.prepare()
         if benchmark is None:
@@ -669,8 +744,9 @@ class Simulation:
                     else prepared.start_pc)
         if start_pc is not None:
             metadata.setdefault("start_pc", start_pc)
+        records = prepared.materialize()
         written = write_trace_file(
-            path, list(prepared.records), predictor=self._config.predictor,
+            path, records, predictor=self._config.predictor,
             benchmark=benchmark, seed=self._seed, extra=metadata,
         )
-        return len(prepared.records), written
+        return len(records), written

@@ -30,6 +30,14 @@ across predictor schemes would make every scheme score identically,
 so the runner generates one trace per *distinct predictor* in the
 grid (``trace-<predictor-key>.rtrc``), amortized across all other
 axes.  Generation ROB/IFQ always come from the base config.
+
+Memory: the whole pipeline is streaming.  The coordinator generates
+each shared trace straight into a segmented v2 file
+(:func:`~repro.workloads.tracegen.write_workload_trace`, one encoder
+segment resident), and every worker replays it through a
+:class:`~repro.trace.source.FileSource` (one decoded segment
+resident) — no process ever materializes a full record list, so the
+sweepable trace budget is bounded by disk, not by per-worker RAM.
 """
 
 from __future__ import annotations
@@ -51,17 +59,12 @@ from repro.serialize import (
 from repro.session import Simulation
 from repro.sweep.result import SweepOutcome, SweepResult
 from repro.sweep.spec import SweepError, SweepPoint, SweepSpec
-from repro.trace.fileio import (
-    TraceFileError,
-    read_trace_file,
-    read_trace_header,
-    write_trace_file,
-)
-from repro.trace.record import TraceRecord
+from repro.trace.fileio import TraceFileError, read_trace_header
 from repro.workloads.profiles import SPECINT_PROFILES
 from repro.workloads.tracegen import (
     UnknownWorkloadError,
     is_known_workload,
+    write_workload_trace,
 )
 
 #: Checkpoint schema version; bump on incompatible layout changes.
@@ -82,27 +85,7 @@ def trace_filename(predictor: PredictorConfig) -> str:
 
 
 # ---------------------------------------------------------------------
-# Worker side.  Module-level so it pickles into pool processes; the
-# trace is loaded at most once per (process, path) and shared by every
-# task that process executes.
-
-_TRACE_CACHE: dict[tuple[str, int, int], list[TraceRecord]] = {}
-
-
-def _load_records(trace_path: str) -> list[TraceRecord]:
-    # Key on file identity, not just path: a rewritten/corrupted trace
-    # at the same path must never be served from this cache.
-    stat = os.stat(trace_path)
-    cache_key = (trace_path, stat.st_size, stat.st_mtime_ns)
-    records = _TRACE_CACHE.get(cache_key)
-    if records is None:
-        __, records = read_trace_file(trace_path)
-        # A sweep holds one trace per distinct predictor; keep a small
-        # bound so a long-lived worker can't hoard stale traces.
-        while len(_TRACE_CACHE) >= 8:
-            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
-        _TRACE_CACHE[cache_key] = records
-    return records
+# Worker side.  Module-level so it pickles into pool processes.
 
 
 def _simulate_point(trace_path: str, config_dict: dict,
@@ -111,15 +94,22 @@ def _simulate_point(trace_path: str, config_dict: dict,
                     provenance: dict) -> dict:
     """Simulate one design point and checkpoint it atomically.
 
+    The persisted trace is *streamed* (one decoded segment resident at
+    a time), so a worker's footprint is bounded by the segment size no
+    matter how large the shared trace is — decoding is repeated per
+    design point, which trades a little CPU for the constant memory
+    that lets ``workers`` scale with cores instead of with
+    ``workers x trace_length``.
+
     ``provenance`` (the sweep manifest) is embedded so a checkpoint
     stays self-describing: even if ``sweep.json`` is deleted, results
     computed under different workload/budget/seed parameters cannot
     be revived as this sweep's.
     """
     config = config_from_dict(config_dict)
-    records = _load_records(trace_path)
-    result = Simulation.for_records(
-        records, config=config, start_pc=start_pc).run().result
+    result = Simulation.for_trace_file(
+        trace_path, config=config,
+    ).with_start_pc(start_pc).run().result
     payload = {
         "schema": CHECKPOINT_SCHEMA,
         "sweep": provenance,
@@ -238,24 +228,16 @@ class SweepRunner:
             tmp.write_text(json.dumps(manifest, sort_keys=True))
             os.replace(tmp, manifest_path)
 
-    def _generate_trace(self, predictor: PredictorConfig):
-        """(records, start_pc, bits/instruction) for one generation
-        predictor; ROB/IFQ generation parameters come from the base."""
-        simulation = Simulation.for_workload(
-            self.workload, replace(self.spec.base, predictor=predictor),
-            budget=self.budget, seed=self.seed,
-        )
-        prepared = simulation.prepare()
-        bits = prepared.trace_stats.bits_per_instruction
-        return prepared.records, prepared.start_pc, bits
-
     def prepare_trace(self, predictor: PredictorConfig) -> _TraceInfo:
         """Generate the shared trace for one generation predictor, or
         reuse the persisted one.
 
-        The trace is written through :func:`write_trace_file` with the
-        sweep's provenance (plus a kernel's entry PC) in the metadata
-        blob, so a results directory is self-describing.
+        Generation streams straight into a segmented v2 file
+        (:func:`~repro.workloads.tracegen.write_workload_trace` — the
+        coordinator never holds the record list either); the sweep's
+        provenance plus a kernel's entry PC land in the metadata blob,
+        so a results directory is self-describing.  Generation ROB/IFQ
+        parameters come from the base config.
         """
         self.results_dir.mkdir(parents=True, exist_ok=True)
         self._check_manifest()
@@ -263,7 +245,7 @@ class SweepRunner:
         if trace_path.exists():
             try:
                 # Header only: the coordinator never needs the records
-                # decoded; each worker decodes the payload itself (and
+                # decoded; each worker streams the payload itself (and
                 # surfaces payload corruption then).
                 header = read_trace_header(trace_path)
             except TraceFileError as error:
@@ -273,22 +255,19 @@ class SweepRunner:
                     f"from it and must go too)"
                 ) from error
             start_pc = header.metadata.get("start_pc")
-            bits = header.metadata.get("bits_per_instruction", 0.0)
-            return _TraceInfo(trace_path, start_pc, bits)
-        records, start_pc, bits = self._generate_trace(predictor)
-        extra = {"bits_per_instruction": bits, "generator": "sweep"}
-        if start_pc is not None:
-            extra["start_pc"] = start_pc
-        # Atomic, like the checkpoints and manifest: a kill mid-write
-        # must leave either no trace or a complete one, never a
-        # truncated file that blocks every future resume.
-        tmp = trace_path.with_suffix(".tmp")
-        write_trace_file(
-            tmp, records, predictor=predictor,
-            benchmark=self.workload, seed=self.seed, extra=extra,
+            return _TraceInfo(trace_path, start_pc,
+                              header.bits_per_instruction)
+        # write_workload_trace is atomic (streams to a .part sibling,
+        # renamed on success), so a kill mid-write leaves either no
+        # trace or a complete one, never a truncated file that blocks
+        # every future resume.
+        written = write_workload_trace(
+            self.workload, replace(self.spec.base, predictor=predictor),
+            trace_path, budget=self.budget, seed=self.seed,
+            extra={"generator": "sweep"},
         )
-        os.replace(tmp, trace_path)
-        return _TraceInfo(trace_path, start_pc, bits)
+        return _TraceInfo(trace_path, written.start_pc,
+                          written.trace_stats.bits_per_instruction)
 
     # -- checkpoints ---------------------------------------------------
 

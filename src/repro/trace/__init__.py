@@ -14,6 +14,14 @@ This package provides:
 * :mod:`repro.trace.encode` — the bit-packed codec (Table 3 of the paper
   reports 41-47 *bits* per instruction, so the encoding is measured at
   bit granularity);
+* :mod:`repro.trace.fileio` — the persistent trace-file format
+  (segmented v2 plus the legacy v1), including the constant-memory
+  :class:`~repro.trace.fileio.SegmentedTraceWriter` and the streaming
+  reader :func:`~repro.trace.fileio.iter_trace_records`;
+* :mod:`repro.trace.source` — the :class:`~repro.trace.source.TraceSource`
+  bounded-lookahead cursor protocol the engine and every other
+  consumer ingest traces through (in-memory, streamed file, sharded
+  concatenation);
 * :mod:`repro.trace.stats` — per-trace statistics (record mix, bits per
   instruction, wrong-path fraction) feeding the Table 3 reproduction;
 * :mod:`repro.trace.wrongpath` — wrong-path block sizing and injection
@@ -21,8 +29,13 @@ This package provides:
 """
 
 from repro.trace.fileio import (
+    DEFAULT_SEGMENT_RECORDS,
+    SegmentedTraceWriter,
     TraceFileError,
     TraceFileHeader,
+    TraceSegment,
+    iter_trace_records,
+    read_segment_table,
     read_trace_file,
     read_trace_header,
     write_trace_file,
@@ -30,9 +43,18 @@ from repro.trace.fileio import (
 from repro.trace.encode import (
     TraceDecoder,
     TraceEncoder,
+    decode_record,
     decode_trace,
     encode_trace,
     record_bit_length,
+)
+from repro.trace.source import (
+    ConcatSource,
+    FileSource,
+    InMemorySource,
+    TraceSource,
+    TraceSourceError,
+    as_source,
 )
 from repro.trace.record import (
     BranchRecord,
@@ -46,19 +68,31 @@ from repro.trace.wrongpath import conservative_block_size
 
 __all__ = [
     "BranchRecord",
+    "ConcatSource",
+    "DEFAULT_SEGMENT_RECORDS",
+    "FileSource",
+    "InMemorySource",
     "MemoryRecord",
     "OtherRecord",
     "RecordKind",
+    "SegmentedTraceWriter",
     "TraceDecoder",
     "TraceEncoder",
     "TraceFileError",
     "TraceFileHeader",
     "TraceRecord",
+    "TraceSegment",
+    "TraceSource",
+    "TraceSourceError",
     "TraceStatistics",
+    "as_source",
     "conservative_block_size",
+    "decode_record",
     "decode_trace",
     "encode_trace",
+    "iter_trace_records",
     "measure_trace",
+    "read_segment_table",
     "read_trace_file",
     "read_trace_header",
     "record_bit_length",

@@ -109,6 +109,39 @@ class TraceEncoder:
         return self._writer.getvalue()
 
 
+def decode_record(reader: BitReader) -> TraceRecord:
+    """Decode exactly one record at the reader's current bit position.
+
+    The building block shared by :class:`TraceDecoder` (whole-buffer
+    decode) and the chunked streaming reader in
+    :mod:`repro.trace.fileio`; raises ``EOFError`` if the buffer ends
+    mid-record.
+    """
+    kind = RecordKind(reader.read(KIND_BITS))
+    tag = reader.read_bool()
+    fu = NUMBER_TO_FU[reader.read(FU_BITS)]
+    dest = reader.read(REG_BITS)
+    src1 = reader.read(REG_BITS)
+    src2 = reader.read(REG_BITS)
+    if kind is RecordKind.OTHER:
+        return OtherRecord(tag=tag, fu=fu, dest=dest, src1=src1, src2=src2)
+    if kind is RecordKind.MEMORY:
+        is_store = reader.read_bool()
+        size_log2 = reader.read(SIZE_BITS)
+        address = reader.read(ADDRESS_BITS)
+        return MemoryRecord(
+            tag=tag, fu=fu, dest=dest, src1=src1, src2=src2,
+            is_store=is_store, size_log2=size_log2, address=address,
+        )
+    branch_kind = NUMBER_TO_BRANCH[reader.read(BRANCH_KIND_BITS)]
+    taken = reader.read_bool()
+    target = reader.read(TARGET_BITS)
+    return BranchRecord(
+        tag=tag, fu=fu, dest=dest, src1=src1, src2=src2,
+        branch_kind=branch_kind, taken=taken, target=target,
+    )
+
+
 class TraceDecoder:
     """Iterates records out of a bit-packed buffer."""
 
@@ -123,33 +156,7 @@ class TraceDecoder:
         # byte may contain zero padding shorter than one record).
         if self._reader.bits_remaining < _COMMON_BITS:
             raise StopIteration
-        return self._read_record()
-
-    def _read_record(self) -> TraceRecord:
-        reader = self._reader
-        kind = RecordKind(reader.read(KIND_BITS))
-        tag = reader.read_bool()
-        fu = NUMBER_TO_FU[reader.read(FU_BITS)]
-        dest = reader.read(REG_BITS)
-        src1 = reader.read(REG_BITS)
-        src2 = reader.read(REG_BITS)
-        if kind is RecordKind.OTHER:
-            return OtherRecord(tag=tag, fu=fu, dest=dest, src1=src1, src2=src2)
-        if kind is RecordKind.MEMORY:
-            is_store = reader.read_bool()
-            size_log2 = reader.read(SIZE_BITS)
-            address = reader.read(ADDRESS_BITS)
-            return MemoryRecord(
-                tag=tag, fu=fu, dest=dest, src1=src1, src2=src2,
-                is_store=is_store, size_log2=size_log2, address=address,
-            )
-        branch_kind = NUMBER_TO_BRANCH[reader.read(BRANCH_KIND_BITS)]
-        taken = reader.read_bool()
-        target = reader.read(TARGET_BITS)
-        return BranchRecord(
-            tag=tag, fu=fu, dest=dest, src1=src1, src2=src2,
-            branch_kind=branch_kind, taken=taken, target=target,
-        )
+        return decode_record(self._reader)
 
 
 def encode_trace(records: Sequence[TraceRecord]) -> tuple[bytes, int]:

@@ -2,14 +2,17 @@
 
 The paper's primary usage mode is *"traces that are prepared off-line
 (for example for bulk simulations with varying design parameters)"* —
-which needs a file format.  Ours is deliberately simple and fully
-self-describing:
+which needs a file format.  Two on-disk versions exist; both are fully
+self-describing, and readers accept both.
+
+Format v1 (monolithic payload)
+------------------------------
 
 ======== ======= ====================================================
 offset   size    field
 ======== ======= ====================================================
 0        8       magic ``b"RESIMTRC"``
-8        2       format version (little-endian u16, currently 1)
+8        2       format version (little-endian u16, = 1)
 10       2       header length in bytes (from offset 0)
 12       8       record count (u64)
 20       8       exact payload bit length (u64)
@@ -18,40 +21,112 @@ offset   size    field
 32       N       UTF-8 JSON metadata blob (predictor config, benchmark
                  name, seed); written unpadded, so it ends exactly at
                  the header length
-header   ...     bit-packed records (repro.trace.encode layout)
+header   ...     bit-packed records (repro.trace.encode layout), one
+                 contiguous run to end of file
 ======== ======= ====================================================
 
+Format v2 (segmented payload — the default written format)
+----------------------------------------------------------
+
+v2 splits the payload into **independently decodable segments** of a
+configurable nominal record count (:data:`DEFAULT_SEGMENT_RECORDS`).
+Each segment starts at a byte boundary and is bit-packed internally,
+so a reader decodes one segment at a time with bounded memory, and a
+sharded sweep can split work at segment boundaries without decoding
+anything it does not own.
+
+======== ======= ====================================================
+offset   size    field
+======== ======= ====================================================
+0        8       magic ``b"RESIMTRC"``
+8        2       format version (little-endian u16, = 2)
+10       2       header length in bytes (from offset 0)
+12       8       total record count (u64)
+20       8       total payload bit length (u64; sum over segments,
+                 excluding per-segment byte padding)
+28       4       committed-instruction count low-order 32 bits
+32       4       segment count (u32)
+36       8       segment-table file offset (u64, absolute)
+44       4       nominal records per segment (u32)
+48       N       UTF-8 JSON metadata blob, ending at the header length
+header   ...     segment payloads, back to back, each byte-aligned
+                 (segment *i* occupies ``ceil(bit_length_i / 8)``
+                 bytes)
+table    12xS    segment table: per segment, record count (u32) then
+                 exact bit length (u64); the file ends at the table's
+                 last byte
+======== ======= ====================================================
+
+The segment table lives at the *end* of the file (its offset is in the
+fixed prefix) so that :class:`SegmentedTraceWriter` can stream records
+to disk without knowing the segment count up front — generators emit
+straight to the writer without ever holding the full record list, and
+the fixed prefix is patched once at close.
+
 Because the header-length field is a u16, the metadata blob is limited
-to ``65535 - 32`` bytes; :func:`write_trace_file` rejects larger blobs
-with :class:`TraceFileError` before touching the filesystem.
+to ``65535`` minus the fixed prefix; writers reject larger blobs with
+:class:`TraceFileError` before touching the filesystem.
 
 The JSON metadata keeps the predictor configuration with the trace —
 the consistency contract (engine predictor == generation predictor)
 should survive a trip through the filesystem.  Readers verify the
 committed-instruction consistency field at offset 28 against the
-decoded records, so silent payload corruption that preserves record
-*count* but flips Tag bits is still caught.
+decoded records (whole-file reads *and* streamed reads, at exhaustion),
+so silent payload corruption that preserves record *count* but flips
+Tag bits is still caught; v2 readers additionally verify every
+segment's record count and bit length against the segment table.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import BinaryIO, Iterable, Iterator, Sequence
 
 from repro.bpred.unit import PredictorConfig
-from repro.trace.encode import decode_trace, encode_trace
+from repro.trace.encode import (
+    _COMMON_BITS,
+    FORMAT_BITS,
+    TraceEncoder,
+    decode_record,
+    decode_trace,
+    encode_trace,
+)
 from repro.trace.record import TraceRecord
+from repro.utils.bitio import BitReader
 
 MAGIC = b"RESIMTRC"
-VERSION = 1
+#: The monolithic-payload format.
+VERSION_V1 = 1
+#: The segmented-payload format (see module docstring).
+VERSION_V2 = 2
+#: The version :func:`write_trace_file` emits by default.
+VERSION = VERSION_V2
+SUPPORTED_VERSIONS = (VERSION_V1, VERSION_V2)
+
+#: Nominal records per v2 segment.  4096 records are ~20-30 KB encoded
+#: — small enough that one decoded segment is negligible memory, large
+#: enough that per-segment overhead (12 table bytes, <1 byte padding)
+#: is noise against the ~5 bytes/record payload.
+DEFAULT_SEGMENT_RECORDS = 4096
 
 #: The header-length field is a little-endian u16 covering the fixed
-#: 32-byte prefix plus the JSON metadata blob.
+#: prefix plus the JSON metadata blob.
 MAX_HEADER_LENGTH = 0xFFFF
 _COMMITTED_MASK = 0xFFFF_FFFF
+
+_V1_PREFIX = 32
+_V2_PREFIX = 48
+_SEGMENT_ENTRY_BYTES = 12  # record count u32 + bit length u64
+
+#: Encoded size of the largest record format (a B record), in bits.
+_MAX_RECORD_BITS = max(FORMAT_BITS.values())
+
+#: Bytes per read when streaming a v1 payload.
+_V1_CHUNK_BYTES = 256 * 1024
 
 
 class TraceFileError(ValueError):
@@ -59,14 +134,36 @@ class TraceFileError(ValueError):
 
 
 @dataclass(frozen=True)
+class TraceSegment:
+    """One entry of a v2 segment table (or the single pseudo-segment
+    covering a v1 payload)."""
+
+    index: int
+    record_count: int
+    bit_length: int
+    payload_offset: int  # absolute file offset of the segment's bytes
+
+    @property
+    def byte_length(self) -> int:
+        return (self.bit_length + 7) // 8
+
+
+@dataclass(frozen=True)
 class TraceFileHeader:
-    """Parsed header of a trace file."""
+    """Parsed header of a trace file.
+
+    The segment fields are zero for v1 files (a v1 payload is one
+    contiguous bit-packed run with no table).
+    """
 
     version: int
     record_count: int
     bit_length: int
     metadata: dict
     committed_low32: int = 0
+    segment_count: int = 0
+    segment_records: int = 0
+    segment_table_offset: int = 0
 
     @property
     def predictor_config(self) -> PredictorConfig | None:
@@ -75,6 +172,14 @@ class TraceFileHeader:
         if blob is None:
             return None
         return PredictorConfig(**blob)
+
+    @property
+    def bits_per_instruction(self) -> float:
+        """Average encoded bits per record, straight from the header
+        (Table 3's first column, without decoding the payload)."""
+        if self.record_count == 0:
+            return 0.0
+        return self.bit_length / self.record_count
 
 
 def _predictor_metadata(config: PredictorConfig | None) -> dict | None:
@@ -93,6 +198,177 @@ def _predictor_metadata(config: PredictorConfig | None) -> dict | None:
     }
 
 
+def _metadata_blob(
+    predictor: PredictorConfig | None,
+    benchmark: str | None,
+    seed: int | None,
+    extra: dict | None,
+    prefix_bytes: int,
+) -> bytes:
+    """Serialize the metadata blob, enforcing the u16 header cap."""
+    metadata = dict(extra or {})
+    metadata.update({
+        "predictor": _predictor_metadata(predictor),
+        "benchmark": benchmark,
+        "seed": seed,
+    })
+    blob = json.dumps(metadata, sort_keys=True).encode()
+    if prefix_bytes + len(blob) > MAX_HEADER_LENGTH:
+        raise TraceFileError(
+            f"metadata blob is {len(blob)} bytes; the u16 header-length "
+            f"field caps the header at {MAX_HEADER_LENGTH} bytes "
+            f"({MAX_HEADER_LENGTH - prefix_bytes} bytes of metadata)"
+        )
+    return blob
+
+
+class SegmentedTraceWriter:
+    """Streams records into a v2 trace file with bounded memory.
+
+    The writer holds at most one partially encoded segment
+    (``segment_records`` records) plus 12 bytes of table entry per
+    flushed segment — generation never needs the full record list::
+
+        with SegmentedTraceWriter(path, benchmark="gzip") as writer:
+            for record in generator:
+                writer.append(record)
+
+    ``target`` may be a path or any seekable binary file object (the
+    fixed prefix is patched at close, once the totals are known).  A
+    file object's position at construction becomes the stream origin:
+    the trace is laid out from there, and the stored segment-table
+    offset is origin-relative — i.e. correct for a reader that treats
+    the origin as byte 0 of a trace file.  On a clean
+    ``close()``/``__exit__`` the file is complete and valid;
+    if the body raises, the underlying handle is closed without
+    finalizing, leaving an unreadable file (writers that need
+    atomicity write to a temporary path and rename, as the sweep
+    runner does).
+
+    Raises
+    ------
+    TraceFileError
+        At construction, if the metadata blob pushes the header past
+        the 65535-byte limit of the u16 header-length field (nothing
+        is written in that case).
+    """
+
+    def __init__(
+        self,
+        target: str | Path | BinaryIO,
+        *,
+        predictor: PredictorConfig | None = None,
+        benchmark: str | None = None,
+        seed: int | None = None,
+        extra: dict | None = None,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+    ) -> None:
+        if segment_records < 1:
+            raise TraceFileError(
+                f"segment_records must be >= 1, got {segment_records}")
+        blob = _metadata_blob(predictor, benchmark, seed, extra,
+                              _V2_PREFIX)
+        self._header_length = _V2_PREFIX + len(blob)
+        self._segment_records = segment_records
+        if isinstance(target, (str, Path)):
+            self._handle: BinaryIO = open(target, "w+b")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self._encoder = TraceEncoder()
+        self._table: list[tuple[int, int]] = []  # (records, bits)
+        self._record_count = 0
+        self._committed = 0
+        self._total_bits = 0
+        self._closed = False
+        self._bytes_written = 0
+        self._origin = self._handle.tell()
+        # Placeholder prefix (counts patched at close) + metadata.
+        self._handle.write(bytes(_V2_PREFIX))
+        self._handle.write(blob)
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def record_count(self) -> int:
+        """Records appended so far."""
+        return self._record_count
+
+    @property
+    def bytes_written(self) -> int:
+        """Total file size; valid only after :meth:`close`."""
+        return self._bytes_written
+
+    # -- writing --------------------------------------------------------
+
+    def append(self, record: TraceRecord) -> None:
+        """Append one record, flushing a segment when full."""
+        if self._closed:
+            raise TraceFileError("writer is closed")
+        self._encoder.append(record)
+        self._record_count += 1
+        if not record.tag:
+            self._committed += 1
+        if self._encoder.record_count >= self._segment_records:
+            self._flush_segment()
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def _flush_segment(self) -> None:
+        count = self._encoder.record_count
+        if count == 0:
+            return
+        bits = self._encoder.bit_length
+        self._handle.write(self._encoder.getvalue())
+        self._table.append((count, bits))
+        self._total_bits += bits
+        self._encoder = TraceEncoder()
+
+    def close(self) -> int:
+        """Finalize the file; returns the total bytes written."""
+        if self._closed:
+            return self._bytes_written
+        self._flush_segment()
+        handle = self._handle
+        table_offset = self._header_length + sum(
+            (bits + 7) // 8 for _, bits in self._table)
+        handle.seek(self._origin + table_offset)
+        for count, bits in self._table:
+            handle.write(count.to_bytes(4, "little"))
+            handle.write(bits.to_bytes(8, "little"))
+        self._bytes_written = handle.tell() - self._origin
+
+        handle.seek(self._origin)
+        handle.write(MAGIC)
+        handle.write(VERSION_V2.to_bytes(2, "little"))
+        handle.write(self._header_length.to_bytes(2, "little"))
+        handle.write(self._record_count.to_bytes(8, "little"))
+        handle.write(self._total_bits.to_bytes(8, "little"))
+        handle.write(
+            (self._committed & _COMMITTED_MASK).to_bytes(4, "little"))
+        handle.write(len(self._table).to_bytes(4, "little"))
+        handle.write(table_offset.to_bytes(8, "little"))
+        handle.write(self._segment_records.to_bytes(4, "little"))
+
+        self._closed = True
+        if self._owns_handle:
+            handle.close()
+        return self._bytes_written
+
+    def __enter__(self) -> "SegmentedTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        elif self._owns_handle and not self._closed:
+            self._closed = True
+            self._handle.close()
+
+
 def write_trace_file(
     path: str | Path,
     records: Sequence[TraceRecord],
@@ -100,8 +376,20 @@ def write_trace_file(
     benchmark: str | None = None,
     seed: int | None = None,
     extra: dict | None = None,
+    *,
+    version: int = VERSION,
+    segment_records: int = DEFAULT_SEGMENT_RECORDS,
 ) -> int:
     """Serialize a trace; returns the number of bytes written.
+
+    Writes format v2 (segmented) by default; pass ``version=1`` for
+    the legacy monolithic layout.  The write is atomic: the file is
+    assembled in memory, written to a ``.part`` sibling and renamed
+    over ``path``, so a crash mid-write neither destroys an existing
+    trace at ``path`` nor leaves a truncated one (for traces too
+    large to assemble in memory, stream through
+    :class:`SegmentedTraceWriter` — or, with the same atomicity,
+    :func:`repro.workloads.tracegen.write_workload_trace`).
 
     ``extra`` merges additional JSON-serializable keys into the
     metadata blob (e.g. a kernel's entry PC, or sweep provenance);
@@ -112,29 +400,30 @@ def write_trace_file(
     ------
     TraceFileError
         If the metadata blob pushes the header past the 65535-byte
-        limit of the u16 header-length field.  Nothing is written in
-        that case — previously this surfaced as a bare
-        ``OverflowError`` mid-serialization.
+        limit of the u16 header-length field, or ``version`` is not a
+        supported format.  Nothing is written in either case.
     """
-    payload, bit_length = encode_trace(records)
-    metadata = dict(extra or {})
-    metadata.update({
-        "predictor": _predictor_metadata(predictor),
-        "benchmark": benchmark,
-        "seed": seed,
-    })
-    blob = json.dumps(metadata, sort_keys=True).encode()
-    header_length = 32 + len(blob)
-    if header_length > MAX_HEADER_LENGTH:
+    if version == VERSION_V2:
+        buffer = io.BytesIO()
+        with SegmentedTraceWriter(
+            buffer, predictor=predictor, benchmark=benchmark,
+            seed=seed, extra=extra, segment_records=segment_records,
+        ) as writer:
+            writer.extend(records)
+        return _atomic_write_bytes(path, buffer.getvalue())
+    if version != VERSION_V1:
         raise TraceFileError(
-            f"metadata blob is {len(blob)} bytes; the u16 header-length "
-            f"field caps the header at {MAX_HEADER_LENGTH} bytes "
-            f"({MAX_HEADER_LENGTH - 32} bytes of metadata)"
+            f"cannot write trace version {version}; supported: "
+            f"{', '.join(map(str, SUPPORTED_VERSIONS))}"
         )
+
+    payload, bit_length = encode_trace(records)
+    blob = _metadata_blob(predictor, benchmark, seed, extra, _V1_PREFIX)
+    header_length = _V1_PREFIX + len(blob)
 
     buffer = io.BytesIO()
     buffer.write(MAGIC)
-    buffer.write(VERSION.to_bytes(2, "little"))
+    buffer.write(VERSION_V1.to_bytes(2, "little"))
     buffer.write(header_length.to_bytes(2, "little"))
     buffer.write(len(records).to_bytes(8, "little"))
     buffer.write(bit_length.to_bytes(8, "little"))
@@ -142,9 +431,19 @@ def write_trace_file(
     buffer.write((committed & _COMMITTED_MASK).to_bytes(4, "little"))
     buffer.write(blob)
     buffer.write(payload)
+    return _atomic_write_bytes(path, buffer.getvalue())
 
-    data = buffer.getvalue()
-    Path(path).write_bytes(data)
+
+def _atomic_write_bytes(path: str | Path, data: bytes) -> int:
+    """Write via a ``.part`` sibling + rename; returns bytes written."""
+    target = Path(path)
+    part = target.with_name(target.name + ".part")
+    try:
+        part.write_bytes(data)
+    except BaseException:
+        part.unlink(missing_ok=True)
+        raise
+    os.replace(part, target)
     return len(data)
 
 
@@ -160,19 +459,27 @@ def read_trace_header(path: str | Path) -> TraceFileHeader:
 
 
 def _parse_header(data: bytes) -> tuple[TraceFileHeader, int]:
-    if len(data) < 32 or data[:8] != MAGIC:
+    if len(data) < _V1_PREFIX or data[:8] != MAGIC:
         raise TraceFileError("not a ReSim trace file (bad magic)")
     version = int.from_bytes(data[8:10], "little")
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise TraceFileError(f"unsupported trace version {version}")
+    prefix = _V1_PREFIX if version == VERSION_V1 else _V2_PREFIX
     header_length = int.from_bytes(data[10:12], "little")
-    if header_length < 32 or header_length > len(data):
+    if header_length < prefix or header_length > len(data):
         raise TraceFileError("corrupt header length")
     record_count = int.from_bytes(data[12:20], "little")
     bit_length = int.from_bytes(data[20:28], "little")
     committed_low32 = int.from_bytes(data[28:32], "little")
+    segment_count = 0
+    segment_records = 0
+    segment_table_offset = 0
+    if version == VERSION_V2:
+        segment_count = int.from_bytes(data[32:36], "little")
+        segment_table_offset = int.from_bytes(data[36:44], "little")
+        segment_records = int.from_bytes(data[44:48], "little")
     try:
-        metadata = json.loads(data[32:header_length].decode())
+        metadata = json.loads(data[prefix:header_length].decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise TraceFileError(f"corrupt metadata blob: {error}") from None
     if not isinstance(metadata, dict):
@@ -186,8 +493,239 @@ def _parse_header(data: bytes) -> tuple[TraceFileHeader, int]:
         bit_length=bit_length,
         metadata=metadata,
         committed_low32=committed_low32,
+        segment_count=segment_count,
+        segment_records=segment_records,
+        segment_table_offset=segment_table_offset,
     )
     return header, header_length
+
+
+def _parse_segment_table(
+    header: TraceFileHeader,
+    header_length: int,
+    table_bytes: bytes,
+    file_size: int,
+) -> tuple[TraceSegment, ...]:
+    """Validate and expand a v2 segment table into absolute offsets."""
+    expected = header.segment_count * _SEGMENT_ENTRY_BYTES
+    if len(table_bytes) != expected:
+        raise TraceFileError(
+            f"corrupt segment index: table holds {len(table_bytes)} "
+            f"bytes, header claims {header.segment_count} segment(s) "
+            f"({expected} bytes)"
+        )
+    if file_size != header.segment_table_offset + expected:
+        raise TraceFileError(
+            f"corrupt segment index: file is {file_size} bytes, "
+            f"table at offset {header.segment_table_offset} ends at "
+            f"{header.segment_table_offset + expected}"
+        )
+    segments: list[TraceSegment] = []
+    offset = header_length
+    total_records = 0
+    total_bits = 0
+    for index in range(header.segment_count):
+        base = index * _SEGMENT_ENTRY_BYTES
+        count = int.from_bytes(table_bytes[base:base + 4], "little")
+        bits = int.from_bytes(table_bytes[base + 4:base + 12], "little")
+        segment = TraceSegment(index=index, record_count=count,
+                               bit_length=bits, payload_offset=offset)
+        segments.append(segment)
+        offset += segment.byte_length
+        total_records += count
+        total_bits += bits
+    if offset != header.segment_table_offset:
+        raise TraceFileError(
+            f"corrupt segment index: segment payloads end at offset "
+            f"{offset}, header places the table at "
+            f"{header.segment_table_offset}"
+        )
+    if total_records != header.record_count:
+        raise TraceFileError(
+            f"segment index holds {total_records} records across "
+            f"{header.segment_count} segment(s), header claims "
+            f"{header.record_count}"
+        )
+    if total_bits != header.bit_length:
+        raise TraceFileError(
+            f"segment index holds {total_bits} payload bits, header "
+            f"claims {header.bit_length}"
+        )
+    return tuple(segments)
+
+
+def read_segment_table(path: str | Path) -> tuple[TraceSegment, ...]:
+    """The segment map of a trace file, for shard planning.
+
+    For v2 files this is the validated on-disk table; a v1 payload is
+    reported as one pseudo-segment spanning the whole payload, so
+    shard planners can treat both formats uniformly.
+    """
+    file_size = os.stat(path).st_size
+    with open(path, "rb") as handle:
+        header, header_length = _parse_header(
+            handle.read(MAX_HEADER_LENGTH))
+        if header.version == VERSION_V1:
+            return (TraceSegment(
+                index=0,
+                record_count=header.record_count,
+                bit_length=header.bit_length,
+                payload_offset=header_length,
+            ),)
+        if header.segment_table_offset < header_length:
+            raise TraceFileError("corrupt segment index: table offset "
+                                 "inside the header")
+        if header.segment_table_offset > file_size:
+            raise TraceFileError("truncated payload")
+        handle.seek(header.segment_table_offset)
+        table_bytes = handle.read()
+    return _parse_segment_table(header, header_length, table_bytes,
+                                file_size)
+
+
+def _verify_committed(header: TraceFileHeader, committed: int) -> None:
+    if committed & _COMMITTED_MASK != header.committed_low32:
+        raise TraceFileError(
+            f"payload holds {committed} committed (untagged) records, "
+            f"header consistency field claims "
+            f"{header.committed_low32} (mod 2^32); trace Tag bits are "
+            f"corrupt"
+        )
+
+
+def _iter_v1_payload(handle: BinaryIO, bit_length: int,
+                     ) -> Iterator[TraceRecord]:
+    """Decode a v1 payload in bounded chunks.
+
+    The payload is one contiguous bit-packed run; records are at most
+    :data:`_MAX_RECORD_BITS` long, so whenever at least that many bits
+    are buffered the next record is guaranteed to decode without
+    touching the file again.  Consumed whole bytes are dropped from
+    the front of the buffer, keeping resident memory at one chunk.
+    """
+    buffer = bytearray()
+    local_bitpos = 0       # bits of `buffer` already consumed
+    bits_buffered = 0      # payload bits currently held in `buffer`
+    bits_unread = bit_length
+    eof = bits_unread == 0
+    while True:
+        while not eof and bits_buffered - local_bitpos < 8 * _V1_CHUNK_BYTES:
+            chunk = handle.read(_V1_CHUNK_BYTES)
+            if not chunk:
+                eof = True
+                if bits_unread > 0:
+                    raise TraceFileError("truncated payload")
+                break
+            buffer.extend(chunk)
+            got = min(8 * len(chunk), bits_unread)
+            bits_buffered += got
+            bits_unread -= got
+            if bits_unread == 0:
+                eof = True
+        # Decode straight out of the buffer at the current bit offset.
+        reader = BitReader(bytes(buffer), bits_buffered)
+        reader.seek_bit(local_bitpos)
+        while True:
+            remaining = reader.bits_remaining
+            if eof:
+                if remaining < _COMMON_BITS:
+                    # End of stream (the final byte may contain zero
+                    # padding shorter than one record).
+                    return
+            elif remaining < _MAX_RECORD_BITS:
+                break  # a record might straddle the chunk: read more
+            try:
+                yield decode_record(reader)
+            except EOFError:
+                raise TraceFileError("truncated payload") from None
+        local_bitpos = reader.bit_position
+        drop = local_bitpos // 8
+        del buffer[:drop]
+        local_bitpos -= 8 * drop
+        bits_buffered -= 8 * drop
+
+
+def iter_trace_records(
+    path: str | Path,
+    *,
+    segments: Sequence[TraceSegment] | None = None,
+    verify: bool = True,
+) -> Iterator[TraceRecord]:
+    """Stream a trace file's records with bounded memory.
+
+    v2 payloads are decoded one segment at a time (each segment's
+    record count and bit length are checked against the table); v1
+    payloads are decoded in fixed-size chunks.  At exhaustion the
+    total record count and the committed-count consistency field are
+    verified, so a fully drained stream gives the same corruption
+    guarantees as :func:`read_trace_file`.
+
+    ``segments`` restricts a v2 read to a subset of the table (shard
+    workers pass the slice they own); partial reads skip the
+    whole-file count and committed checks, since they see only their
+    shard.  ``verify=False`` skips the end-of-stream checks too.
+    """
+    file_size = os.stat(path).st_size
+    with open(path, "rb") as handle:
+        header, header_length = _parse_header(
+            handle.read(MAX_HEADER_LENGTH))
+        committed = 0
+        yielded = 0
+        if header.version == VERSION_V1:
+            if segments is not None:
+                raise TraceFileError(
+                    "segment-restricted reads need a v2 trace file")
+            payload_bytes = file_size - header_length
+            if header.bit_length > 8 * max(0, payload_bytes):
+                raise TraceFileError("truncated payload")
+            handle.seek(header_length)
+            for record in _iter_v1_payload(handle, header.bit_length):
+                committed += not record.tag
+                yielded += 1
+                yield record
+        else:
+            if header.segment_table_offset < header_length:
+                raise TraceFileError(
+                    "corrupt segment index: table offset inside the "
+                    "header")
+            if header.segment_table_offset > file_size:
+                raise TraceFileError("truncated payload")
+            handle.seek(header.segment_table_offset)
+            table = _parse_segment_table(
+                header, header_length, handle.read(), file_size)
+            partial = segments is not None
+            for segment in (table if segments is None else segments):
+                handle.seek(segment.payload_offset)
+                data = handle.read(segment.byte_length)
+                if len(data) < segment.byte_length:
+                    raise TraceFileError(
+                        f"truncated segment {segment.index}: "
+                        f"{len(data)} of {segment.byte_length} bytes")
+                try:
+                    records = decode_trace(data, segment.bit_length)
+                except EOFError:
+                    raise TraceFileError(
+                        f"truncated segment {segment.index}") from None
+                if len(records) != segment.record_count:
+                    raise TraceFileError(
+                        f"segment {segment.index} holds "
+                        f"{len(records)} records, segment index "
+                        f"claims {segment.record_count}"
+                    )
+                for record in records:
+                    committed += not record.tag
+                    yielded += 1
+                    yield record
+            if partial:
+                return
+        if not verify:
+            return
+        if yielded != header.record_count:
+            raise TraceFileError(
+                f"payload holds {yielded} records, header claims "
+                f"{header.record_count}"
+            )
+        _verify_committed(header, committed)
 
 
 def read_trace_file(
@@ -195,16 +733,25 @@ def read_trace_file(
 ) -> tuple[TraceFileHeader, list[TraceRecord]]:
     """Deserialize a trace file into its header and records.
 
+    Materializes the whole trace in memory; for constant-memory
+    ingestion use :func:`iter_trace_records` or
+    :class:`repro.trace.source.FileSource`.
+
     Raises
     ------
     TraceFileError
         On bad magic, unsupported version, corrupt header, a payload
-        whose record count disagrees with the header, or decoded
+        whose record count disagrees with the header (or, for v2, a
+        segment disagreeing with the segment index), or decoded
         records whose committed (untagged) count disagrees with the
         offset-28 consistency field.
     """
+    with open(path, "rb") as handle:
+        header, header_length = _parse_header(
+            handle.read(MAX_HEADER_LENGTH))
+    if header.version == VERSION_V2:
+        return header, list(iter_trace_records(path))
     data = Path(path).read_bytes()
-    header, header_length = _parse_header(data)
     payload = data[header_length:]
     if header.bit_length > 8 * len(payload):
         raise TraceFileError("truncated payload")
@@ -215,11 +762,5 @@ def read_trace_file(
             f"{header.record_count}"
         )
     committed = sum(1 for record in records if not record.tag)
-    if committed & _COMMITTED_MASK != header.committed_low32:
-        raise TraceFileError(
-            f"payload holds {committed} committed (untagged) records, "
-            f"header consistency field claims "
-            f"{header.committed_low32} (mod 2^32); trace Tag bits are "
-            f"corrupt"
-        )
+    _verify_committed(header, committed)
     return header, records

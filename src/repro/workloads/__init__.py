@@ -35,8 +35,10 @@ from repro.workloads.profiles import (
 from repro.workloads.synthetic import SyntheticWorkload
 from repro.workloads.tracegen import (
     UnknownWorkloadError,
+    WrittenTrace,
     generate_workload_trace,
     is_known_workload,
+    write_workload_trace,
 )
 
 __all__ = [
@@ -45,9 +47,11 @@ __all__ = [
     "SPECINT_PROFILES",
     "SyntheticWorkload",
     "UnknownWorkloadError",
+    "WrittenTrace",
     "generate_workload_trace",
     "get_profile",
     "is_known_workload",
     "kernel_program",
     "kernel_source",
+    "write_workload_trace",
 ]

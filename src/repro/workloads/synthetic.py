@@ -419,17 +419,22 @@ class SyntheticWorkload:
     # The dynamic walk
     # ------------------------------------------------------------------
 
-    def generate(self, instruction_budget: int = 100_000) -> TraceGenerationResult:
+    def generate(self, instruction_budget: int = 100_000,
+                 sink=None) -> TraceGenerationResult:
         """Walk the skeleton and emit the tagged trace.
 
         ``instruction_budget`` counts correct-path instructions; the
         returned trace additionally contains the injected wrong-path
-        blocks.
+        blocks.  ``sink`` (any object with ``append``/``extend``)
+        receives the records instead of the result's in-memory list —
+        the streaming-generation mode used by
+        :func:`repro.workloads.tracegen.write_workload_trace`.
         """
         if instruction_budget <= 0:
             raise ValueError("instruction_budget must be positive")
         predictor = BranchPredictorUnit(self._config)
-        result = TraceGenerationResult()
+        result = TraceGenerationResult(
+            records=[] if sink is None else sink)
         records = result.records
 
         func_index, block_index = 0, 0

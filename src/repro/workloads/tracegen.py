@@ -17,10 +17,14 @@ and are immediately reachable from CLI flags, sweep specs, and
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.functional.sim_bpred import SimBpred, TraceGenerationResult
+from repro.trace.fileio import DEFAULT_SEGMENT_RECORDS, SegmentedTraceWriter
+from repro.trace.stats import TraceStatistics
 from repro.utils.registry import Registry
 from repro.workloads.kernels import KERNELS, kernel_program
 from repro.workloads.profiles import SPECINT_PROFILES, get_profile
@@ -64,15 +68,20 @@ class SyntheticSource:
     profile_name: str
     kind: str = "synthetic"
 
+    def start_pc(self, config: "ProcessorConfig") -> int | None:
+        """Engine start PC, known before generation begins."""
+        return None
+
     def generate(self, config: "ProcessorConfig", *, budget: int,
-                 seed: int) -> tuple[TraceGenerationResult, int | None]:
+                 seed: int, sink=None,
+                 ) -> tuple[TraceGenerationResult, int | None]:
         synthetic = SyntheticWorkload(
             get_profile(self.profile_name), seed=seed,
             predictor_config=config.predictor,
             rob_entries=config.rob_entries,
             ifq_entries=config.ifq_entries,
         )
-        return synthetic.generate(budget), None
+        return synthetic.generate(budget, sink=sink), None
 
 
 @dataclass(frozen=True)
@@ -83,10 +92,16 @@ class KernelSource:
     kernel_name: str
     kind: str = "kernel"
 
+    def start_pc(self, config: "ProcessorConfig") -> int | None:
+        """Engine start PC, known before generation begins."""
+        return kernel_program(self.kernel_name).entry
+
     def generate(self, config: "ProcessorConfig", *, budget: int,
-                 seed: int) -> tuple[TraceGenerationResult, int | None]:
+                 seed: int, sink=None,
+                 ) -> tuple[TraceGenerationResult, int | None]:
         program = kernel_program(self.kernel_name)
-        return build_tracer(config).generate(program), program.entry
+        return (build_tracer(config).generate(program, sink=sink),
+                program.entry)
 
 
 #: Workload registry: name → trace source.  Populated from the profile
@@ -116,6 +131,118 @@ def is_known_workload(workload: str) -> bool:
     """True for any name :func:`generate_workload_trace` accepts."""
     return (workload in WORKLOADS or workload in SPECINT_PROFILES
             or workload in KERNELS)
+
+
+class _ObservingSink:
+    """Forwards generated records to a writer while measuring them.
+
+    The adapter that lets the generators' ``sink`` mode stream into a
+    :class:`~repro.trace.fileio.SegmentedTraceWriter`: each record is
+    written and folded into a :class:`~repro.trace.stats.TraceStatistics`
+    the moment it is produced, so nothing accumulates.
+    """
+
+    def __init__(self, writer, stats: TraceStatistics) -> None:
+        self._writer = writer
+        self._stats = stats
+
+    def append(self, record) -> None:
+        self._writer.append(record)
+        self._stats.observe(record)
+
+    def extend(self, records) -> None:
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return self._writer.record_count
+
+
+@dataclass(frozen=True)
+class WrittenTrace:
+    """Outcome of :func:`write_workload_trace`."""
+
+    path: Path
+    record_count: int
+    bytes_written: int
+    start_pc: int | None
+    trace_stats: TraceStatistics
+    generation: TraceGenerationResult
+
+
+def write_workload_trace(
+    workload: str,
+    config: "ProcessorConfig",
+    path: "str | Path",
+    *,
+    budget: int = 30_000,
+    seed: int = 7,
+    segment_records: int = DEFAULT_SEGMENT_RECORDS,
+    extra: dict | None = None,
+) -> WrittenTrace:
+    """Generate a workload's trace straight into a segmented v2 file.
+
+    The generator's records stream through a
+    :class:`~repro.trace.fileio.SegmentedTraceWriter` as they are
+    produced — peak memory is one encoder segment, never the record
+    list — which is what lets trace *files* exceed what a Python list
+    of records could hold.  Metadata (predictor, workload, seed,
+    start PC, plus ``extra``) is identical to the
+    ``Simulation.save_trace`` path, so consumers cannot tell which
+    path produced a file.
+
+    The write is atomic: records stream to a ``.part`` sibling that
+    is renamed over ``path`` only on success, so a failure mid-
+    generation (or mid-write) never destroys an existing trace at
+    ``path`` and never leaves a half-written file behind.
+
+    Raises
+    ------
+    UnknownWorkloadError
+        If ``workload`` names neither a profile nor a kernel.
+    """
+    source = _resolve_source(workload)
+    stats = TraceStatistics()
+    streams = hasattr(source, "start_pc")
+    if streams:
+        # Start PC is declared up front so it can live in the header
+        # metadata while records stream past it.
+        start_pc = source.start_pc(config)
+        generation = None
+    else:
+        # A registered source without the streaming protocol: fall
+        # back to in-memory generation, then stream the list out.
+        generation, start_pc = source.generate(
+            config, budget=budget, seed=seed)
+    metadata = dict(extra or {})
+    if start_pc is not None:
+        metadata.setdefault("start_pc", start_pc)
+    target = Path(path)
+    part = target.with_name(target.name + ".part")
+    try:
+        with SegmentedTraceWriter(
+            part, predictor=config.predictor, benchmark=workload,
+            seed=seed, extra=metadata, segment_records=segment_records,
+        ) as writer:
+            if streams:
+                generation, _ = source.generate(
+                    config, budget=budget, seed=seed,
+                    sink=_ObservingSink(writer, stats))
+            else:
+                sink = _ObservingSink(writer, stats)
+                sink.extend(generation.records)
+    except BaseException:
+        part.unlink(missing_ok=True)
+        raise
+    os.replace(part, target)
+    return WrittenTrace(
+        path=target,
+        record_count=writer.record_count,
+        bytes_written=writer.bytes_written,
+        start_pc=start_pc,
+        trace_stats=stats,
+        generation=generation,
+    )
 
 
 def generate_workload_trace(

@@ -2,9 +2,12 @@
 
 Every malformed input a bulk-sweep deployment will eventually meet —
 truncated payloads, bad magic, oversized metadata, lying record
-counts, flipped Tag bits — must surface as :class:`TraceFileError`
-with a useful message, never as a bare ``OverflowError`` or silently
-wrong statistics.
+counts, corrupt segment indexes, flipped Tag bits — must surface as
+:class:`TraceFileError` with a useful message, never as a bare
+``OverflowError`` or silently wrong statistics.  Both on-disk formats
+are covered: v1 (monolithic payload) files must stay readable forever,
+and v2 (segmented) files add a segment index with its own consistency
+checks.
 """
 
 import json
@@ -14,12 +17,23 @@ import pytest
 from repro.bpred.unit import PAPER_PREDICTOR
 from repro.trace.fileio import (
     MAX_HEADER_LENGTH,
+    MAGIC,
     TraceFileError,
+    VERSION_V1,
+    VERSION_V2,
+    _SEGMENT_ENTRY_BYTES,
+    _V1_PREFIX,
+    _V2_PREFIX,
+    iter_trace_records,
+    read_segment_table,
     read_trace_file,
     read_trace_header,
     write_trace_file,
 )
 from repro.workloads import SyntheticWorkload, get_profile
+
+#: Small enough that the 2000-budget fixture spans several segments.
+SEGMENT_RECORDS = 256
 
 
 @pytest.fixture(scope="module")
@@ -28,42 +42,89 @@ def records():
                              seed=11).generate(2000).records
 
 
-@pytest.fixture()
-def trace_path(records, tmp_path):
+@pytest.fixture(params=[VERSION_V1, VERSION_V2],
+                ids=["v1", "v2"])
+def trace_path(request, records, tmp_path):
     path = tmp_path / "trace.rtrc"
     write_trace_file(path, records, predictor=PAPER_PREDICTOR,
-                     benchmark="parser", seed=11)
+                     benchmark="parser", seed=11,
+                     version=request.param,
+                     segment_records=SEGMENT_RECORDS)
     return path
 
 
+@pytest.fixture()
+def v1_path(records, tmp_path):
+    path = tmp_path / "trace-v1.rtrc"
+    write_trace_file(path, records, predictor=PAPER_PREDICTOR,
+                     benchmark="parser", seed=11, version=VERSION_V1)
+    return path
+
+
+@pytest.fixture()
+def v2_path(records, tmp_path):
+    path = tmp_path / "trace-v2.rtrc"
+    write_trace_file(path, records, predictor=PAPER_PREDICTOR,
+                     benchmark="parser", seed=11,
+                     segment_records=SEGMENT_RECORDS)
+    return path
+
+
+def _metadata_offset(data: bytes) -> int:
+    version = int.from_bytes(data[8:10], "little")
+    return _V1_PREFIX if version == VERSION_V1 else _V2_PREFIX
+
+
 class TestOversizedHeader:
-    def test_oversized_metadata_raises_trace_file_error(self, records,
-                                                        tmp_path):
+    @pytest.mark.parametrize("version", [VERSION_V1, VERSION_V2])
+    def test_oversized_metadata_raises_trace_file_error(
+            self, records, tmp_path, version):
         path = tmp_path / "big.rtrc"
         huge = "x" * (MAX_HEADER_LENGTH + 1)
         with pytest.raises(TraceFileError, match="header"):
-            write_trace_file(path, records[:4], benchmark=huge)
+            write_trace_file(path, records[:4], benchmark=huge,
+                             version=version)
 
+    @pytest.mark.parametrize("version", [VERSION_V1, VERSION_V2])
     def test_nothing_written_on_oversized_metadata(self, records,
-                                                   tmp_path):
+                                                   tmp_path, version):
         path = tmp_path / "big.rtrc"
         with pytest.raises(TraceFileError):
             write_trace_file(path, records[:4],
-                             benchmark="y" * (MAX_HEADER_LENGTH + 1))
+                             benchmark="y" * (MAX_HEADER_LENGTH + 1),
+                             version=version)
         assert not path.exists()
 
-    def test_largest_legal_metadata_roundtrips(self, records, tmp_path):
+    @pytest.mark.parametrize("version,prefix", [
+        (VERSION_V1, _V1_PREFIX), (VERSION_V2, _V2_PREFIX)])
+    def test_largest_legal_metadata_roundtrips(self, records, tmp_path,
+                                               version, prefix):
         path = tmp_path / "edge.rtrc"
         # Fill the blob to exactly the u16 limit: account for the JSON
         # scaffolding around the benchmark string.
         scaffold = len(json.dumps(
             {"predictor": None, "benchmark": "", "seed": None},
             sort_keys=True).encode())
-        benchmark = "b" * (MAX_HEADER_LENGTH - 32 - scaffold)
-        write_trace_file(path, records[:4], benchmark=benchmark)
+        benchmark = "b" * (MAX_HEADER_LENGTH - prefix - scaffold)
+        write_trace_file(path, records[:4], benchmark=benchmark,
+                         version=version)
         header, decoded = read_trace_file(path)
         assert header.metadata["benchmark"] == benchmark
         assert decoded == records[:4]
+
+    @pytest.mark.parametrize("version", [VERSION_V1, VERSION_V2])
+    def test_one_byte_over_the_limit_rejected(self, records, tmp_path,
+                                              version):
+        prefix = _V1_PREFIX if version == VERSION_V1 else _V2_PREFIX
+        scaffold = len(json.dumps(
+            {"predictor": None, "benchmark": "", "seed": None},
+            sort_keys=True).encode())
+        with pytest.raises(TraceFileError, match="header"):
+            write_trace_file(
+                tmp_path / "over.rtrc", records[:4],
+                benchmark="b" * (MAX_HEADER_LENGTH - prefix
+                                 - scaffold + 1),
+                version=version)
 
 
 class TestCorruptHeaders:
@@ -80,6 +141,13 @@ class TestCorruptHeaders:
         with pytest.raises(TraceFileError, match="magic"):
             read_trace_file(path)
 
+    def test_unsupported_version(self, trace_path):
+        data = bytearray(trace_path.read_bytes())
+        data[8:10] = (99).to_bytes(2, "little")
+        trace_path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError, match="version"):
+            read_trace_header(trace_path)
+
     def test_header_length_beyond_file(self, trace_path):
         data = bytearray(trace_path.read_bytes())
         data[10:12] = (0xFFFF).to_bytes(2, "little")
@@ -87,40 +155,61 @@ class TestCorruptHeaders:
         with pytest.raises(TraceFileError, match="header length"):
             read_trace_header(trace_path)
 
+    def test_header_length_below_prefix(self, trace_path):
+        data = bytearray(trace_path.read_bytes())
+        data[10:12] = (12).to_bytes(2, "little")
+        trace_path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError, match="header length"):
+            read_trace_header(trace_path)
+
     def test_corrupt_metadata_json(self, trace_path):
         data = bytearray(trace_path.read_bytes())
-        data[33] = 0xFF  # stomp inside the JSON blob
+        data[_metadata_offset(data) + 1] = 0xFF  # stomp the JSON blob
         trace_path.write_bytes(bytes(data))
         with pytest.raises(TraceFileError, match="metadata"):
             read_trace_header(trace_path)
 
-    def test_non_object_metadata_rejected(self, trace_path):
+    @pytest.mark.parametrize("version,prefix", [
+        (VERSION_V1, _V1_PREFIX), (VERSION_V2, _V2_PREFIX)])
+    def test_non_object_metadata_rejected(self, tmp_path, version,
+                                          prefix):
         """Valid JSON that is not an object must not crash the
         `header.metadata.get(...)` consumers downstream."""
-        data = bytearray(trace_path.read_bytes())
-        old_header_length = int.from_bytes(data[10:12], "little")
         blob = b"[1, 2, 3]"
-        data[10:12] = (32 + len(blob)).to_bytes(2, "little")
-        rebuilt = bytes(data[:32]) + blob + bytes(data[old_header_length:])
-        trace_path.write_bytes(rebuilt)
+        data = bytearray(prefix)
+        data[:8] = MAGIC
+        data[8:10] = version.to_bytes(2, "little")
+        data[10:12] = (prefix + len(blob)).to_bytes(2, "little")
+        if version == VERSION_V2:
+            data[36:44] = (prefix + len(blob)).to_bytes(8, "little")
+        path = tmp_path / "nonobject.rtrc"
+        path.write_bytes(bytes(data) + blob)
         with pytest.raises(TraceFileError, match="JSON object"):
-            read_trace_header(trace_path)
+            read_trace_header(path)
 
 
 class TestPayloadConsistency:
     def test_truncated_payload(self, trace_path):
         data = trace_path.read_bytes()
         trace_path.write_bytes(data[: len(data) - len(data) // 4])
-        with pytest.raises(TraceFileError, match="truncated"):
+        with pytest.raises(TraceFileError,
+                           match="truncated|segment index"):
             read_trace_file(trace_path)
 
-    def test_wrong_record_count(self, trace_path):
-        data = bytearray(trace_path.read_bytes())
+    def test_truncated_payload_streaming(self, trace_path):
+        data = trace_path.read_bytes()
+        trace_path.write_bytes(data[: len(data) - len(data) // 4])
+        with pytest.raises(TraceFileError,
+                           match="truncated|segment index"):
+            list(iter_trace_records(trace_path))
+
+    def test_wrong_record_count(self, v1_path):
+        data = bytearray(v1_path.read_bytes())
         count = int.from_bytes(data[12:20], "little")
         data[12:20] = (count + 5).to_bytes(8, "little")
-        trace_path.write_bytes(bytes(data))
+        v1_path.write_bytes(bytes(data))
         with pytest.raises(TraceFileError, match="records"):
-            read_trace_file(trace_path)
+            read_trace_file(v1_path)
 
     def test_committed_count_mismatch_detected(self, trace_path):
         """The offset-28 consistency field guards the Tag bits."""
@@ -131,6 +220,16 @@ class TestPayloadConsistency:
         trace_path.write_bytes(bytes(data))
         with pytest.raises(TraceFileError, match="committed"):
             read_trace_file(trace_path)
+
+    def test_committed_count_checked_at_stream_exhaustion(
+            self, trace_path):
+        data = bytearray(trace_path.read_bytes())
+        committed = int.from_bytes(data[28:32], "little")
+        data[28:32] = ((committed + 1) & 0xFFFF_FFFF).to_bytes(
+            4, "little")
+        trace_path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError, match="committed"):
+            list(iter_trace_records(trace_path))
 
     def test_read_trace_header_bounded_read(self, trace_path,
                                             monkeypatch):
@@ -170,6 +269,115 @@ class TestPayloadConsistency:
         header, decoded = read_trace_file(trace_path)
         assert decoded == records
         assert header.metadata["benchmark"] == "parser"
+
+
+class TestSegmentedFormat:
+    """v2-specific consistency: the segment index must agree with the
+    header, the payload, and the file size."""
+
+    def test_v1_v2_roundtrip_equivalence(self, records, v1_path,
+                                         v2_path):
+        """The two formats are different containers for the same
+        stream: decoded records, header counts and streamed decode
+        must all agree exactly."""
+        h1, r1 = read_trace_file(v1_path)
+        h2, r2 = read_trace_file(v2_path)
+        assert r1 == r2 == records
+        assert h1.record_count == h2.record_count
+        assert h1.bit_length == h2.bit_length
+        assert h1.committed_low32 == h2.committed_low32
+        assert h1.bits_per_instruction == h2.bits_per_instruction
+        assert list(iter_trace_records(v1_path)) == records
+        assert list(iter_trace_records(v2_path)) == records
+
+    def test_segment_table_shape(self, v2_path, records):
+        header = read_trace_header(v2_path)
+        table = read_segment_table(v2_path)
+        assert header.segment_count == len(table) > 1
+        assert header.segment_records == SEGMENT_RECORDS
+        assert all(s.record_count == SEGMENT_RECORDS
+                   for s in table[:-1])
+        assert sum(s.record_count for s in table) == len(records)
+        assert sum(s.bit_length for s in table) == header.bit_length
+
+    def test_v1_pseudo_segment(self, v1_path):
+        header = read_trace_header(v1_path)
+        (segment,) = read_segment_table(v1_path)
+        assert segment.record_count == header.record_count
+        assert segment.bit_length == header.bit_length
+
+    def test_truncated_segment(self, v2_path):
+        """Cutting the file mid-payload loses the trailing segments
+        and the table — a streamed read must fail loudly, not yield a
+        silently shorter trace."""
+        header = read_trace_header(v2_path)
+        data = v2_path.read_bytes()
+        # Keep the header plus roughly half the payload.
+        cut = (header.segment_table_offset
+               - (header.segment_table_offset - _V2_PREFIX) // 2)
+        v2_path.write_bytes(data[:cut])
+        with pytest.raises(TraceFileError, match="truncated"):
+            list(iter_trace_records(v2_path))
+        with pytest.raises(TraceFileError, match="truncated"):
+            read_trace_file(v2_path)
+
+    def test_corrupt_segment_index_record_count(self, v2_path):
+        """A table entry lying about its record count must be caught
+        against the header totals."""
+        header = read_trace_header(v2_path)
+        data = bytearray(v2_path.read_bytes())
+        offset = header.segment_table_offset  # entry 0: record count
+        count = int.from_bytes(data[offset:offset + 4], "little")
+        data[offset:offset + 4] = (count + 3).to_bytes(4, "little")
+        v2_path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError, match="segment index"):
+            read_trace_file(v2_path)
+
+    def test_corrupt_segment_index_bit_length(self, v2_path):
+        header = read_trace_header(v2_path)
+        data = bytearray(v2_path.read_bytes())
+        offset = header.segment_table_offset + 4  # entry 0: bit length
+        bits = int.from_bytes(data[offset:offset + 8], "little")
+        data[offset:offset + 8] = (bits + 8).to_bytes(8, "little")
+        v2_path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError, match="segment index"):
+            read_segment_table(v2_path)
+
+    def test_segment_count_record_count_mismatch(self, v2_path):
+        """Consistent-looking lies (header and table patched together)
+        still fail when the decoded segment disagrees."""
+        header = read_trace_header(v2_path)
+        data = bytearray(v2_path.read_bytes())
+        data[12:20] = (header.record_count + 1).to_bytes(8, "little")
+        offset = header.segment_table_offset
+        count = int.from_bytes(data[offset:offset + 4], "little")
+        data[offset:offset + 4] = (count + 1).to_bytes(4, "little")
+        v2_path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError,
+                           match="segment 0 holds"):
+            list(iter_trace_records(v2_path))
+
+    def test_header_segment_count_mismatch(self, v2_path):
+        """The header's segment count must match the table size."""
+        data = bytearray(v2_path.read_bytes())
+        count = int.from_bytes(data[32:36], "little")
+        data[32:36] = (count + 1).to_bytes(4, "little")
+        v2_path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError, match="segment index"):
+            read_segment_table(v2_path)
+
+    def test_trailing_junk_rejected(self, v2_path):
+        v2_path.write_bytes(v2_path.read_bytes() + b"\x00junk")
+        with pytest.raises(TraceFileError, match="segment index"):
+            read_segment_table(v2_path)
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.rtrc"
+        write_trace_file(path, [])
+        header, decoded = read_trace_file(path)
+        assert decoded == [] and header.segment_count == 0
+        assert list(iter_trace_records(path)) == []
+        assert read_segment_table(path) == ()
 
 
 class TestExtraMetadata:

@@ -1,0 +1,405 @@
+"""Tests for the streaming trace pipeline.
+
+The contract under test: every ingestion path — in-memory list,
+streamed v1 file, streamed v2 file, sharded segment ranges stitched
+with :class:`ConcatSource` — delivers the identical record stream, and
+the engine produces **bit-identical statistics** over all of them.
+"""
+
+import io
+
+import pytest
+
+from repro.core import (
+    PAPER_4WIDE_PERFECT,
+    ProgressObserver,
+    ReSimEngine,
+)
+from repro.serialize import stats_to_dict
+from repro.session import Simulation
+from repro.trace.fileio import (
+    read_segment_table,
+    write_trace_file,
+)
+from repro.trace.record import OtherRecord
+from repro.trace.source import (
+    ConcatSource,
+    FileSource,
+    InMemorySource,
+    TraceSourceError,
+    as_source,
+)
+from repro.workloads import SyntheticWorkload, get_profile
+from repro.workloads.tracegen import write_workload_trace
+
+SEGMENT_RECORDS = 512
+
+
+@pytest.fixture(scope="module")
+def generation():
+    return SyntheticWorkload(get_profile("gzip"),
+                             seed=7).generate(6000)
+
+
+@pytest.fixture(scope="module")
+def records(generation):
+    return generation.records
+
+
+@pytest.fixture(scope="module")
+def v1_path(records, tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "v1.rtrc"
+    write_trace_file(path, records, benchmark="gzip", seed=7,
+                     version=1)
+    return path
+
+
+@pytest.fixture(scope="module")
+def v2_path(records, tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "v2.rtrc"
+    write_trace_file(path, records, benchmark="gzip", seed=7,
+                     segment_records=SEGMENT_RECORDS)
+    return path
+
+
+class TestInMemorySource:
+    def test_cursor_semantics(self, records):
+        source = InMemorySource(records)
+        assert source.total_records == len(records)
+        assert source.consumed == 0
+        assert source.peek() is records[0]
+        assert source.peek() is records[0]  # peek does not consume
+        assert source.next() is records[0]
+        assert source.consumed == 1
+        assert source.peek() is records[1]
+
+    def test_exhaustion(self):
+        source = InMemorySource([OtherRecord()])
+        source.next()
+        assert source.exhausted and source.peek() is None
+        with pytest.raises(TraceSourceError):
+            source.next()
+
+    def test_peek_is_tagged(self):
+        tagged = OtherRecord(tag=True)
+        source = InMemorySource([OtherRecord(), tagged])
+        assert not source.peek_is_tagged()
+        source.next()
+        assert source.peek_is_tagged()
+        source.next()
+        assert not source.peek_is_tagged()  # exhausted → False
+
+    def test_growing_list_becomes_visible(self):
+        stream = []
+        source = InMemorySource(stream)
+        assert source.exhausted
+        record = OtherRecord()
+        stream.append(record)
+        assert not source.exhausted
+        assert source.next() is record
+        assert source.total_records == 1
+
+    def test_fresh_rewinds(self, records):
+        source = InMemorySource(records)
+        for _ in range(5):
+            source.next()
+        rewound = source.fresh()
+        assert rewound.consumed == 0
+        assert rewound.peek() is records[0]
+        assert source.consumed == 5  # original untouched
+
+    def test_as_source_passthrough(self, records):
+        source = InMemorySource(records)
+        assert as_source(source) is source
+        wrapped = as_source(records)
+        assert isinstance(wrapped, InMemorySource)
+
+
+class TestFileSource:
+    @pytest.mark.parametrize("which", ["v1", "v2"])
+    def test_streams_identical_records(self, which, records, v1_path,
+                                       v2_path, request):
+        path = v1_path if which == "v1" else v2_path
+        source = FileSource(path)
+        assert source.total_records == len(records)
+        streamed = list(source)
+        assert streamed == records
+        assert source.consumed == len(records)
+        assert source.exhausted
+
+    def test_header_exposed(self, v2_path):
+        source = FileSource(v2_path)
+        assert source.header.metadata["benchmark"] == "gzip"
+        assert source.header.segment_count > 1
+
+    def test_fresh_gives_independent_cursor(self, v2_path, records):
+        source = FileSource(v2_path)
+        for _ in range(10):
+            source.next()
+        other = source.fresh()
+        assert other.consumed == 0
+        assert other.next() == records[0]
+        assert source.consumed == 10
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            FileSource(tmp_path / "nope.rtrc")
+
+    def test_segment_range(self, v2_path, records):
+        table = read_segment_table(v2_path)
+        mid = len(table) // 2
+        first = FileSource(v2_path, segments=(0, mid))
+        rest = FileSource(v2_path, segments=(mid, len(table)))
+        split = sum(s.record_count for s in table[:mid])
+        assert first.total_records == split
+        assert list(first) == records[:split]
+        assert list(rest) == records[split:]
+
+    def test_segment_range_bounds_checked(self, v2_path):
+        table = read_segment_table(v2_path)
+        with pytest.raises(TraceSourceError, match="segment range"):
+            FileSource(v2_path, segments=(0, len(table) + 1))
+
+    def test_v1_whole_file_pseudo_segment(self, v1_path, records):
+        """A v1 payload is one pseudo-segment: the full range streams
+        the whole file, any real sub-range is refused."""
+        assert list(FileSource(v1_path, segments=(0, 1))) == records
+        with pytest.raises(TraceSourceError, match="v2"):
+            FileSource(v1_path, segments=(0, 0))
+
+
+class TestConcatSource:
+    def test_spans_shards(self, v2_path, records):
+        table = read_segment_table(v2_path)
+        thirds = [len(table) // 3, 2 * len(table) // 3, len(table)]
+        shards, lo = [], 0
+        for hi in thirds:
+            shards.append(FileSource(v2_path, segments=(lo, hi)))
+            lo = hi
+        combined = ConcatSource(shards)
+        assert combined.total_records == len(records)
+        assert list(combined) == records
+        assert combined.consumed == len(records)
+
+    def test_mixed_kinds(self, records, v2_path):
+        combined = ConcatSource([
+            InMemorySource(records[:100]), FileSource(v2_path)])
+        assert combined.total_records == 100 + len(records)
+        streamed = list(combined)
+        assert streamed == records[:100] + records
+
+    def test_fresh(self, records):
+        combined = ConcatSource([InMemorySource(records[:3]),
+                                 InMemorySource(records[3:6])])
+        list(combined)
+        assert list(combined.fresh()) == records[:6]
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceSourceError):
+            ConcatSource([])
+
+    def test_growing_child_fails_loudly(self, records):
+        """A child that produces records after being passed over must
+        raise by end-of-stream, not silently drop its late records."""
+        growing = []
+        combined = ConcatSource([InMemorySource(growing),
+                                 InMemorySource(records[:4])])
+        assert combined.next() == records[0]  # child 0 skipped, empty
+        growing.append(OtherRecord())
+        for _ in range(3):
+            combined.next()  # later records still stream normally...
+        with pytest.raises(TraceSourceError, match="finite"):
+            combined.peek()  # ...but end-of-stream detects the growth
+
+
+class TestEngineEquivalence:
+    """The acceptance criterion: streamed ingestion is bit-identical
+    to the in-memory path."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, records):
+        result = ReSimEngine(PAPER_4WIDE_PERFECT, records).run()
+        return stats_to_dict(result.stats)
+
+    def test_v1_file_source(self, v1_path, reference):
+        result = ReSimEngine(PAPER_4WIDE_PERFECT,
+                             FileSource(v1_path)).run()
+        assert stats_to_dict(result.stats) == reference
+
+    def test_v2_file_source(self, v2_path, reference):
+        result = ReSimEngine(PAPER_4WIDE_PERFECT,
+                             FileSource(v2_path)).run()
+        assert stats_to_dict(result.stats) == reference
+
+    def test_sharded_concat(self, v2_path, reference):
+        table = read_segment_table(v2_path)
+        mid = len(table) // 2
+        source = ConcatSource([
+            FileSource(v2_path, segments=(0, mid)),
+            FileSource(v2_path, segments=(mid, len(table)))])
+        result = ReSimEngine(PAPER_4WIDE_PERFECT, source).run()
+        assert stats_to_dict(result.stats) == reference
+
+    def test_session_streaming_vs_in_memory(self, v2_path, reference):
+        streamed = Simulation.for_trace_file(
+            v2_path, PAPER_4WIDE_PERFECT).run()
+        materialized = Simulation.for_trace_file(
+            v2_path, PAPER_4WIDE_PERFECT, streaming=False).run()
+        assert stats_to_dict(streamed.stats) == reference
+        assert stats_to_dict(materialized.stats) == reference
+
+    def test_streaming_session_rerun_is_stable(self, v2_path,
+                                               reference):
+        """run() twice on one facade: the second run must rewind the
+        file source, not find it exhausted."""
+        simulation = Simulation.for_trace_file(v2_path,
+                                               PAPER_4WIDE_PERFECT)
+        first = simulation.run()
+        second = simulation.run()
+        assert stats_to_dict(first.stats) == reference
+        assert stats_to_dict(second.stats) == reference
+
+    def test_trace_statistics_without_materializing(self, v2_path,
+                                                    generation):
+        simulation = Simulation.for_trace_file(v2_path,
+                                               PAPER_4WIDE_PERFECT)
+        stats = simulation.trace_statistics()
+        expected = generation.statistics()
+        assert stats.total_records == expected.total_records
+        assert stats.bits_per_instruction == \
+            expected.bits_per_instruction
+
+    def test_spec_roundtrip_with_streaming(self, v2_path):
+        spec = Simulation.for_trace_file(
+            v2_path, streaming=False).to_spec()
+        assert spec["streaming"] is False
+        again = Simulation.from_spec(spec)
+        assert again.to_spec() == spec
+        default = Simulation.for_trace_file(v2_path).to_spec()
+        assert "streaming" not in default
+
+
+class TestStreamedGeneration:
+    def test_write_workload_trace_matches_save_trace(self, tmp_path):
+        """Generator → SegmentedTraceWriter must produce the same file
+        a materialize-then-write flow produces."""
+        streamed = tmp_path / "streamed.rtrc"
+        buffered = tmp_path / "buffered.rtrc"
+        write_workload_trace("parser", PAPER_4WIDE_PERFECT, streamed,
+                             budget=2000, seed=3)
+        Simulation.for_workload(
+            "parser", PAPER_4WIDE_PERFECT, budget=2000, seed=3,
+        ).save_trace(buffered, benchmark="parser")
+        assert streamed.read_bytes() == buffered.read_bytes()
+
+    def test_written_trace_metadata(self, tmp_path):
+        written = write_workload_trace(
+            "matmul", PAPER_4WIDE_PERFECT, tmp_path / "k.rtrc")
+        assert written.start_pc is not None
+        source = FileSource(written.path)
+        assert source.header.metadata["start_pc"] == written.start_pc
+        assert source.total_records == written.record_count
+        assert written.trace_stats.total_records == \
+            written.record_count
+
+    def test_failed_generation_preserves_existing_file(self, tmp_path):
+        """The write is atomic: a mid-generation failure must neither
+        destroy a previously valid trace at the target path nor leave
+        a partial file behind."""
+        path = tmp_path / "t.rtrc"
+        write_workload_trace("parser", PAPER_4WIDE_PERFECT, path,
+                             budget=500)
+        good = path.read_bytes()
+        with pytest.raises(ValueError):
+            write_workload_trace("parser", PAPER_4WIDE_PERFECT, path,
+                                 budget=0)  # generator rejects this
+        assert path.read_bytes() == good
+        assert list(tmp_path.iterdir()) == [path]  # no .part litter
+
+
+class TestMultiCoreStreaming:
+    def test_cores_accept_trace_file_paths(self, v2_path, records,
+                                           generation):
+        """A stored trace per core, streamed: same throughput inputs
+        as the equivalent in-memory workload run."""
+        from repro.fpga.device import VIRTEX4_LX100
+        from repro.multicore.simulator import MultiCoreSimulator
+        simulator = MultiCoreSimulator(PAPER_4WIDE_PERFECT,
+                                       VIRTEX4_LX100)
+        result = simulator.run([str(v2_path)])
+        (core,) = result.cores
+        assert core.benchmark == "v2"  # file stem labels the core
+        expected = generation.statistics()
+        assert core.trace_stats.total_records == len(records)
+        assert core.trace_stats.bits_per_instruction == \
+            expected.bits_per_instruction
+        assert core.demand_gbps > 0
+
+
+class TestProgressObserver:
+    def test_emits_periodic_lines(self, records):
+        buffer = io.StringIO()
+        engine = ReSimEngine(PAPER_4WIDE_PERFECT, records)
+        observer = ProgressObserver(1000, stream=buffer)
+        engine.add_observer(observer)
+        engine.run()
+        lines = buffer.getvalue().splitlines()
+        assert observer.lines_emitted == len(lines)
+        assert len(lines) == len(records) // 1000
+        assert all(line.startswith("[progress]") for line in lines)
+        assert f"{len(records):,}" in lines[0]  # total is reported
+
+    def test_does_not_change_stats(self, records):
+        plain = ReSimEngine(PAPER_4WIDE_PERFECT, records).run()
+        observed_engine = ReSimEngine(PAPER_4WIDE_PERFECT, records)
+        observed_engine.add_observer(
+            ProgressObserver(500, stream=io.StringIO()))
+        observed = observed_engine.run()
+        assert stats_to_dict(observed.stats) == \
+            stats_to_dict(plain.stats)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProgressObserver(0)
+        with pytest.raises(ValueError):
+            ProgressObserver(10, min_seconds=-1.0)
+
+    def test_cli_progress_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["simulate", "gzip", "--budget", "3000",
+                     "--progress", "--progress-records", "500"]) == 0
+        captured = capsys.readouterr()
+        assert "[progress]" in captured.err
+        assert "IPC" in captured.err
+
+
+class TestTraceInfoCli:
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_reports_header_and_segments(self, tmp_path, capsys,
+                                         records, version):
+        from repro.cli import main
+        path = tmp_path / "t.rtrc"
+        write_trace_file(path, records, benchmark="gzip", seed=7,
+                         version=version,
+                         segment_records=SEGMENT_RECORDS)
+        assert main(["trace", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"format version       : {version}" in out
+        assert f"records              : {len(records)}" in out
+        assert "bits per instruction" in out
+        assert "benchmark" in out
+        if version == 2:
+            assert f"(nominal {SEGMENT_RECORDS} records each)" in out
+            assert "[   0]" in out
+
+    def test_rejects_garbage(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "junk.rtrc"
+        path.write_bytes(b"this is not a trace")
+        with pytest.raises(SystemExit, match="magic"):
+            main(["trace", "info", str(path)])
+
+    def test_missing_file(self, tmp_path):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["trace", "info", str(tmp_path / "absent.rtrc")])
