@@ -15,8 +15,16 @@ Subcommands mirror how the paper's system is used:
 * ``multicore``— the Section VI study: instances per device and
   aggregate throughput under the shared trace channel;
 * ``sweep``    — the paper's bulk mode: simulate one shared trace
-  across a whole parameter grid in parallel, with per-point
-  checkpointing so interrupted sweeps resume.
+  across a whole parameter grid, with per-point checkpointing so
+  interrupted sweeps resume; ``--backend serial|pool|queue`` picks
+  how points execute (in-process, local process pool, or a shared-
+  filesystem queue drained by workers on any number of hosts);
+* ``search``   — adaptive design-space search (grid / seeded random /
+  hill-climb) that simulates points one batch at a time through the
+  same backends and checkpoints;
+* ``worker``   — a queue worker: claims work units from a shared
+  queue directory (``sweep``/``search`` with ``--backend queue``)
+  and simulates them until the queue drains or it is stopped.
 
 Entry point: ``python -m repro.cli <subcommand>`` or the installed
 ``resim`` script.
@@ -251,11 +259,8 @@ def _int_list(raw: str, option: str) -> list[int]:
         )
 
 
-def cmd_sweep(args) -> int:
-    from repro.perf.tables import sweep_table  # heavy import, lazy
-    from repro.sweep import SweepError, SweepRunner, SweepSpec
-
-    base = _config(args.config)
+def _collect_axes(args) -> dict[str, list]:
+    """Shared axis-flag parsing for ``sweep`` and ``search``."""
     axes: dict[str, list] = {}
     for name, option, raw in (
         ("rob_entries", "--rob", args.rob),
@@ -282,20 +287,80 @@ def cmd_sweep(args) -> int:
         axes[name] = _int_list(values, f"--axis {name}")
     if not axes:
         raise SystemExit(
-            "nothing to sweep; pass at least one axis "
-            "(--rob/--lsq/--ifq/--width/--alus/--predictor/--axis)"
+            f"nothing to {args.command}; pass at least one axis "
+            f"(--rob/--lsq/--ifq/--width/--alus/--predictor/--axis)"
         )
-    # Fail on bad presentation/export options *before* the sweep runs,
-    # not after minutes of simulation.
+    return axes
+
+
+def _make_backend(args, results_dir: Path):
+    """Resolve ``--backend`` (None = the runner's workers default).
+
+    ``--workers`` means "pool size" for the process pool and "local
+    worker processes to spawn" for the queue (0 = rely entirely on
+    externally started ``resim worker`` processes).
+    """
+    from repro.exec import (
+        BACKENDS,
+        DirectoryQueueBackend,
+        ExecError,
+        ProcessPoolBackend,
+        SerialBackend,
+    )
+
+    if args.backend == "auto":
+        if args.workers < 1:
+            raise SystemExit(
+                f"--workers must be >= 1 (got {args.workers}); use "
+                f"--backend queue --workers 0 to rely on external "
+                f"workers"
+            )
+        return None
+    try:
+        backend_cls = BACKENDS.get(args.backend)
+    except RegistryError as error:
+        raise SystemExit(str(error))
+    try:
+        if backend_cls is SerialBackend:
+            return SerialBackend()
+        if backend_cls is ProcessPoolBackend:
+            return ProcessPoolBackend(args.workers)
+        if backend_cls is DirectoryQueueBackend:
+            queue_dir = (Path(args.queue_dir) if args.queue_dir
+                         else results_dir / "queue")
+            return DirectoryQueueBackend(
+                queue_dir, workers=args.workers,
+                lease_seconds=args.queue_lease,
+                timeout=args.queue_timeout,
+            )
+        return backend_cls()  # extension-registered backend
+    except ExecError as error:
+        raise SystemExit(str(error))
+
+
+def _bulk_progress(args):
+    if not args.progress:
+        return None
+    from repro.sweep import ProgressPrinter
+    return ProgressPrinter()
+
+
+def _validate_bulk_options(args) -> Path:
+    """Fail on bad presentation/export options *before* simulations
+    run, not after minutes of them; returns the resolved results
+    dir."""
     from repro.sweep.result import SORT_KEYS
-    if args.sort not in SORT_KEYS:
+    if hasattr(args, "metric"):  # search names it --metric
+        kind, sort_key = "metric", args.metric
+    else:  # sweep names it --sort
+        kind, sort_key = "sort key", args.sort
+    if sort_key not in SORT_KEYS:
         raise SystemExit(
-            f"unknown sort key {args.sort!r}; choose from "
+            f"unknown {kind} {sort_key!r}; choose from "
             f"{', '.join(SORT_KEYS)}"
         )
     if args.top is not None and args.top < 1:
         raise SystemExit(f"--top must be positive, got {args.top}")
-    device = _device(args.device)
     results_dir = Path(args.results_dir).resolve()
     for option, export in (("--csv", args.csv), ("--json", args.json)):
         if export:
@@ -307,27 +372,10 @@ def cmd_sweep(args) -> int:
                     f"{option} {export!r}: directory {parent} does "
                     f"not exist"
                 )
+    return results_dir
 
-    try:
-        spec = SweepSpec(axes=axes, base=base)
-        runner = SweepRunner(
-            spec, args.workload, results_dir=args.results_dir,
-            budget=args.budget, seed=args.seed, workers=args.workers,
-        )
-        result = runner.run()
-    except SweepError as error:
-        raise SystemExit(str(error))
 
-    print(sweep_table(result, device_name=args.device,
-                      sort_key=args.sort, limit=args.top))
-    notes = [f"{len(result)} design points"]
-    if result.resumed_count:
-        notes.append(f"{result.resumed_count} resumed from checkpoints")
-    if result.skipped_invalid:
-        notes.append(f"{result.skipped_invalid} invalid combos skipped")
-    if result.skipped_duplicates:
-        notes.append(f"{result.skipped_duplicates} duplicates collapsed")
-    print(f"\n[{'; '.join(notes)}; results in {args.results_dir}]")
+def _export_bulk_result(args, result, device) -> None:
     if args.csv:
         Path(args.csv).resolve().parent.mkdir(parents=True,
                                               exist_ok=True)
@@ -338,7 +386,110 @@ def cmd_sweep(args) -> int:
                                                exist_ok=True)
         result.to_json(args.json)
         print(f"wrote {args.json}")
+
+
+def cmd_sweep(args) -> int:
+    from repro.perf.tables import sweep_table  # heavy import, lazy
+    from repro.exec import ExecError
+    from repro.sweep import SweepError, SweepRunner, SweepSpec
+
+    base = _config(args.config)
+    axes = _collect_axes(args)
+    device = _device(args.device)
+    results_dir = _validate_bulk_options(args)
+    backend = _make_backend(args, results_dir)
+
+    try:
+        spec = SweepSpec(axes=axes, base=base)
+        runner = SweepRunner(
+            spec, args.workload, results_dir=args.results_dir,
+            budget=args.budget, seed=args.seed, workers=args.workers,
+            backend=backend, progress=_bulk_progress(args),
+        )
+        result = runner.run()
+    except (SweepError, ExecError) as error:
+        raise SystemExit(str(error))
+
+    print(sweep_table(result, device_name=args.device,
+                      sort_key=args.sort, limit=args.top))
+    notes = [f"{len(result)} design points"]
+    if backend is not None:
+        notes.append(f"backend {backend.name}")
+    if result.resumed_count:
+        notes.append(f"{result.resumed_count} resumed from checkpoints")
+    if result.skipped_invalid:
+        notes.append(f"{result.skipped_invalid} invalid combos skipped")
+    if result.skipped_duplicates:
+        notes.append(f"{result.skipped_duplicates} duplicates collapsed")
+    print(f"\n[{'; '.join(notes)}; results in {args.results_dir}]")
+    _export_bulk_result(args, result, device)
     return 0
+
+
+def cmd_search(args) -> int:
+    from repro.perf.tables import sweep_table  # heavy import, lazy
+    from repro.exec import ExecError
+    from repro.sweep import (
+        SEARCHES,
+        GridSearch,
+        HillClimb,
+        RandomSearch,
+        SearchRunner,
+        SweepError,
+        SweepSpec,
+    )
+
+    base = _config(args.config)
+    axes = _collect_axes(args)
+    device = _device(args.device)
+    results_dir = _validate_bulk_options(args)
+    backend = _make_backend(args, results_dir)
+    if args.samples < 1:
+        raise SystemExit(f"--samples must be positive, "
+                         f"got {args.samples}")
+    if args.max_steps < 0:
+        raise SystemExit(f"--max-steps must be >= 0, "
+                         f"got {args.max_steps}")
+    try:
+        strategy_cls = SEARCHES.get(args.strategy)
+    except RegistryError as error:
+        raise SystemExit(str(error))
+
+    try:
+        spec = SweepSpec(axes=axes, base=base)
+        if strategy_cls is RandomSearch:
+            strategy = RandomSearch(spec, samples=args.samples,
+                                    seed=args.search_seed,
+                                    metric=args.metric)
+        elif strategy_cls is HillClimb:
+            strategy = HillClimb(spec, metric=args.metric,
+                                 max_steps=args.max_steps)
+        elif strategy_cls is GridSearch:
+            strategy = GridSearch(spec, metric=args.metric)
+        else:
+            strategy = strategy_cls(spec, metric=args.metric)
+        runner = SearchRunner(
+            strategy, args.workload, results_dir=args.results_dir,
+            budget=args.budget, seed=args.seed, workers=args.workers,
+            backend=backend, progress=_bulk_progress(args),
+        )
+        search = runner.run()
+    except (SweepError, ExecError) as error:
+        raise SystemExit(str(error))
+
+    print(sweep_table(search.result, device_name=args.device,
+                      sort_key=args.metric, limit=args.top))
+    print(f"\n{search.summary()}")
+    if search.result.resumed_count:
+        print(f"[{search.result.resumed_count} point(s) resumed from "
+              f"checkpoints; results in {args.results_dir}]")
+    _export_bulk_result(args, search.result, device)
+    return 0
+
+
+def cmd_worker(args) -> int:
+    from repro.exec.worker import run_from_args
+    return run_from_args(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -411,34 +562,93 @@ def build_parser() -> argparse.ArgumentParser:
     multicore.add_argument("benchmarks", nargs="*", metavar="BENCH")
     multicore.set_defaults(func=cmd_multicore)
 
+    def add_axes(p, verb):
+        p.add_argument("--rob", help="ROB sizes, e.g. 8,16,32")
+        p.add_argument("--lsq", help="LSQ sizes")
+        p.add_argument("--ifq", help="IFQ sizes")
+        p.add_argument("--width", help="superscalar widths")
+        p.add_argument("--alus", help="ALU counts")
+        p.add_argument("--predictor",
+                       help="predictor schemes, e.g. twolevel,bimodal")
+        p.add_argument("--axis", action="append",
+                       metavar="NAME=V1,V2",
+                       help=f"{verb} any integer ProcessorConfig field")
+
+    def add_bulk(p, default_dir):
+        """Options shared by the two bulk commands (sweep/search):
+        where results live, how points execute, how they render."""
+        p.add_argument("--results-dir", default=default_dir,
+                       help="trace + checkpoint directory (reuse to "
+                            "resume an interrupted run)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="pool size (--backend auto/pool) or local "
+                            "worker processes to spawn "
+                            "(--backend queue; 0 = external workers "
+                            "only)")
+        p.add_argument("--backend", default="auto",
+                       help="execution backend: auto (serial for "
+                            "--workers 1, else pool), serial, pool, "
+                            "or queue (shared-filesystem multi-host; "
+                            "see 'resim worker')")
+        p.add_argument("--queue-dir", default=None,
+                       help="queue directory for --backend queue "
+                            "(default: RESULTS_DIR/queue; every host "
+                            "must see it at the same path)")
+        p.add_argument("--queue-lease", type=float, default=60.0,
+                       help="seconds of silence before a claimed "
+                            "unit is presumed orphaned and retried")
+        p.add_argument("--queue-timeout", type=float, default=None,
+                       help="abort if no unit completes for this "
+                            "many seconds (default: wait forever)")
+        p.add_argument("--progress", action="store_true",
+                       help="report per-point completion to stderr")
+        p.add_argument("--device", default="xc4vlx40",
+                       help="device for projected MIPS column")
+        p.add_argument("--top", type=int, default=None,
+                       help="show only the best N points")
+        p.add_argument("--csv", default=None, help="CSV export path")
+        p.add_argument("--json", default=None, help="JSON export path")
+
     sweep = sub.add_parser(
         "sweep", help="bulk design-space sweep over one shared trace")
     add_common(sweep)
     sweep.add_argument("workload", nargs="?", default="gzip",
                        help="benchmark profile or kernel name")
-    sweep.add_argument("--results-dir", default="sweep-results",
-                       help="trace + checkpoint directory (reuse to "
-                            "resume an interrupted sweep)")
-    sweep.add_argument("--workers", type=int, default=1,
-                       help="simulation processes (1 = serial)")
-    sweep.add_argument("--rob", help="ROB sizes, e.g. 8,16,32")
-    sweep.add_argument("--lsq", help="LSQ sizes")
-    sweep.add_argument("--ifq", help="IFQ sizes")
-    sweep.add_argument("--width", help="superscalar widths")
-    sweep.add_argument("--alus", help="ALU counts")
-    sweep.add_argument("--predictor",
-                       help="predictor schemes, e.g. twolevel,bimodal")
-    sweep.add_argument("--axis", action="append", metavar="NAME=V1,V2",
-                       help="sweep any integer ProcessorConfig field")
-    sweep.add_argument("--device", default="xc4vlx40",
-                       help="device for projected MIPS column")
+    add_axes(sweep, "sweep")
+    add_bulk(sweep, "sweep-results")
     sweep.add_argument("--sort", default="ipc",
                        help="table sort key (ipc, cycles, mispredictions)")
-    sweep.add_argument("--top", type=int, default=None,
-                       help="show only the best N points")
-    sweep.add_argument("--csv", default=None, help="CSV export path")
-    sweep.add_argument("--json", default=None, help="JSON export path")
     sweep.set_defaults(func=cmd_sweep)
+
+    search = sub.add_parser(
+        "search",
+        help="adaptive design-space search (grid/random/hillclimb)")
+    add_common(search)
+    search.add_argument("workload", nargs="?", default="gzip",
+                        help="benchmark profile or kernel name")
+    add_axes(search, "search")
+    add_bulk(search, "search-results")
+    search.add_argument("--strategy", default="hillclimb",
+                        help="search strategy (grid, random, "
+                             "hillclimb)")
+    search.add_argument("--metric", default="ipc",
+                        help="objective to optimize (ipc, cycles, "
+                             "mispredictions)")
+    search.add_argument("--samples", type=int, default=16,
+                        help="points to sample (--strategy random)")
+    search.add_argument("--search-seed", type=int, default=1,
+                        help="sampling seed (--strategy random); "
+                             "fixed seed = identical search")
+    search.add_argument("--max-steps", type=int, default=64,
+                        help="move budget (--strategy hillclimb)")
+    search.set_defaults(func=cmd_search)
+
+    from repro.exec.worker import add_worker_arguments
+    worker = sub.add_parser(
+        "worker",
+        help="process work units from a shared queue directory")
+    add_worker_arguments(worker)
+    worker.set_defaults(func=cmd_worker)
 
     return parser
 

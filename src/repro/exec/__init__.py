@@ -1,0 +1,67 @@
+"""``repro.exec`` — pluggable execution backends for bulk simulation.
+
+The paper's bulk mode prepares a trace off-line and simulates it
+across a whole design grid; this package decides *where those
+simulations run* without the simulation core knowing or caring.  The
+pieces:
+
+* :class:`~repro.exec.unit.WorkUnit` — one serializable run: a
+  :meth:`Simulation.from_spec` dict (PR 2) over a shared trace file
+  (PR 3, optionally a segment shard) plus a result destination;
+* :class:`~repro.exec.backends.ExecutionBackend` — the
+  submit/``run_units`` protocol every dispatcher implements;
+* :class:`~repro.exec.backends.SerialBackend` /
+  :class:`~repro.exec.backends.ProcessPoolBackend` — in-process and
+  one-host fan-out (the sweep runner's historical behaviors);
+* :class:`~repro.exec.queue.DirectoryQueueBackend` + ``resim worker``
+  (:mod:`repro.exec.worker`) — multi-host execution over a shared
+  filesystem with crash-tolerant atomic-rename leases.
+
+Backends are named in :data:`~repro.exec.backends.BACKENDS`.  Because
+work units are deterministic and results are written atomically,
+every backend produces bit-identical result documents for the same
+batch — the property the sweep and search layers build on.
+"""
+
+from repro.exec.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+from repro.exec.queue import (
+    DEFAULT_LEASE_SECONDS,
+    DirectoryQueueBackend,
+    enqueue,
+    queue_paths,
+    reclaim_stale,
+)
+from repro.exec.unit import (
+    ExecError,
+    RESULT_SCHEMA,
+    UnitExecutionError,
+    WorkUnit,
+    execute_unit,
+    load_unit_result,
+)
+from repro.exec.worker import LeaseHeartbeat, run_worker
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_LEASE_SECONDS",
+    "DirectoryQueueBackend",
+    "ExecError",
+    "ExecutionBackend",
+    "LeaseHeartbeat",
+    "ProcessPoolBackend",
+    "RESULT_SCHEMA",
+    "SerialBackend",
+    "UnitExecutionError",
+    "WorkUnit",
+    "enqueue",
+    "execute_unit",
+    "load_unit_result",
+    "queue_paths",
+    "reclaim_stale",
+    "run_worker",
+]

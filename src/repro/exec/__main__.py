@@ -1,0 +1,8 @@
+"""``python -m repro.exec`` runs a queue worker (see
+:mod:`repro.exec.worker`); the separate entry module keeps runpy from
+re-executing a module the package already imported."""
+
+from repro.exec.worker import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

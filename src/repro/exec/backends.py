@@ -1,0 +1,154 @@
+"""Execution backends: *how* a batch of work units actually runs.
+
+The simulation core answers "what does design point X score?"; a
+backend answers "on which CPUs?".  Keeping the two separated (the
+lesson of simulator-generation work: the fast core must not know how
+runs are dispatched) means every bulk consumer — grid sweeps, adaptive
+search, future socket/SSH fleets — is written once against
+:class:`ExecutionBackend` and gains each new dispatch mechanism for
+free.
+
+Three implementations ship:
+
+* :class:`SerialBackend` — in-process, in-order; the reference
+  semantics everything else must match bit-for-bit;
+* :class:`ProcessPoolBackend` — a ``ProcessPoolExecutor`` fan-out on
+  one host (the sweep runner's historical behavior, unchanged);
+* :class:`~repro.exec.queue.DirectoryQueueBackend` — a shared-
+  filesystem queue drained by ``resim worker`` processes on any
+  number of hosts (see :mod:`repro.exec.queue`).
+
+All three run the same :func:`~repro.exec.unit.execute_unit` on the
+same serializable :class:`~repro.exec.unit.WorkUnit`\\ s, and the
+engine is deterministic, so for a fixed unit batch every backend
+produces byte-identical result documents (the test suite asserts it).
+
+Backends are registered in :data:`BACKENDS` so CLI flags and scripts
+can name them (``--backend queue``), the same registry idiom every
+other pluggable component family uses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Sequence
+
+from repro.exec.unit import ExecError, WorkUnit, execute_unit
+from repro.utils.registry import Registry
+
+#: Named backend classes (``serial``, ``pool``, ``queue``); the CLI
+#: resolves ``--backend`` values here, so a new backend registered by
+#: an extension becomes a valid flag with no CLI change.
+BACKENDS: Registry[type] = Registry("execution backend")
+
+#: Callback invoked as each unit finishes: ``(unit, payload)``.  The
+#: payload is the unit's result document; for backends that tolerate
+#: per-unit failure (the directory queue) it may be an error document
+#: (``"error"`` key) — in-process backends raise instead.
+OnResult = Callable[[WorkUnit, dict], None]
+
+
+class ExecutionBackend(ABC):
+    """Run serializable work units to completion.
+
+    The protocol is submit-then-drain: :meth:`submit` enqueues units,
+    :meth:`drain` executes everything enqueued and returns
+    ``{unit_id: result_document}``.  :meth:`run_units` is the
+    convenience composition of the two.  A backend instance is
+    reusable — each :meth:`drain` consumes the queue, so adaptive
+    search can push batch after batch through one backend.
+    """
+
+    #: Human-readable backend name (also its registry key).
+    name = "?"
+
+    def __init__(self) -> None:
+        self._queue: list[WorkUnit] = []
+
+    def submit(self, unit: WorkUnit) -> None:
+        """Enqueue one unit for the next :meth:`drain`."""
+        if not isinstance(unit, WorkUnit):
+            raise ExecError(
+                f"submit() takes a WorkUnit, got {type(unit).__name__}")
+        if any(queued.unit_id == unit.unit_id for queued in self._queue):
+            raise ExecError(
+                f"unit {unit.unit_id!r} is already enqueued; unit ids "
+                f"must be unique within a batch"
+            )
+        self._queue.append(unit)
+
+    def run_units(self, units: Sequence[WorkUnit] = (), *,
+                  on_result: OnResult | None = None) -> dict[str, dict]:
+        """Submit a batch and drain it (see :meth:`drain`)."""
+        for unit in units:
+            self.submit(unit)
+        return self.drain(on_result=on_result)
+
+    def drain(self, *,
+              on_result: OnResult | None = None) -> dict[str, dict]:
+        """Execute every enqueued unit; return documents by unit id."""
+        batch, self._queue = self._queue, []
+        return self._execute(batch, on_result)
+
+    @abstractmethod
+    def _execute(self, batch: Sequence[WorkUnit],
+                 on_result: OnResult | None) -> dict[str, dict]:
+        """Backend-specific execution of one drained batch."""
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}()"
+
+    __repr__ = describe
+
+
+@BACKENDS.register("serial")
+class SerialBackend(ExecutionBackend):
+    """In-process, in-order execution — the reference semantics."""
+
+    name = "serial"
+
+    def _execute(self, batch, on_result):
+        results: dict[str, dict] = {}
+        for unit in batch:
+            payload = execute_unit(unit)
+            results[unit.unit_id] = payload
+            if on_result is not None:
+                on_result(unit, payload)
+        return results
+
+
+@BACKENDS.register("pool", aliases=("process-pool",))
+class ProcessPoolBackend(ExecutionBackend):
+    """``ProcessPoolExecutor`` fan-out on the local host.
+
+    Results arrive in completion order (``on_result`` observes the
+    true finish sequence); the returned mapping is keyed by unit id,
+    so callers needing a stable order impose their own.  A unit that
+    raises re-raises the original (pickled) exception here, exactly
+    like the pre-backend sweep runner did.
+    """
+
+    name = "pool"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ExecError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def _execute(self, batch, on_result):
+        results: dict[str, dict] = {}
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {pool.submit(execute_unit, unit): unit
+                       for unit in batch}
+            for future in as_completed(futures):
+                unit = futures[future]
+                payload = future.result()
+                results[unit.unit_id] = payload
+                if on_result is not None:
+                    on_result(unit, payload)
+        return results
+
+    def describe(self) -> str:
+        return f"ProcessPoolBackend(workers={self.workers})"

@@ -1,0 +1,262 @@
+"""The queue worker: ``resim worker DIR`` / ``python -m repro.exec DIR``.
+
+A worker is the executing half of the directory queue
+(:mod:`repro.exec.queue`): it loops *claim → simulate → write result →
+complete*, entirely through atomic renames, so any number of workers
+on any number of hosts sharing the queue directory cooperate without
+a coordinator process, a lock server, or any network protocol beyond
+the filesystem.
+
+Crash tolerance from the executing side:
+
+* before simulating, the worker checks whether a valid result already
+  exists (a predecessor may have died between its result write and
+  its lease rename) and completes the unit for free if so;
+* while simulating, a :class:`LeaseHeartbeat` engine observer
+  refreshes the lease mtime (the PR 2 observer API doing operations
+  work: zero hot-loop cost when detached, one comparison per major
+  cycle when attached), so only a *dead* worker's lease ever goes
+  stale and gets reclaimed;
+* a unit that raises gets an **error document** written to its result
+  path — the coordinator learns what failed instead of waiting — and
+  is still marked done (re-enqueueing a deterministic failure would
+  loop forever; the sweep layer's checkpoint validation discards
+  error documents on resume, so a later rerun recomputes it).
+
+Exit policy: by default a worker polls forever (fleet style — start
+it once per host, point it at the mount, Ctrl-C when the campaign is
+over).  ``--exit-when-drained`` exits once pending *and* leases are
+empty (what coordinator-spawned workers use); ``--idle-exit N`` exits
+after N seconds without finding work; ``--max-units N`` bounds the
+total processed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import time
+from pathlib import Path
+from typing import TextIO
+
+from repro.core.engine import EngineObserver, ReSimEngine
+from repro.exec.queue import (
+    DEFAULT_LEASE_SECONDS,
+    QueuePaths,
+    claim_next,
+    complete_lease,
+    queue_paths,
+    read_unit,
+    reclaim_stale,
+    touch_lease,
+)
+from repro.exec.unit import (
+    ExecError,
+    atomic_write_json,
+    error_document,
+    execute_unit,
+    load_unit_result,
+    result_matches_unit,
+)
+
+
+def worker_id() -> str:
+    """Stable identity of this worker process, for log lines."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class LeaseHeartbeat(EngineObserver):
+    """Engine observer that keeps a lease fresh during long runs.
+
+    Overrides only :meth:`on_cycle`, so the zero-observer hot loop is
+    untouched; attached cost is one time check per ``every_cycles``
+    major cycles.
+    """
+
+    def __init__(self, lease_path: Path, *,
+                 interval_seconds: float,
+                 every_cycles: int = 4096) -> None:
+        self._lease_path = lease_path
+        self._interval = interval_seconds
+        self._every = max(1, every_cycles)
+        self._countdown = self._every
+        self._last_beat = time.monotonic()
+
+    def on_cycle(self, engine: ReSimEngine) -> None:
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = self._every
+        now = time.monotonic()
+        if now - self._last_beat < self._interval:
+            return
+        self._last_beat = now
+        touch_lease(self._lease_path)
+
+
+def process_one(paths: QueuePaths, lease_path: Path, *,
+                lease_seconds: float,
+                log: TextIO | None = None) -> bool:
+    """Resolve one claimed unit; True if it was genuinely resolved
+    (simulated, failed-with-error-document, or completed from an
+    existing result *of this exact unit*), False if it had to be
+    abandoned (unreadable descriptor; the coordinator re-enqueues
+    from its in-memory copy).
+
+    Never raises for unit-level problems: failures become error
+    documents (see module docstring), and the lease is completed in
+    every path.
+    """
+    try:
+        unit = read_unit(lease_path)
+    except ExecError as error:
+        if log:
+            print(f"[worker {worker_id()}] abandoning unreadable "
+                  f"unit {lease_path.name}: {error}", file=log)
+        complete_lease(paths, lease_path)
+        return False
+
+    def fresh_result() -> dict | None:
+        """A success document this exact unit already produced (a
+        predecessor that died before marking done, or a racing
+        duplicate executor) — stale or foreign files don't count."""
+        payload = load_unit_result(unit.result_path)
+        if payload is not None and "error" not in payload \
+                and result_matches_unit(payload, unit):
+            return payload
+        return None
+
+    if fresh_result() is not None:
+        # Honor the predecessor's (deterministic, hence identical)
+        # result instead of re-simulating.
+        complete_lease(paths, lease_path)
+        return True
+    heartbeat = LeaseHeartbeat(
+        lease_path, interval_seconds=max(lease_seconds / 4.0, 0.05))
+    try:
+        execute_unit(unit, observers=(heartbeat,))
+        if log:
+            print(f"[worker {worker_id()}] completed {unit.unit_id}",
+                  file=log)
+    except Exception as error:  # noqa: BLE001 - becomes an error doc
+        if fresh_result() is None and lease_path.exists():
+            # Report the failure only while we still own the claim —
+            # lease paths are claimant-unique, so existence *is*
+            # ownership.  A missing lease means we stalled past the
+            # horizon and were reclaimed: the unit is pending again
+            # or re-running elsewhere, and our verdict must not
+            # clobber that retry's.  (The coordinator additionally
+            # defers error documents while any live lease exists.)
+            # And never clobber a valid result a racing executor
+            # already wrote.
+            atomic_write_json(unit.result_path,
+                              error_document(unit, error))
+        if log:
+            print(f"[worker {worker_id()}] unit {unit.unit_id} "
+                  f"failed: {type(error).__name__}: {error}", file=log)
+    complete_lease(paths, lease_path)
+    return True
+
+
+def run_worker(
+    queue_dir: str | Path,
+    *,
+    poll_seconds: float = 0.2,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    max_units: int | None = None,
+    idle_exit: float | None = None,
+    exit_when_drained: bool = False,
+    log: TextIO | None = None,
+) -> int:
+    """Drain a queue directory; returns units resolved (executed,
+    failed-with-error-document, or completed from an existing
+    result).  Abandoned unreadable descriptors are not counted.  See
+    module docstring for the exit policy knobs."""
+    paths = queue_paths(queue_dir)
+    processed = 0
+    idle_since = time.monotonic()
+    while True:
+        if max_units is not None and processed >= max_units:
+            return processed
+        lease = claim_next(paths)
+        if lease is not None:
+            if process_one(paths, lease, lease_seconds=lease_seconds,
+                           log=log):
+                processed += 1
+            idle_since = time.monotonic()
+            continue
+        # Nothing pending: recover orphans (that may repopulate
+        # pending/), then decide whether to keep waiting.
+        if reclaim_stale(paths, lease_seconds):
+            continue
+        drained = not any(paths.pending.glob("*.json")) and \
+            not any(paths.leases.glob("*.json"))
+        if exit_when_drained and drained:
+            return processed
+        if idle_exit is not None and \
+                time.monotonic() - idle_since >= idle_exit:
+            return processed
+        time.sleep(poll_seconds)
+
+
+def add_worker_arguments(parser: argparse.ArgumentParser) -> None:
+    """The worker option surface, defined once — both entry points
+    (``resim worker`` and ``python -m repro.exec``) build on it, so
+    they cannot drift apart."""
+    parser.add_argument("queue_dir", help="queue root directory "
+                        "(shared by coordinator and all workers)")
+    parser.add_argument("--poll-seconds", type=float, default=0.2,
+                        help="sleep between empty-queue scans")
+    parser.add_argument("--lease-seconds", type=float,
+                        default=DEFAULT_LEASE_SECONDS,
+                        help="silence after which another worker may "
+                             "reclaim a claimed unit")
+    parser.add_argument("--max-units", type=int, default=None,
+                        help="exit after processing this many units")
+    parser.add_argument("--idle-exit", type=float, default=None,
+                        help="exit after this many seconds without "
+                             "finding work")
+    parser.add_argument("--exit-when-drained", action="store_true",
+                        help="exit once pending and leased units are "
+                             "both empty (scripted/CI use)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-unit log lines")
+
+
+def run_from_args(args) -> int:
+    """Validate parsed worker options and run the loop (the shared
+    implementation behind both entry points)."""
+    if args.poll_seconds <= 0:
+        raise SystemExit(f"--poll-seconds must be positive, "
+                         f"got {args.poll_seconds}")
+    if args.lease_seconds <= 0:
+        raise SystemExit(f"--lease-seconds must be positive, "
+                         f"got {args.lease_seconds}")
+    log = None if args.quiet else sys.stderr
+    processed = run_worker(
+        args.queue_dir,
+        poll_seconds=args.poll_seconds,
+        lease_seconds=args.lease_seconds,
+        max_units=args.max_units,
+        idle_exit=args.idle_exit,
+        exit_when_drained=args.exit_when_drained,
+        log=log,
+    )
+    print(f"processed {processed} unit(s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="resim worker",
+        description="Process work units from a shared-filesystem "
+                    "queue (see repro.exec.queue).",
+    )
+    add_worker_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -85,7 +85,28 @@ _SPEC_KEYS = frozenset((
     "schema", "workload", "trace_file", "config", "budget", "seed",
     "start_pc", "update_predictor_at_commit", "warmup_instructions",
     "roi_instructions", "devices", "max_cycles", "streaming",
+    "segments",
 ))
+
+
+def _coerce_segments(value: object) -> tuple[int, int]:
+    """Validate a ``(lo, hi)`` segment range from a spec or keyword."""
+    if (not isinstance(value, Sequence) or isinstance(value, (str, bytes))
+            or len(value) != 2):
+        raise SessionError(
+            f"a segment range is a (lo, hi) pair of segment indices, "
+            f"got {value!r}"
+        )
+    try:
+        lo, hi = int(value[0]), int(value[1])
+    except (TypeError, ValueError):
+        raise SessionError(
+            f"segment range bounds must be integers, got {value!r}"
+        ) from None
+    if lo < 0 or hi < lo:
+        raise SessionError(
+            f"segment range needs 0 <= lo <= hi, got ({lo}, {hi})")
+    return (lo, hi)
 
 
 class SessionError(ValueError):
@@ -172,10 +193,19 @@ class _WorkloadSource:
 class _TraceFileSource:
     path: str
     streaming: bool = True
+    segments: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.segments is not None and not self.streaming:
+            raise SessionError(
+                "a segment range requires streaming (the in-memory "
+                "path decodes the whole file); drop streaming=False "
+                "or the segment range"
+            )
 
     def prepare(self, sim: "Simulation") -> PreparedTrace:
         if self.streaming:
-            source = FileSource(self.path)
+            source = FileSource(self.path, segments=self.segments)
             header = source.header
             records = None
         else:
@@ -194,10 +224,14 @@ class _TraceFileSource:
         entry: dict = {"trace_file": self.path}
         if not self.streaming:
             entry["streaming"] = False
+        if self.segments is not None:
+            entry["segments"] = list(self.segments)
         return entry
 
     def describe(self) -> str:
         mode = "streamed" if self.streaming else "in-memory"
+        if self.segments is not None:
+            mode += f", segments {self.segments[0]}..{self.segments[1]}"
         return f"trace file {self.path!r} ({mode})"
 
 
@@ -375,6 +409,7 @@ class Simulation:
     def for_trace_file(cls, path: str | Path,
                        config: ProcessorConfig = PAPER_4WIDE_PERFECT,
                        *, streaming: bool = True,
+                       segments: tuple[int, int] | None = None,
                        ) -> "Simulation":
         """A run over a stored ``.rtrc`` trace file.
 
@@ -385,9 +420,17 @@ class Simulation:
         ``streaming=False`` to decode the whole trace up front (worth
         it only when the same Simulation object will be re-run many
         times and the decode cost dominates).
+
+        ``segments=(lo, hi)`` restricts the run to a v2 file's
+        segment range ``lo..hi-1`` — the worker-side half of sharded
+        distributed sweeps, where each work unit replays one slice of
+        one shared trace (requires streaming).
         """
+        if segments is not None:
+            segments = _coerce_segments(segments)
         return cls(config,
-                   source=_TraceFileSource(str(path), streaming))
+                   source=_TraceFileSource(str(path), streaming,
+                                           segments))
 
     @classmethod
     def for_records(cls, records: Sequence[TraceRecord],
@@ -451,17 +494,24 @@ class Simulation:
                 "'trace_file'"
             )
         streaming = spec.get("streaming")
+        segments = spec.get("segments")
         if workload is not None:
             if streaming is not None:
                 raise SessionError(
                     "spec key 'streaming' applies only to "
                     "'trace_file' sources"
                 )
+            if segments is not None:
+                raise SessionError(
+                    "spec key 'segments' applies only to "
+                    "'trace_file' sources"
+                )
             source = _WorkloadSource(workload)
         else:
             source = _TraceFileSource(
                 str(trace_file),
-                True if streaming is None else bool(streaming))
+                True if streaming is None else bool(streaming),
+                None if segments is None else _coerce_segments(segments))
 
         config = spec.get("config", PAPER_4WIDE_PERFECT)
         if isinstance(config, str):

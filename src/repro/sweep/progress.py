@@ -1,0 +1,102 @@
+"""Bulk-run progress reporting: points completed / failed / remaining.
+
+PR 3's :class:`~repro.core.observers.ProgressObserver` reports inside
+one engine run (records consumed, running IPC); bulk runs need the
+layer above — *design points* completed out of how many, and whether
+they were simulated or revived from checkpoints.  The sweep and
+search runners emit :class:`SweepProgress` events as outcomes land
+(in true completion order, whatever backend ran them);
+:class:`ProgressPrinter` renders them as the ``--progress`` lines of
+``resim sweep`` / ``resim search``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from repro.sweep.result import SweepOutcome
+
+
+class SweepProgress:
+    """Event sink for bulk-run progress; the base class ignores all
+    events, so custom reporters override only what they render."""
+
+    def start(self, total: int | None, *, label: str = "sweep") -> None:
+        """A run begins.  ``total`` is the number of design points
+        when known up front (a sweep grid); adaptive search passes
+        None and the count grows as strategies propose."""
+
+    def round(self, index: int, count: int) -> None:
+        """A search round proposes ``count`` candidate points."""
+
+    def point(self, outcome: SweepOutcome) -> None:
+        """One design point finished (``outcome.from_checkpoint``
+        tells revived apart from freshly simulated)."""
+
+    def unit_failed(self, unit_id: str, message: str) -> None:
+        """One design point failed on its executor."""
+
+    def finish(self) -> None:
+        """The run is over; emit the final summary."""
+
+
+class ProgressPrinter(SweepProgress):
+    """Prints one line per event to ``stream`` (stderr by default —
+    progress must not pollute piped table/CSV output) and a final
+    summary line."""
+
+    def __init__(self, stream: TextIO | None = None,
+                 every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self._stream = stream
+        self._every = every
+        self._label = "sweep"
+        self._total: int | None = None
+        self.done = 0
+        self.resumed = 0
+        self.failed = 0
+
+    def _print(self, message: str) -> None:
+        print(f"[{self._label}] {message}",
+              file=self._stream or sys.stderr)
+
+    def start(self, total: int | None, *, label: str = "sweep") -> None:
+        self._label = label
+        self._total = total
+        self.done = self.resumed = self.failed = 0
+        if total is not None:
+            self._print(f"{total} design point(s) to evaluate")
+
+    def round(self, index: int, count: int) -> None:
+        self._print(f"round {index}: {count} candidate point(s)")
+
+    def point(self, outcome: SweepOutcome) -> None:
+        self.done += 1
+        if outcome.from_checkpoint:
+            self.resumed += 1
+        if self.done % self._every and self.done != self._total:
+            return
+        checkpointed = (f" ({self.resumed} from checkpoints)"
+                        if self.resumed else "")
+        if self._total is not None:
+            remaining = self._total - self.done - self.failed
+            self._print(
+                f"{self.done}/{self._total} points done"
+                f"{checkpointed}, {self.failed} failed, "
+                f"{remaining} remaining")
+        else:
+            self._print(f"{self.done} points done{checkpointed}, "
+                        f"{self.failed} failed")
+
+    def unit_failed(self, unit_id: str, message: str) -> None:
+        self.failed += 1
+        self._print(f"point {unit_id} FAILED: {message}")
+
+    def finish(self) -> None:
+        simulated = self.done - self.resumed
+        total = self.done + self.failed
+        self._print(
+            f"complete: {total} point(s) — {simulated} simulated, "
+            f"{self.resumed} from checkpoints, {self.failed} failed")

@@ -31,7 +31,7 @@ from repro.core.stats import SimulationStatistics
 from repro.fpga.device import FpgaDevice
 from repro.perf.comparison import SimulatorEntry
 from repro.perf.throughput import ThroughputModel
-from repro.sweep.serialize import config_to_dict, stats_to_dict
+from repro.serialize import config_to_dict, stats_to_dict
 from repro.sweep.spec import format_params, value_label
 
 

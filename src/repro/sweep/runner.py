@@ -1,25 +1,32 @@
-"""Parallel sweep execution with per-point checkpointing.
+"""The sweep scheduler: grid expansion → work units → backend → result.
 
 The paper's primary usage mode is traces *"prepared off-line ... for
 bulk simulations with varying design parameters"*.  This module is
-that bulk mode: each workload trace is generated (or loaded) **once**,
-persisted through :mod:`repro.trace.fileio`, and then every design
-point of a :class:`~repro.sweep.spec.SweepSpec` is simulated against
-it — fanned out over a ``ProcessPoolExecutor`` when ``workers > 1``.
+that bulk mode's *scheduler*: each workload trace is generated (or
+loaded) **once**, persisted through :mod:`repro.trace.fileio`, and
+every design point of a :class:`~repro.sweep.spec.SweepSpec` becomes
+one serializable :class:`~repro.exec.unit.WorkUnit` — a
+``Simulation.from_spec`` dict over the shared trace plus a checkpoint
+destination — handed to an :class:`~repro.exec.ExecutionBackend`.
+*How* the units run is entirely the backend's business: in-process
+(:class:`~repro.exec.SerialBackend`), fanned out over one host's
+cores (:class:`~repro.exec.ProcessPoolBackend`, the historical
+behavior), or drained by ``resim worker`` processes on any number of
+hosts (:class:`~repro.exec.DirectoryQueueBackend`).
 
-Durability: each finished design point is written to
-``<results_dir>/<config-key>.json`` via an atomic
-write-tmpfile-then-rename, so a sweep killed halfway resumes from its
-checkpoints instead of restarting — rerunning the same
-:class:`SweepRunner` re-simulates only the missing points.  Checkpoints
-embed the full config dict and are validated on load; a corrupt or
-mismatched checkpoint is discarded and recomputed, never trusted.
+Durability: a work unit's result document **is** the design point's
+checkpoint — written atomically to ``<results_dir>/<config-key>.json``
+with the sweep's provenance manifest embedded, so a sweep killed
+halfway resumes from its checkpoints instead of restarting, no matter
+which backend (or which host) computed them.  Checkpoints are
+validated on load; a corrupt or mismatched checkpoint is discarded
+and recomputed, never trusted.
 
 Determinism: the engine is a deterministic function of (config,
-records), and serial and parallel execution share the same worker
-function, so ``workers=N`` produces bit-identical
-:class:`SimulationStatistics` to ``workers=1`` (the test suite checks
-this).
+records) and every backend runs the same
+:func:`~repro.exec.unit.execute_unit` on the same units, so all
+backends produce bit-identical :class:`SimulationStatistics` (the
+test suite checks serial vs. pool vs. directory queue).
 
 Trace sharing: ReSim's wrong-path handling is trace-authoritative
 (Section V.A) — the tagged blocks recorded at generation time *are*
@@ -34,7 +41,7 @@ axes.  Generation ROB/IFQ always come from the base config.
 Memory: the whole pipeline is streaming.  The coordinator generates
 each shared trace straight into a segmented v2 file
 (:func:`~repro.workloads.tracegen.write_workload_trace`, one encoder
-segment resident), and every worker replays it through a
+segment resident), and every executor replays it through a
 :class:`~repro.trace.source.FileSource` (one decoded segment
 resident) — no process ever materializes a full record list, so the
 sweepable trace budget is bounded by disk, not by per-worker RAM.
@@ -44,19 +51,24 @@ from __future__ import annotations
 
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
+from typing import Callable, Sequence
 
 from repro.bpred.unit import PredictorConfig
+from repro.exec import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    UnitExecutionError,
+    WorkUnit,
+)
 from repro.serialize import (
     canonical_digest,
-    config_from_dict,
     config_to_dict,
     stats_from_dict,
-    stats_to_dict,
 )
-from repro.session import Simulation
+from repro.sweep.progress import SweepProgress
 from repro.sweep.result import SweepOutcome, SweepResult
 from repro.sweep.spec import SweepError, SweepPoint, SweepSpec
 from repro.trace.fileio import TraceFileError, read_trace_header
@@ -68,6 +80,8 @@ from repro.workloads.tracegen import (
 )
 
 #: Checkpoint schema version; bump on incompatible layout changes.
+#: Checkpoints are work-unit result documents, so this tracks
+#: :data:`repro.exec.RESULT_SCHEMA`.
 CHECKPOINT_SCHEMA = 1
 
 #: Filename of the sweep manifest inside a results directory.
@@ -84,47 +98,14 @@ def trace_filename(predictor: PredictorConfig) -> str:
     return f"trace-{predictor_key(predictor)}.rtrc"
 
 
-# ---------------------------------------------------------------------
-# Worker side.  Module-level so it pickles into pool processes.
-
-
-def _simulate_point(trace_path: str, config_dict: dict,
-                    checkpoint_path: str,
-                    start_pc: int | None,
-                    provenance: dict) -> dict:
-    """Simulate one design point and checkpoint it atomically.
-
-    The persisted trace is *streamed* (one decoded segment resident at
-    a time), so a worker's footprint is bounded by the segment size no
-    matter how large the shared trace is — decoding is repeated per
-    design point, which trades a little CPU for the constant memory
-    that lets ``workers`` scale with cores instead of with
-    ``workers x trace_length``.
-
-    ``provenance`` (the sweep manifest) is embedded so a checkpoint
-    stays self-describing: even if ``sweep.json`` is deleted, results
-    computed under different workload/budget/seed parameters cannot
-    be revived as this sweep's.
-    """
-    config = config_from_dict(config_dict)
-    result = Simulation.for_trace_file(
-        trace_path, config=config,
-    ).with_start_pc(start_pc).run().result
-    payload = {
-        "schema": CHECKPOINT_SCHEMA,
-        "sweep": provenance,
-        "config": config_dict,
-        "stats": stats_to_dict(result.stats),
-    }
-    target = Path(checkpoint_path)
-    tmp = target.with_suffix(".tmp")
-    tmp.write_text(json.dumps(payload, sort_keys=True))
-    os.replace(tmp, target)
-    return payload
-
-
-# ---------------------------------------------------------------------
-# Coordinator side.
+def default_backend(workers: int) -> ExecutionBackend:
+    """The backend ``workers=N`` historically meant: in-process for
+    1, a process pool otherwise."""
+    if workers < 1:
+        raise SweepError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        return SerialBackend()
+    return ProcessPoolBackend(workers)
 
 
 @dataclass(frozen=True)
@@ -135,8 +116,8 @@ class _TraceInfo:
 
 
 class SweepRunner:
-    """Run every design point of a spec against shared traces (one
-    per distinct generation predictor; see module docstring).
+    """Evaluate design points against shared traces through a
+    pluggable execution backend (see module docstring).
 
     Parameters
     ----------
@@ -155,8 +136,15 @@ class SweepRunner:
     seed:
         Synthetic-generator seed.
     workers:
-        Process count for the fan-out; ``1`` runs in-process (the
-        serial reference path).
+        Shorthand for the default backend choice: ``1`` runs
+        in-process (the serial reference path), ``N > 1`` fans out
+        over a local process pool.  Ignored when ``backend`` is given.
+    backend:
+        Any :class:`~repro.exec.ExecutionBackend`; overrides
+        ``workers``.
+    progress:
+        A :class:`~repro.sweep.progress.SweepProgress` sink for
+        per-point completion events (``resim sweep --progress``).
     """
 
     def __init__(
@@ -168,9 +156,11 @@ class SweepRunner:
         budget: int = 30_000,
         seed: int = 7,
         workers: int = 1,
+        backend: ExecutionBackend | None = None,
+        progress: SweepProgress | None = None,
     ) -> None:
-        if workers < 1:
-            raise SweepError(f"workers must be >= 1, got {workers}")
+        if backend is None:
+            backend = default_backend(workers)
         if not is_known_workload(workload):
             raise SweepError(str(UnknownWorkloadError(workload)))
         self._is_synthetic = workload in SPECINT_PROFILES
@@ -180,6 +170,10 @@ class SweepRunner:
         self.budget = budget
         self.seed = seed
         self.workers = workers
+        self.backend = backend
+        self.progress = progress if progress is not None \
+            else SweepProgress()
+        self._traces: dict[str, _TraceInfo] = {}
 
     # -- trace management ---------------------------------------------
 
@@ -245,8 +239,8 @@ class SweepRunner:
         if trace_path.exists():
             try:
                 # Header only: the coordinator never needs the records
-                # decoded; each worker streams the payload itself (and
-                # surfaces payload corruption then).
+                # decoded; each executor streams the payload itself
+                # (and surfaces payload corruption then).
                 header = read_trace_header(trace_path)
             except TraceFileError as error:
                 raise SweepError(
@@ -268,6 +262,30 @@ class SweepRunner:
         )
         return _TraceInfo(trace_path, written.start_pc,
                           written.trace_stats.bits_per_instruction)
+
+    def _trace_for(self, predictor: PredictorConfig) -> _TraceInfo:
+        """Memoizing wrapper so one sweep/search prepares each
+        distinct predictor's trace exactly once."""
+        key = predictor_key(predictor)
+        if key not in self._traces:
+            self._traces[key] = self.prepare_trace(predictor)
+        return self._traces[key]
+
+    def trace_summary(self) -> tuple[float, dict[str, float]]:
+        """Bits/instruction of the traces prepared so far, for result
+        assembly: ``(headline, per-predictor-key map)``.  The
+        headline is the base predictor's trace when it is part of the
+        grid, else the first trace prepared; the map goes into result
+        metadata.  Shared by sweep and search result construction.
+        """
+        if not self._traces:
+            raise SweepError("no design points evaluated yet")
+        base_key = predictor_key(self.spec.base.predictor)
+        headline = self._traces.get(base_key) \
+            or next(iter(self._traces.values()))
+        return headline.bits_per_instruction, {
+            key: info.bits_per_instruction
+            for key, info in self._traces.items()}
 
     # -- checkpoints ---------------------------------------------------
 
@@ -293,43 +311,88 @@ class SweepRunner:
             return None
         return payload
 
+    # -- unit building -------------------------------------------------
+
+    def _unit_for(self, point: SweepPoint, trace: _TraceInfo,
+                  provenance: dict) -> WorkUnit:
+        """One design point as a serializable work unit.
+
+        The unit's spec reproduces exactly what the pre-backend worker
+        hand-wired: stream the shared trace, simulate under the
+        point's config, start at the trace's recorded entry PC.  The
+        provenance manifest rides in the tags, which is what makes
+        the unit's result document a valid, self-describing sweep
+        checkpoint (even if ``sweep.json`` is deleted, results
+        computed under different workload/budget/seed parameters
+        cannot be revived as this sweep's).
+        """
+        return WorkUnit.for_trace(
+            point.key,
+            trace.path.resolve(),
+            config_to_dict(point.config),
+            self._checkpoint_path(point).resolve(),
+            start_pc=trace.start_pc,
+            tags={"sweep": provenance},
+        )
+
     # -- execution -----------------------------------------------------
 
-    def run(self) -> SweepResult:
-        """Expand, simulate (resuming from checkpoints), aggregate."""
-        expansion = self.spec.expand()
-        # One shared trace per distinct generation predictor in the
-        # grid (usually exactly one; see module docstring).
-        traces: dict[str, _TraceInfo] = {}
-        for point in expansion:
-            key = predictor_key(point.config.predictor)
-            if key not in traces:
-                traces[key] = self.prepare_trace(point.config.predictor)
+    def evaluate(
+        self,
+        points: Sequence[SweepPoint],
+        *,
+        on_outcome: Callable[[SweepOutcome], None] | None = None,
+    ) -> list[SweepOutcome]:
+        """Evaluate design points (resuming from checkpoints), in
+        ``points`` order.
 
+        This is the scheduler core the grid sweep and the adaptive
+        search strategies share: load-or-build each point's
+        checkpoint, hand the missing ones to the backend as work
+        units, and emit progress events in true completion order.
+        """
+        provenance = self._manifest() if points else {}
         outcomes: dict[str, SweepOutcome] = {}
-        pending: list[SweepPoint] = []
-        for point in expansion:
+        units: list[WorkUnit] = []
+        by_id: dict[str, SweepPoint] = {}
+        for point in points:
+            if point.key in outcomes or point.key in by_id:
+                raise SweepError(
+                    f"duplicate design point {point.key} "
+                    f"({point.label}) in one evaluation batch"
+                )
+            trace = self._trace_for(point.config.predictor)
             config_dict = config_to_dict(point.config)
             payload = self._load_checkpoint(
                 self._checkpoint_path(point), config_dict)
             if payload is not None:
-                outcomes[point.key] = self._outcome(
-                    point, payload, from_checkpoint=True)
+                outcome = self._outcome(point, payload,
+                                        from_checkpoint=True)
+                outcomes[point.key] = outcome
+                self.progress.point(outcome)
+                if on_outcome is not None:
+                    on_outcome(outcome)
             else:
-                pending.append(point)
+                by_id[point.key] = point
+                units.append(self._unit_for(point, trace, provenance))
 
-        if pending:
-            provenance = self._manifest()
-            tasks = []
-            for point in pending:
-                trace = traces[predictor_key(point.config.predictor)]
-                tasks.append(
-                    (str(trace.path), config_to_dict(point.config),
-                     str(self._checkpoint_path(point)), trace.start_pc,
-                     provenance))
+        if units:
+            def collect(unit: WorkUnit, payload: dict) -> None:
+                if "error" in payload:
+                    error = payload["error"]
+                    self.progress.unit_failed(
+                        unit.unit_id,
+                        f"{error.get('type')}: {error.get('message')}")
+                    return
+                outcome = self._outcome(by_id[unit.unit_id], payload,
+                                        from_checkpoint=False)
+                outcomes[unit.unit_id] = outcome
+                self.progress.point(outcome)
+                if on_outcome is not None:
+                    on_outcome(outcome)
 
-            def corrupt(error: TraceFileError) -> SweepError:
-                # Workers decode the persisted payload; their
+            def corrupt(error: Exception) -> SweepError:
+                # Executors decode the persisted trace payload; their
                 # TraceFileError must surface with the same guidance
                 # the header check gives, not as a raw traceback.
                 return SweepError(
@@ -339,45 +402,32 @@ class SweepRunner:
                     f"produced from that trace)"
                 )
 
-            if self.workers == 1:
-                for point, task in zip(pending, tasks):
-                    try:
-                        payload = _simulate_point(*task)
-                    except TraceFileError as error:
-                        raise corrupt(error) from error
-                    outcomes[point.key] = self._outcome(
-                        point, payload, from_checkpoint=False)
-            else:
-                with ProcessPoolExecutor(
-                        max_workers=self.workers) as pool:
-                    futures = {
-                        pool.submit(_simulate_point, *task): point
-                        for point, task in zip(pending, tasks)
-                    }
-                    for future in as_completed(futures):
-                        point = futures[future]
-                        try:
-                            payload = future.result()
-                        except TraceFileError as error:
-                            raise corrupt(error) from error
-                        outcomes[point.key] = self._outcome(
-                            point, payload, from_checkpoint=False)
+            try:
+                self.backend.run_units(units, on_result=collect)
+            except TraceFileError as error:
+                raise corrupt(error) from error
+            except UnitExecutionError as error:
+                if error.kind == "TraceFileError":
+                    raise corrupt(error.message) from error
+                raise SweepError(str(error)) from error
 
-        ordered = tuple(outcomes[point.key] for point in expansion)
-        # Headline bits/instruction: the base predictor's trace when
-        # it is part of the grid, else the first trace; the per-trace
-        # map is in metadata.
-        base_key = predictor_key(self.spec.base.predictor)
-        headline = traces.get(base_key) or next(iter(traces.values()))
+        return [outcomes[point.key] for point in points]
+
+    def run(self) -> SweepResult:
+        """Expand, evaluate (resuming from checkpoints), aggregate."""
+        expansion = self.spec.expand()
+        self.progress.start(len(expansion), label="sweep")
+        ordered = tuple(self.evaluate(expansion.points))
+        self.progress.finish()
+        headline, by_predictor = self.trace_summary()
         return SweepResult(
             outcomes=ordered,
             workload=self.workload,
             budget=self.budget,
             seed=self.seed,
-            trace_bits_per_instruction=headline.bits_per_instruction,
-            metadata={"trace_bits_per_instruction_by_predictor": {
-                key: info.bits_per_instruction
-                for key, info in traces.items()}},
+            trace_bits_per_instruction=headline,
+            metadata={"trace_bits_per_instruction_by_predictor":
+                      by_predictor},
             skipped_invalid=expansion.skipped_invalid,
             skipped_duplicates=expansion.skipped_duplicates,
         )
@@ -402,8 +452,11 @@ def run_sweep(
     budget: int = 30_000,
     seed: int = 7,
     workers: int = 1,
+    backend: ExecutionBackend | None = None,
+    progress: SweepProgress | None = None,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     runner = SweepRunner(spec, workload, results_dir=results_dir,
-                         budget=budget, seed=seed, workers=workers)
+                         budget=budget, seed=seed, workers=workers,
+                         backend=backend, progress=progress)
     return runner.run()

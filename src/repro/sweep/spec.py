@@ -34,7 +34,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.bpred.unit import PREDICTORS, PredictorConfig
 from repro.cache.cache import CacheConfig
 from repro.core.config import PAPER_4WIDE_PERFECT, ProcessorConfig
-from repro.sweep.serialize import config_key
+from repro.serialize import config_key
 
 _CONFIG_FIELDS = frozenset(spec.name for spec in fields(ProcessorConfig))
 
@@ -58,7 +58,7 @@ class SweepPoint:
     @property
     def key(self) -> str:
         """Stable checkpoint/filename identifier (see
-        :func:`repro.sweep.serialize.config_key`)."""
+        :func:`repro.serialize.config_key`)."""
         return config_key(self.config)
 
     @property
@@ -190,6 +190,53 @@ class SweepSpec:
         for values in self.axes.values():
             size *= len(values)
         return size
+
+    def coerced_axes(self) -> dict[str, tuple[object, ...]]:
+        """Axis values with the per-axis convenience coercions applied
+        (scheme strings to :class:`PredictorConfig` and so on) — the
+        form adaptive search strategies index into."""
+        return {name: tuple(_coerce(name, value) for value in values)
+                for name, values in self.axes.items()}
+
+    def make_point(self, values: Mapping[str, object]) -> SweepPoint:
+        """One design point from explicit per-axis values.
+
+        The point-by-point counterpart of :meth:`expand`, used by the
+        search strategies (:mod:`repro.sweep.search`): ``values`` must
+        cover every axis of the spec; coercions and validation match
+        expansion exactly, so a point made here is indistinguishable
+        from the same coordinates found in the full grid.  Raises
+        :class:`SweepError` for missing axes, mistyped values, and
+        combinations the processor's invariants reject.
+        """
+        missing = set(self.axes) - set(values)
+        if missing:
+            raise SweepError(
+                f"make_point needs a value for every axis; missing "
+                f"{', '.join(sorted(missing))}"
+            )
+        extra = set(values) - set(self.axes)
+        if extra:
+            raise SweepError(
+                f"make_point got values for axes not in this spec: "
+                f"{', '.join(sorted(extra))}"
+            )
+        overrides = {name: _coerce(name, values[name])
+                     for name in self.axes}
+        try:
+            config = replace(self.base, **overrides)
+        except ValueError as error:
+            raise SweepError(
+                f"design point {overrides!r} violates processor "
+                f"constraints: {error}"
+            ) from None
+        except TypeError as error:
+            raise SweepError(
+                f"bad axis value in {overrides!r}: {error}"
+            ) from None
+        return SweepPoint(
+            config=config,
+            params=tuple((name, overrides[name]) for name in self.axes))
 
     def expand(self) -> Expansion:
         """Expand the grid into validated, deduplicated design points.

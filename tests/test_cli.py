@@ -136,3 +136,110 @@ class TestSweep:
         # Rerun: everything satisfied from checkpoints.
         assert main(argv) == 0
         assert "2 resumed from checkpoints" in capsys.readouterr().out
+
+
+class TestSweepBackends:
+    def test_backend_serial_named_in_notes(self, tmp_path, capsys):
+        assert main(["sweep", "gzip", "--rob", "8,16",
+                     "--budget", BUDGET, "--backend", "serial",
+                     "--results-dir", str(tmp_path / "out")]) == 0
+        assert "backend serial" in capsys.readouterr().out
+
+    def test_backend_queue_with_local_workers(self, tmp_path, capsys):
+        assert main(["sweep", "gzip", "--rob", "8,16",
+                     "--budget", BUDGET, "--backend", "queue",
+                     "--workers", "2", "--queue-timeout", "120",
+                     "--results-dir", str(tmp_path / "out")]) == 0
+        out = capsys.readouterr().out
+        assert "2 design points" in out
+        assert "backend queue" in out
+        assert (tmp_path / "out" / "queue" / "done").is_dir()
+
+    def test_unknown_backend_fails_before_simulating(self, tmp_path):
+        out = tmp_path / "out"
+        with pytest.raises(SystemExit, match="unknown execution"):
+            main(["sweep", "gzip", "--rob", "8,16",
+                  "--backend", "bogus", "--results-dir", str(out)])
+        assert not out.exists()
+
+    def test_progress_lines_on_stderr(self, tmp_path, capsys):
+        assert main(["sweep", "gzip", "--rob", "8,16",
+                     "--budget", BUDGET, "--progress",
+                     "--results-dir", str(tmp_path / "out")]) == 0
+        err = capsys.readouterr().err
+        assert "[sweep] 2 design point(s) to evaluate" in err
+        assert "[sweep] complete:" in err
+
+
+class TestSearch:
+    def test_hillclimb_search(self, tmp_path, capsys):
+        assert main(["search", "gzip", "--rob", "8,16,32",
+                     "--budget", BUDGET, "--strategy", "hillclimb",
+                     "--results-dir", str(tmp_path / "out")]) == 0
+        out = capsys.readouterr().out
+        assert "hillclimb search evaluated" in out
+        assert "best ipc=" in out
+
+    def test_random_search_with_seed(self, tmp_path, capsys):
+        argv = ["search", "gzip", "--rob", "8,16,32,64",
+                "--lsq", "4,8", "--budget", BUDGET,
+                "--strategy", "random", "--samples", "3",
+                "--search-seed", "5",
+                "--results-dir", str(tmp_path / "out")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "random search evaluated 3 point(s)" in first
+        # Same seed, same directory: identical points, all resumed.
+        assert main(argv) == 0
+        assert "resumed from checkpoints" in capsys.readouterr().out
+
+    def test_unknown_strategy_and_metric_fail_early(self, tmp_path):
+        out = tmp_path / "out"
+        with pytest.raises(SystemExit, match="unknown search strategy"):
+            main(["search", "gzip", "--rob", "8,16",
+                  "--strategy", "annealing",
+                  "--results-dir", str(out)])
+        with pytest.raises(SystemExit, match="unknown metric"):
+            main(["search", "gzip", "--rob", "8,16",
+                  "--metric", "goodness", "--results-dir", str(out)])
+        assert not out.exists()
+
+    def test_search_requires_an_axis(self, tmp_path):
+        with pytest.raises(SystemExit, match="nothing to search"):
+            main(["search", "gzip",
+                  "--results-dir", str(tmp_path / "out")])
+
+
+class TestWorker:
+    def test_worker_drains_empty_queue(self, tmp_path, capsys):
+        assert main(["worker", str(tmp_path / "queue"),
+                     "--exit-when-drained"]) == 0
+        assert "processed 0 unit(s)" in capsys.readouterr().out
+
+    def test_worker_completes_coordinator_units(self, tmp_path,
+                                                capsys):
+        """Two-terminal walkthrough, scripted: enqueue units by hand
+        (the coordinator side), then drain them with `resim worker`
+        (the second terminal)."""
+        from repro.core.config import PAPER_4WIDE_PERFECT
+        from repro.exec import WorkUnit, enqueue, queue_paths
+        from repro.serialize import config_to_dict
+        from repro.workloads.tracegen import write_workload_trace
+
+        trace = tmp_path / "gzip.rtrc"
+        write_workload_trace("gzip", PAPER_4WIDE_PERFECT, trace,
+                             budget=int(BUDGET), seed=7)
+        paths = queue_paths(tmp_path / "queue")
+        enqueue(paths, WorkUnit.for_trace(
+            "point0", trace, config_to_dict(PAPER_4WIDE_PERFECT),
+            tmp_path / "point0.json"))
+        assert main(["worker", str(tmp_path / "queue"),
+                     "--exit-when-drained", "--quiet"]) == 0
+        assert "processed 1 unit(s)" in capsys.readouterr().out
+        assert (tmp_path / "point0.json").exists()
+
+    def test_worker_validates_options(self, tmp_path):
+        with pytest.raises(SystemExit, match="poll-seconds"):
+            main(["worker", str(tmp_path), "--poll-seconds", "0"])
+        with pytest.raises(SystemExit, match="lease-seconds"):
+            main(["worker", str(tmp_path), "--lease-seconds", "-1"])

@@ -103,3 +103,11 @@ def test_cli_module_invocation():
     )
     assert result.returncode == 0, result.stderr
     assert "MIPS" in result.stdout
+
+
+def test_adaptive_search():
+    output = run_example("adaptive_search.py", "--budget", "1500")
+    assert "== hill-climb ==" in output
+    assert "trajectory:" in output
+    assert "== full grid (ground truth) ==" in output
+    assert "from optimal" in output

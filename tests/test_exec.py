@@ -1,0 +1,453 @@
+"""Tests for the execution-backend layer (:mod:`repro.exec`):
+work-unit serialization and idempotent execution, backend parity
+(serial / process pool / directory queue must be bit-identical), and
+the directory queue's crash tolerance — stale-lease reclaim, a worker
+killed mid-unit, error propagation."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import PAPER_4WIDE_PERFECT
+from repro.exec import (
+    BACKENDS,
+    DirectoryQueueBackend,
+    ExecError,
+    ProcessPoolBackend,
+    SerialBackend,
+    UnitExecutionError,
+    WorkUnit,
+    enqueue,
+    execute_unit,
+    load_unit_result,
+    queue_paths,
+    reclaim_stale,
+    run_worker,
+)
+from repro.exec.queue import claim_next
+from repro.serialize import config_to_dict, stats_to_dict
+from repro.session import Simulation
+from repro.workloads.tracegen import write_workload_trace
+
+BUDGET = 1200
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    """One shared gzip trace every unit in this module simulates."""
+    path = tmp_path_factory.mktemp("trace") / "gzip.rtrc"
+    write_workload_trace("gzip", PAPER_4WIDE_PERFECT, path,
+                         budget=BUDGET, seed=7)
+    return path
+
+
+def make_unit(trace_file, out_dir, rob=16, uid=None) -> WorkUnit:
+    config = replace(PAPER_4WIDE_PERFECT, rob_entries=rob)
+    uid = uid or f"rob{rob}"
+    return WorkUnit.for_trace(
+        uid, trace_file, config_to_dict(config),
+        Path(out_dir) / f"{uid}.json",
+        tags={"sweep": {"workload": "gzip"}})
+
+
+class TestWorkUnit:
+    def test_dict_round_trip(self, trace_file, tmp_path):
+        unit = make_unit(trace_file, tmp_path)
+        restored = WorkUnit.from_dict(
+            json.loads(json.dumps(unit.to_dict())))
+        assert restored == unit
+
+    def test_segment_range_lands_in_spec(self, trace_file, tmp_path):
+        unit = WorkUnit.for_trace(
+            "shard0", trace_file, "4wide-perfect",
+            tmp_path / "shard0.json", segments=(0, 2), start_pc=4096)
+        assert unit.spec["segments"] == [0, 2]
+        assert unit.spec["start_pc"] == 4096
+
+    def test_path_traversing_unit_id_rejected(self, tmp_path):
+        for bad in ("../evil", "a/b", "", "x y"):
+            with pytest.raises(ExecError, match="unit_id"):
+                WorkUnit(unit_id=bad, spec={"workload": "gzip"},
+                         result_path=str(tmp_path / "r.json"))
+
+    def test_reserved_tags_rejected(self, tmp_path):
+        with pytest.raises(ExecError, match="shadow"):
+            WorkUnit(unit_id="u", spec={"workload": "gzip"},
+                     result_path=str(tmp_path / "r.json"),
+                     tags={"stats": {}})
+
+    def test_foreign_schema_rejected(self, trace_file, tmp_path):
+        document = make_unit(trace_file, tmp_path).to_dict()
+        document["schema"] = 99
+        with pytest.raises(ExecError, match="schema"):
+            WorkUnit.from_dict(document)
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ExecError, match="missing key"):
+            WorkUnit.from_dict({"schema": 1, "unit_id": "u"})
+
+
+class TestExecuteUnit:
+    def test_matches_direct_simulation(self, trace_file, tmp_path):
+        unit = make_unit(trace_file, tmp_path, rob=8)
+        payload = execute_unit(unit)
+        direct = Simulation.for_trace_file(
+            trace_file,
+            config=replace(PAPER_4WIDE_PERFECT, rob_entries=8)).run()
+        assert payload["stats"] == stats_to_dict(direct.stats)
+        assert payload["config"] == config_to_dict(direct.config)
+        assert payload["sweep"] == {"workload": "gzip"}  # tag merged
+        assert load_unit_result(unit.result_path) == payload
+
+    def test_execution_is_idempotent(self, trace_file, tmp_path):
+        unit = make_unit(trace_file, tmp_path, rob=32)
+        first = execute_unit(unit)
+        second = execute_unit(unit)
+        assert first == second
+        assert json.loads(Path(unit.result_path).read_text()) == first
+
+    def test_load_unit_result_rejects_garbage(self, tmp_path):
+        assert load_unit_result(tmp_path / "absent.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_unit_result(bad) is None
+        bad.write_text(json.dumps({"schema": 99, "stats": {}}))
+        assert load_unit_result(bad) is None
+        bad.write_text(json.dumps({"schema": 1, "stats": "nope"}))
+        assert load_unit_result(bad) is None
+
+
+class TestBackendProtocol:
+    def test_registry_names(self):
+        assert set(BACKENDS) >= {"serial", "pool", "queue"}
+        assert BACKENDS.get("process-pool") is ProcessPoolBackend
+        assert BACKENDS.get("directory-queue") is DirectoryQueueBackend
+
+    def test_duplicate_unit_id_rejected(self, trace_file, tmp_path):
+        backend = SerialBackend()
+        backend.submit(make_unit(trace_file, tmp_path))
+        with pytest.raises(ExecError, match="already enqueued"):
+            backend.submit(make_unit(trace_file, tmp_path))
+
+    def test_pool_needs_positive_workers(self):
+        with pytest.raises(ExecError, match="workers"):
+            ProcessPoolBackend(0)
+
+    def test_queue_validates_parameters(self, tmp_path):
+        with pytest.raises(ExecError, match="workers"):
+            DirectoryQueueBackend(tmp_path, workers=-1)
+        with pytest.raises(ExecError, match="lease_seconds"):
+            DirectoryQueueBackend(tmp_path, lease_seconds=0)
+        with pytest.raises(ExecError, match="poll_seconds"):
+            DirectoryQueueBackend(tmp_path, poll_seconds=0)
+        with pytest.raises(ExecError, match="timeout"):
+            DirectoryQueueBackend(tmp_path, timeout=0)
+
+    def test_serial_propagates_unit_exception(self, tmp_path):
+        unit = WorkUnit(unit_id="boom",
+                        spec={"workload": "nonesuch"},
+                        result_path=str(tmp_path / "boom.json"))
+        from repro.workloads.tracegen import UnknownWorkloadError
+        with pytest.raises(UnknownWorkloadError):
+            SerialBackend().run_units([unit])
+
+
+class TestBackendParity:
+    def test_all_backends_bit_identical(self, trace_file, tmp_path):
+        """Acceptance: serial, pool, and directory queue (2 workers)
+        produce byte-identical result documents for the same batch."""
+        def units(sub):
+            directory = tmp_path / sub
+            directory.mkdir()
+            return [make_unit(trace_file, directory, rob=rob)
+                    for rob in (8, 16, 32)]
+
+        serial = SerialBackend().run_units(units("serial"))
+        pool = ProcessPoolBackend(2).run_units(units("pool"))
+        queue = DirectoryQueueBackend(
+            tmp_path / "q" / "queue", workers=2, poll_seconds=0.02,
+            timeout=120).run_units(units("q"))
+        assert set(serial) == set(pool) == set(queue)
+        for unit_id, payload in serial.items():
+            assert pool[unit_id] == payload
+            assert queue[unit_id] == payload
+
+    def test_on_result_sees_every_unit(self, trace_file, tmp_path):
+        batch = [make_unit(trace_file, tmp_path, rob=rob)
+                 for rob in (8, 64)]
+        seen = []
+        SerialBackend().run_units(
+            batch, on_result=lambda u, p: seen.append(u.unit_id))
+        assert seen == ["rob8", "rob64"]
+
+
+def _spawn_worker(queue_dir, *extra):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.exec", str(queue_dir),
+         "--poll-seconds", "0.02", *extra],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+class TestDirectoryQueue:
+    def test_worker_drains_enqueued_units(self, trace_file, tmp_path):
+        paths = queue_paths(tmp_path / "queue")
+        batch = [make_unit(trace_file, tmp_path, rob=rob)
+                 for rob in (8, 16)]
+        assert all(enqueue(paths, unit) for unit in batch)
+        assert not enqueue(paths, batch[0])  # no double-enqueue
+        processed = run_worker(paths.root, exit_when_drained=True,
+                               poll_seconds=0.02)
+        assert processed == 2
+        for unit in batch:
+            assert load_unit_result(unit.result_path) is not None
+        assert not list(paths.pending.glob("*.json"))
+        assert not list(paths.leases.glob("*.json"))
+        assert len(list(paths.done.glob("*.json"))) == 2
+
+    def test_worker_skips_already_satisfied_unit(self, trace_file,
+                                                 tmp_path):
+        unit = make_unit(trace_file, tmp_path, rob=8)
+        execute_unit(unit)
+        stamp = Path(unit.result_path).stat().st_mtime_ns
+        paths = queue_paths(tmp_path / "queue")
+        enqueue(paths, unit)
+        run_worker(paths.root, exit_when_drained=True,
+                   poll_seconds=0.02)
+        # Completed for free: the existing result was honored, not
+        # recomputed (its file was never rewritten).
+        assert Path(unit.result_path).stat().st_mtime_ns == stamp
+        assert (paths.done / "rob8.json").exists()
+
+    def test_stale_lease_is_reclaimed_and_completed(self, trace_file,
+                                                    tmp_path):
+        """The on-disk state a crashed worker leaves — a claimed unit
+        going silent — must be recoverable by anyone."""
+        paths = queue_paths(tmp_path / "queue")
+        unit = make_unit(trace_file, tmp_path, rob=16)
+        enqueue(paths, unit)
+        lease = claim_next(paths)  # "worker" claims, then dies
+        assert lease is not None and lease.exists()
+        assert not list(paths.pending.glob("*.json"))
+        # Fresh lease: not reclaimable yet.
+        assert reclaim_stale(paths, lease_seconds=60) == 0
+        # Silence past the horizon: reclaimable by anyone.
+        old = time.time() - 120
+        os.utime(lease, (old, old))
+        assert reclaim_stale(paths, lease_seconds=60) == 1
+        assert list(paths.pending.glob("*.json"))
+        processed = run_worker(paths.root, exit_when_drained=True,
+                               poll_seconds=0.02)
+        assert processed == 1
+        assert load_unit_result(unit.result_path) is not None
+
+    def test_lease_with_existing_result_completes_not_reruns(
+            self, trace_file, tmp_path):
+        """Worker died between result write and lease rename: the
+        reclaim pass must finish the bookkeeping, not re-simulate."""
+        paths = queue_paths(tmp_path / "queue")
+        unit = make_unit(trace_file, tmp_path, rob=32)
+        enqueue(paths, unit)
+        lease = claim_next(paths)
+        execute_unit(unit)  # result lands; lease never completed
+        old = time.time() - 120
+        os.utime(lease, (old, old))
+        assert reclaim_stale(paths, lease_seconds=60) == 0
+        assert (paths.done / "rob32.json").exists()
+        assert not lease.exists()
+
+    def test_worker_killed_mid_unit_leaves_reclaimable_lease(
+            self, tmp_path):
+        """Satellite: SIGKILL a worker mid-simulation; its lease must
+        survive (reclaimable), and another worker must complete the
+        batch with no duplicated or lost units."""
+        trace = tmp_path / "slow.rtrc"
+        write_workload_trace("gzip", PAPER_4WIDE_PERFECT, trace,
+                             budget=30_000, seed=7)
+        unit = make_unit(trace, tmp_path, rob=16, uid="victim")
+        paths = queue_paths(tmp_path / "queue")
+        enqueue(paths, unit)
+        worker = _spawn_worker(paths.root)
+        try:
+            deadline = time.monotonic() + 30
+            lease = None  # claimant-unique name: victim.<nonce>.json
+            while lease is None:
+                assert time.monotonic() < deadline, \
+                    "worker never claimed the unit"
+                assert worker.poll() is None, "worker exited early"
+                lease = next(
+                    iter(paths.leases.glob("victim.*.json")), None)
+                if lease is None:
+                    time.sleep(0.005)
+            worker.send_signal(signal.SIGKILL)
+            worker.wait(timeout=30)
+        finally:
+            if worker.poll() is None:  # pragma: no cover - cleanup
+                worker.kill()
+                worker.wait()
+        # Killed mid-unit: the claim is still on disk, unfinished.
+        assert lease.exists()
+        assert load_unit_result(unit.result_path) is None
+        # Another worker (after the lease horizon) completes it.
+        old = time.time() - 120
+        os.utime(lease, (old, old))
+        processed = run_worker(paths.root, exit_when_drained=True,
+                               poll_seconds=0.02, lease_seconds=60)
+        assert processed == 1
+        payload = load_unit_result(unit.result_path)
+        assert payload is not None and "error" not in payload
+        assert len(list(paths.done.glob("*.json"))) == 1
+        assert not lease.exists()
+
+    def test_failing_unit_surfaces_as_unit_execution_error(
+            self, tmp_path):
+        unit = WorkUnit(unit_id="boom",
+                        spec={"workload": "nonesuch"},
+                        result_path=str(tmp_path / "boom.json"))
+        backend = DirectoryQueueBackend(
+            tmp_path / "queue", workers=1, poll_seconds=0.02,
+            timeout=120)
+        with pytest.raises(UnitExecutionError,
+                           match="UnknownWorkloadError") as info:
+            backend.run_units([unit])
+        assert info.value.unit_id == "boom"
+        assert info.value.kind == "UnknownWorkloadError"
+        # The error document is on disk for post-mortems...
+        payload = load_unit_result(unit.result_path)
+        assert payload["error"]["type"] == "UnknownWorkloadError"
+        # ...but is never mistaken for a usable checkpoint.
+        assert "stats" not in payload
+
+    def test_failed_unit_is_retried_on_the_next_run(self, trace_file,
+                                                    tmp_path):
+        """A stale error document must not poison later runs: once
+        the cause is fixed, re-submitting the unit re-executes it
+        (the 'a later rerun recomputes it' contract)."""
+        moved = tmp_path / "not-there-yet.rtrc"
+        unit = WorkUnit.for_trace(
+            "flaky", moved, config_to_dict(PAPER_4WIDE_PERFECT),
+            tmp_path / "flaky.json")
+        queue_dir = tmp_path / "queue"
+        with pytest.raises(UnitExecutionError):
+            DirectoryQueueBackend(
+                queue_dir, workers=1, poll_seconds=0.02,
+                timeout=120).run_units([unit])
+        assert "error" in load_unit_result(unit.result_path)
+        # The transient cause goes away (the trace appears)...
+        moved.write_bytes(Path(trace_file).read_bytes())
+        # ...and a rerun recomputes instead of replaying the error.
+        results = DirectoryQueueBackend(
+            queue_dir, workers=1, poll_seconds=0.02,
+            timeout=120).run_units([unit])
+        assert "stats" in results["flaky"]
+        assert load_unit_result(unit.result_path) == results["flaky"]
+
+    def test_coordinator_timeout_when_no_workers(self, trace_file,
+                                                 tmp_path):
+        backend = DirectoryQueueBackend(
+            tmp_path / "queue", workers=0, poll_seconds=0.02,
+            timeout=0.3)
+        with pytest.raises(ExecError, match="no unit completed"):
+            backend.run_units([make_unit(trace_file, tmp_path)])
+
+    def test_live_lease_defers_the_timeout(self, trace_file,
+                                           tmp_path):
+        """A heartbeaten lease proves a worker is alive: a unit
+        slower than --queue-timeout must not abort the run."""
+        import threading
+        paths = queue_paths(tmp_path / "queue")
+        unit = make_unit(trace_file, tmp_path, rob=16)
+        enqueue(paths, unit)
+        lease = claim_next(paths)  # a live (fresh) worker's claim
+        assert lease is not None
+
+        def slow_worker():
+            time.sleep(0.8)  # well past the 0.2s timeout below
+            execute_unit(unit)
+
+        thread = threading.Thread(target=slow_worker)
+        thread.start()
+        try:
+            backend = DirectoryQueueBackend(
+                tmp_path / "queue", workers=0, poll_seconds=0.02,
+                timeout=0.2, lease_seconds=60)
+            results = backend.run_units([unit])
+        finally:
+            thread.join()
+        assert "stats" in results["rob16"]
+
+    def test_stale_result_for_different_spec_not_revived(
+            self, trace_file, tmp_path):
+        """A result file produced by a *different* unit at the same
+        path (same id, different spec) must be recomputed, not
+        reused — reusing it would break the bit-identical contract
+        with the serial backend."""
+        stale = make_unit(trace_file, tmp_path, rob=8, uid="point")
+        execute_unit(stale)  # rob=8 statistics now live at the path
+        fresh = make_unit(trace_file, tmp_path, rob=64, uid="point")
+        queued = DirectoryQueueBackend(
+            tmp_path / "queue", workers=1, poll_seconds=0.02,
+            timeout=120).run_units([fresh])
+        reference = SerialBackend().run_units(
+            [make_unit(trace_file, tmp_path / "ref", rob=64,
+                       uid="point")])
+        assert queued["point"]["stats"] == \
+            reference["point"]["stats"]
+        assert queued["point"]["config"]["rob_entries"] == 64
+
+    def test_worker_recomputes_mismatched_result(self, trace_file,
+                                                 tmp_path):
+        """Same guard on the worker side: an existing result is only
+        honored when it matches the claimed unit exactly."""
+        stale = make_unit(trace_file, tmp_path, rob=8, uid="point")
+        execute_unit(stale)
+        fresh = make_unit(trace_file, tmp_path, rob=64, uid="point")
+        paths = queue_paths(tmp_path / "queue")
+        enqueue(paths, fresh)
+        assert run_worker(paths.root, exit_when_drained=True,
+                          poll_seconds=0.02) == 1
+        payload = load_unit_result(fresh.result_path)
+        assert payload["config"]["rob_entries"] == 64
+
+    def test_result_matches_unit_gates_on_identity(self, trace_file,
+                                                   tmp_path):
+        from repro.exec.unit import result_matches_unit
+        unit = make_unit(trace_file, tmp_path, rob=16)
+        payload = execute_unit(unit)
+        assert result_matches_unit(payload, unit)
+        assert not result_matches_unit(None, unit)
+        assert not result_matches_unit(
+            payload, make_unit(trace_file, tmp_path, rob=8,
+                               uid="rob16"))
+        other_tags = WorkUnit(unit_id=unit.unit_id, spec=unit.spec,
+                              result_path=unit.result_path,
+                              tags={"sweep": {"workload": "bzip2"}})
+        assert not result_matches_unit(payload, other_tags)
+
+    def test_unreadable_descriptor_abandoned_not_counted(
+            self, tmp_path):
+        paths = queue_paths(tmp_path / "queue")
+        (paths.pending / "garbage.json").write_text("{not json")
+        assert run_worker(paths.root, exit_when_drained=True,
+                          poll_seconds=0.02) == 0
+        assert (paths.done / "garbage.json").exists()
+        assert not list(paths.pending.glob("*.json"))
+
+    def test_reusable_across_drains(self, trace_file, tmp_path):
+        """One backend instance serves batch after batch (the shape
+        adaptive search uses)."""
+        backend = DirectoryQueueBackend(
+            tmp_path / "queue", workers=1, poll_seconds=0.02,
+            timeout=120)
+        first = backend.run_units(
+            [make_unit(trace_file, tmp_path, rob=8)])
+        second = backend.run_units(
+            [make_unit(trace_file, tmp_path, rob=16)])
+        assert set(first) == {"rob8"}
+        assert set(second) == {"rob16"}

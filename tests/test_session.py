@@ -397,3 +397,67 @@ class TestSharedSerialization:
     def test_config_round_trip(self):
         config = ProcessorConfig(rob_entries=32, mul_latency=5)
         assert config_from_dict(config_to_dict(config)) == config
+
+
+class TestSegmentRanges:
+    """Segment-range trace-file runs: the worker-side half of sharded
+    distributed work units."""
+
+    @pytest.fixture(scope="class")
+    def segmented_trace(self, tmp_path_factory):
+        from repro.workloads.tracegen import write_workload_trace
+        path = tmp_path_factory.mktemp("seg") / "gzip.rtrc"
+        written = write_workload_trace(
+            "gzip", PAPER_4WIDE_PERFECT, path, budget=4_000, seed=7,
+            segment_records=256)
+        assert written.record_count > 512  # several segments
+        return path
+
+    def test_segment_range_restricts_the_stream(self, segmented_trace):
+        full = Simulation.for_trace_file(segmented_trace)
+        shard = Simulation.for_trace_file(segmented_trace,
+                                          segments=(0, 2))
+        assert shard.prepare().record_count == 512
+        assert full.prepare().record_count > 512
+
+    def test_full_range_matches_unsharded_run(self, segmented_trace):
+        from repro.trace.fileio import read_segment_table
+        count = len(read_segment_table(segmented_trace))
+        full = Simulation.for_trace_file(segmented_trace).run()
+        ranged = Simulation.for_trace_file(
+            segmented_trace, segments=(0, count)).run()
+        assert stats_to_dict(ranged.stats) == stats_to_dict(full.stats)
+
+    def test_segments_spec_round_trip(self, segmented_trace):
+        sim = Simulation.for_trace_file(segmented_trace,
+                                        segments=(1, 3))
+        spec = sim.to_spec()
+        assert spec["segments"] == [1, 3]
+        rebuilt = Simulation.from_spec(spec)
+        assert rebuilt.prepare().record_count == \
+            sim.prepare().record_count == 512
+
+    def test_segments_require_streaming(self, segmented_trace):
+        with pytest.raises(SessionError, match="streaming"):
+            Simulation.for_trace_file(segmented_trace,
+                                      streaming=False, segments=(0, 1))
+        with pytest.raises(SessionError, match="streaming"):
+            Simulation.from_spec({"trace_file": str(segmented_trace),
+                                  "streaming": False,
+                                  "segments": [0, 1]})
+
+    def test_segments_rejected_for_workload_specs(self):
+        with pytest.raises(SessionError, match="'segments'"):
+            Simulation.from_spec({"workload": "gzip",
+                                  "segments": [0, 1]})
+
+    def test_malformed_ranges_rejected(self, segmented_trace):
+        for bad in ((1,), (1, 2, 3), ("a", "b"), (-1, 2), (3, 1)):
+            with pytest.raises(SessionError):
+                Simulation.for_trace_file(segmented_trace,
+                                          segments=bad)
+
+    def test_describe_mentions_the_range(self, segmented_trace):
+        sim = Simulation.for_trace_file(segmented_trace,
+                                        segments=(0, 2))
+        assert "segments 0..2" in sim.describe()

@@ -462,6 +462,147 @@ class TestSweepResult:
         assert "mips_xc4vlx40" in rows[0]
 
 
+class TestExecutionBackends:
+    def test_three_backends_bit_identical(self, small_spec, tmp_path):
+        """Acceptance: for the same grid, serial, process-pool, and
+        directory-queue (2 concurrent workers) backends produce
+        bit-identical SweepResult statistics."""
+        from repro.exec import (
+            DirectoryQueueBackend,
+            ProcessPoolBackend,
+            SerialBackend,
+        )
+        serial = run_sweep(small_spec, "gzip",
+                           results_dir=tmp_path / "serial",
+                           budget=BUDGET, backend=SerialBackend())
+        pool = run_sweep(small_spec, "gzip",
+                         results_dir=tmp_path / "pool",
+                         budget=BUDGET, backend=ProcessPoolBackend(2))
+        queue = run_sweep(
+            small_spec, "gzip", results_dir=tmp_path / "queued",
+            budget=BUDGET,
+            backend=DirectoryQueueBackend(
+                tmp_path / "queued" / "queue", workers=2,
+                poll_seconds=0.02, timeout=120))
+        assert [o.key for o in serial] == [o.key for o in pool] \
+            == [o.key for o in queue]
+        for a, b, c in zip(serial, pool, queue):
+            assert stats_to_dict(a.stats) == stats_to_dict(b.stats) \
+                == stats_to_dict(c.stats)
+
+    def test_backend_overrides_workers(self, small_spec, tmp_path):
+        """An explicit backend wins; the workers shorthand is only
+        consulted when no backend is given."""
+        from repro.exec import SerialBackend
+        runner = SweepRunner(small_spec, "gzip",
+                             results_dir=tmp_path / "s",
+                             budget=BUDGET, workers=7,
+                             backend=SerialBackend())
+        assert runner.backend.name == "serial"
+        assert len(runner.run()) == 4
+
+    def test_queue_checkpoints_resume_under_serial(self, small_spec,
+                                                   tmp_path):
+        """Checkpoints are backend-agnostic: points computed by queue
+        workers resume under the serial backend and vice versa."""
+        from repro.exec import DirectoryQueueBackend
+        directory = tmp_path / "sweep"
+        first = run_sweep(
+            small_spec, "gzip", results_dir=directory, budget=BUDGET,
+            backend=DirectoryQueueBackend(
+                directory / "queue", workers=2, poll_seconds=0.02,
+                timeout=120))
+        second = run_sweep(small_spec, "gzip", results_dir=directory,
+                           budget=BUDGET, workers=1)
+        assert second.resumed_count == len(second) == 4
+        for a, b in zip(first, second):
+            assert stats_to_dict(a.stats) == stats_to_dict(b.stats)
+
+    def test_queue_does_not_revive_stale_checkpoints(self, small_spec,
+                                                     tmp_path):
+        """The queue-backend twin of
+        test_deleted_manifest_cannot_revive_stale_checkpoints: when
+        the sweep layer decides a checkpoint is stale (provenance
+        mismatch), the queue must recompute it, not quietly reuse
+        the result file sitting at the same path."""
+        from repro.exec import DirectoryQueueBackend
+
+        def backend(directory):
+            return DirectoryQueueBackend(
+                directory / "queue", workers=1, poll_seconds=0.02,
+                timeout=120)
+
+        directory = tmp_path / "sweep"
+        run_sweep(small_spec, "gzip", results_dir=directory,
+                  budget=BUDGET, backend=backend(directory))
+        (directory / "sweep.json").unlink()
+        for trace in directory.glob("trace-*.rtrc"):
+            trace.unlink()  # stale trace too (budget changes it)
+        second = run_sweep(small_spec, "gzip", results_dir=directory,
+                           budget=BUDGET * 2,
+                           backend=backend(directory))
+        assert second.resumed_count == 0
+        assert all(int(o.stats.committed_instructions) > BUDGET
+                   for o in second)
+
+    def test_pre_backend_checkpoints_still_resume(self, small_spec,
+                                                  tmp_path):
+        """PR 3-era checkpoints lack the unit_id/spec keys work units
+        now embed; they must still be honored on resume."""
+        directory = tmp_path / "sweep"
+        run_sweep(small_spec, "gzip", results_dir=directory,
+                  budget=BUDGET, workers=1)
+        for path in directory.glob("*.json"):
+            if path.name == "sweep.json":
+                continue
+            payload = json.loads(path.read_text())
+            payload.pop("unit_id", None)
+            payload.pop("spec", None)
+            path.write_text(json.dumps(payload, sort_keys=True))
+        second = run_sweep(small_spec, "gzip", results_dir=directory,
+                           budget=BUDGET, workers=1)
+        assert second.resumed_count == 4
+
+
+class TestProgressReporting:
+    def test_points_and_summary_lines(self, small_spec, tmp_path):
+        import io
+        from repro.sweep import ProgressPrinter
+        stream = io.StringIO()
+        run_sweep(small_spec, "gzip", results_dir=tmp_path / "sweep",
+                  budget=BUDGET,
+                  progress=ProgressPrinter(stream=stream))
+        text = stream.getvalue()
+        assert "[sweep] 4 design point(s) to evaluate" in text
+        assert "[sweep] 4/4 points done, 0 failed, 0 remaining" in text
+        assert "complete: 4 point(s) — 4 simulated, " \
+               "0 from checkpoints, 0 failed" in text
+
+    def test_resumed_points_are_distinguished(self, small_spec,
+                                              tmp_path):
+        import io
+        from repro.sweep import ProgressPrinter
+        directory = tmp_path / "sweep"
+        run_sweep(small_spec, "gzip", results_dir=directory,
+                  budget=BUDGET)
+        stream = io.StringIO()
+        run_sweep(small_spec, "gzip", results_dir=directory,
+                  budget=BUDGET,
+                  progress=ProgressPrinter(stream=stream))
+        text = stream.getvalue()
+        assert "(4 from checkpoints)" in text
+        assert "0 simulated, 4 from checkpoints" in text
+
+    def test_printer_counts(self, small_spec, tmp_path):
+        import io
+        from repro.sweep import ProgressPrinter
+        printer = ProgressPrinter(stream=io.StringIO())
+        run_sweep(small_spec, "gzip", results_dir=tmp_path / "sweep",
+                  budget=BUDGET, progress=printer)
+        assert printer.done == 4
+        assert printer.resumed == printer.failed == 0
+
+
 class TestSweepCli:
     def test_cli_sweep_runs_and_resumes(self, tmp_path, capsys):
         from repro.cli import main
