@@ -18,13 +18,17 @@ Subcommands mirror how the paper's system is used:
   across a whole parameter grid, with per-point checkpointing so
   interrupted sweeps resume; ``--backend serial|pool|queue`` picks
   how points execute (in-process, local process pool, or a shared-
-  filesystem queue drained by workers on any number of hosts);
+  filesystem queue drained by workers on any number of hosts), and
+  ``--shards N`` splits every design point into N segment-range
+  shard runs merged back into one result;
 * ``search``   — adaptive design-space search (grid / seeded random /
   hill-climb) that simulates points one batch at a time through the
-  same backends and checkpoints;
+  same backends, checkpoints, and sharding;
 * ``worker``   — a queue worker: claims work units from a shared
   queue directory (``sweep``/``search`` with ``--backend queue``)
-  and simulates them until the queue drains or it is stopped.
+  and simulates them until the queue drains or it is stopped;
+* ``stats``    — statistics utilities: ``stats merge A.json B.json``
+  reduces per-shard result documents into one merged document.
 
 Entry point: ``python -m repro.cli <subcommand>`` or the installed
 ``resim`` script.
@@ -405,6 +409,7 @@ def cmd_sweep(args) -> int:
             spec, args.workload, results_dir=args.results_dir,
             budget=args.budget, seed=args.seed, workers=args.workers,
             backend=backend, progress=_bulk_progress(args),
+            shards=args.shards, segment_records=args.segment_records,
         )
         result = runner.run()
     except (SweepError, ExecError) as error:
@@ -415,6 +420,8 @@ def cmd_sweep(args) -> int:
     notes = [f"{len(result)} design points"]
     if backend is not None:
         notes.append(f"backend {backend.name}")
+    if args.shards > 1:
+        notes.append(f"{args.shards} shards per point")
     if result.resumed_count:
         notes.append(f"{result.resumed_count} resumed from checkpoints")
     if result.skipped_invalid:
@@ -472,6 +479,7 @@ def cmd_search(args) -> int:
             strategy, args.workload, results_dir=args.results_dir,
             budget=args.budget, seed=args.seed, workers=args.workers,
             backend=backend, progress=_bulk_progress(args),
+            shards=args.shards, segment_records=args.segment_records,
         )
         search = runner.run()
     except (SweepError, ExecError) as error:
@@ -490,6 +498,39 @@ def cmd_search(args) -> int:
 def cmd_worker(args) -> int:
     from repro.exec.worker import run_from_args
     return run_from_args(args)
+
+
+def cmd_stats(args) -> int:
+    """``resim stats merge A.json B.json ...`` — the shard reducer,
+    standalone: merge per-shard (or per-region) result documents into
+    one statistics document."""
+    import json as _json
+    from repro.exec import ExecError, merge_result_documents
+    from repro.serialize import stats_from_dict
+
+    documents = []
+    for name in args.files:
+        path = Path(name)
+        try:
+            payload = _json.loads(path.read_text())
+        except OSError as error:
+            raise SystemExit(f"{path}: {error.strerror or error}")
+        except _json.JSONDecodeError as error:
+            raise SystemExit(f"{path}: not valid JSON ({error})")
+        documents.append(payload)
+    try:
+        merged = merge_result_documents(documents)
+    except ExecError as error:
+        raise SystemExit(str(error))
+    stats = stats_from_dict(merged["stats"])
+    print(f"merged {len(documents)} result document(s) "
+          f"({len(merged['stats']['shards'] or ())} shard(s))")
+    print(stats.report())
+    if args.output:
+        text = _json.dumps(merged, indent=2, sort_keys=True)
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -600,6 +641,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--queue-timeout", type=float, default=None,
                        help="abort if no unit completes for this "
                             "many seconds (default: wait forever)")
+        p.add_argument("--shards", type=int, default=1,
+                       help="split every design point into N "
+                            "segment-range shard units, merged back "
+                            "into one result (exact-sum counters "
+                            "identical, cycle metrics approximate; "
+                            "see README 'Sharded design points')")
+        p.add_argument("--segment-records", type=int,
+                       default=DEFAULT_SEGMENT_RECORDS,
+                       help="records per v2 trace segment when the "
+                            "sweep generates its trace (the shard "
+                            "planner's boundary granularity)")
         p.add_argument("--progress", action="store_true",
                        help="report per-point completion to stderr")
         p.add_argument("--device", default="xc4vlx40",
@@ -649,6 +701,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="process work units from a shared queue directory")
     add_worker_arguments(worker)
     worker.set_defaults(func=cmd_worker)
+
+    stats = sub.add_parser(
+        "stats",
+        help="statistics utilities: merge shard result documents")
+    stats.add_argument("action", choices=("merge",),
+                       help="operation (currently only 'merge')")
+    stats.add_argument("files", nargs="+", metavar="RESULT_JSON",
+                       help="per-shard result documents to reduce")
+    stats.add_argument("--output", "-o", default=None,
+                       help="write the merged document here")
+    stats.set_defaults(func=cmd_stats)
 
     return parser
 

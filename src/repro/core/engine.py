@@ -187,6 +187,29 @@ class ReSimEngine:
 
         self.stats = SimulationStatistics()
 
+        # A source that opens mid-stream — a segment-range shard of a
+        # larger trace (``FileSource(path, segments=(lo, hi))``) — may
+        # begin inside a wrong-path block whose faulting branch lives
+        # in the previous shard.  Fetch asserts tagged records appear
+        # only during speculative fetch, so drain the block's tail
+        # here exactly as recovery would have: counted as discarded
+        # wrong-path records and consumed trace records, with the
+        # misprediction itself left to whichever run fetched the
+        # branch.  Traces always start on the correct path, so this is
+        # a no-op for every non-shard source (including a still-empty
+        # streaming co-simulation FIFO).
+        self._drain_wrong_path()
+
+    def _drain_wrong_path(self) -> None:
+        """Discard the tagged block at the cursor, counting each
+        record as discarded and consumed — shared by mis-speculation
+        recovery and the cold mid-stream start above, which must keep
+        identical bookkeeping for shard sums to stay exact."""
+        while self._source.peek_is_tagged():
+            self._source.next()
+            self.stats.discarded_wrong_path.increment()
+            self.stats.trace_records_consumed.increment()
+
     # ------------------------------------------------------------------
     # Public driving interface
     # ------------------------------------------------------------------
@@ -439,10 +462,7 @@ class ReSimEngine:
         self._rename.squash_wrong_path()
 
         # Discard the rest of the tagged block.
-        while self._source.peek_is_tagged():
-            self._source.next()
-            self.stats.discarded_wrong_path.increment()
-            self.stats.trace_records_consumed.increment()
+        self._drain_wrong_path()
 
         # Redirect fetch to the correct path.
         record = branch.record

@@ -6,11 +6,22 @@ branches, cache hits, IFQ/ROB/LSQ occupancy, detailed branch outcomes
 — in **64-bit hardware registers** ("To avoid overflow problems we use
 64-bits registers for statistics").  :class:`Counter64` reproduces the
 register width, wrapping modulo 2^64 exactly as the hardware would.
+
+Statistics are *mergeable*: :meth:`SimulationStatistics.merge` reduces
+the per-shard results of a design point that was split into segment
+ranges (see :mod:`repro.exec.shard`) into one document — counters sum
+(modulo 2^64, like the registers they model), occupancy samplers pool
+their raw ``(total, samples)`` state so the merged average is the
+cycle-weighted mean of the shards, derived rates (IPC, misprediction
+and miss rates) recompute from the merged raw counters, and the
+:attr:`~SimulationStatistics.shards` field records the provenance of
+how the result was produced.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Iterable, Sequence
 
 _MASK64 = (1 << 64) - 1
 
@@ -33,6 +44,16 @@ class Counter64:
     def __int__(self) -> int:
         return self._value
 
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Counter64):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
     def __repr__(self) -> str:
         return f"Counter64({self._value})"
 
@@ -54,6 +75,32 @@ class OccupancySampler:
     @property
     def average(self) -> float:
         return self.total / self.samples if self.samples else 0.0
+
+    def raw(self) -> tuple[int, int]:
+        """The merge-safe raw state ``(total, samples)``.
+
+        Reducers pool these sums instead of averaging averages, so a
+        merged :attr:`average` is the sample-weighted (i.e.
+        cycle-weighted) mean of the merged parts.
+        """
+        return (self.total, self.samples)
+
+    def merge(self, others: Iterable["OccupancySampler"]
+              ) -> "OccupancySampler":
+        """Pool this sampler with others into a new sampler.
+
+        Totals and sample counts add (every part sampled once per
+        cycle, so the pooled average weights each part by its cycles);
+        the peak is the maximum of the parts' peaks.
+        """
+        total, samples, peak = self.total, self.samples, self.peak
+        for other in others:
+            other_total, other_samples = other.raw()
+            total += other_total
+            samples += other_samples
+            if other.peak > peak:
+                peak = other.peak
+        return OccupancySampler(total=total, samples=samples, peak=peak)
 
 
 @dataclass
@@ -96,6 +143,65 @@ class SimulationStatistics:
     ifq_occupancy: OccupancySampler = field(default_factory=OccupancySampler)
     rob_occupancy: OccupancySampler = field(default_factory=OccupancySampler)
     lsq_occupancy: OccupancySampler = field(default_factory=OccupancySampler)
+
+    # Provenance: ``None`` for a monolithic run; a list of one
+    # JSON-safe dict per merged part (segment range, records, cycles)
+    # when this object was produced by :meth:`merge`.
+    shards: list | None = None
+
+    @property
+    def sharded(self) -> bool:
+        """True when these statistics were merged from shard runs."""
+        return bool(self.shards)
+
+    # -- reduction -----------------------------------------------------
+
+    def merge(self, others: Sequence["SimulationStatistics"] = (), *,
+              shards: Sequence[dict] | None = None,
+              ) -> "SimulationStatistics":
+        """Reduce this object and ``others`` into one new statistics
+        object (none of the parts is mutated).
+
+        Semantics, per field kind:
+
+        * **counters** sum modulo 2^64 — exactly the arithmetic of the
+          64-bit registers they model, which makes the merge
+          associative and order-insensitive;
+        * **occupancy samplers** pool their raw ``(total, samples)``
+          state (:meth:`OccupancySampler.raw`), so merged averages are
+          cycle-weighted means and merged peaks are maxima;
+        * **derived rates** (IPC, misprediction/miss rates) need no
+          handling — they are properties recomputed from the merged
+          raw counters;
+        * **shards provenance**: ``shards`` (a sequence of JSON-safe
+          dicts) overrides; otherwise the parts' own provenance lists
+          concatenate, so merging merged results keeps a flat record
+          of every original shard.
+
+        Merging with no ``others`` and no ``shards`` is the identity
+        (a copy that compares equal to ``self``).  Which counters of a
+        *sharded simulation* sum exactly to the monolithic run's and
+        which are approximate is a property of the engine, documented
+        in :mod:`repro.exec.shard`.
+        """
+        parts = (self, *others)
+        merged = SimulationStatistics()
+        for spec in fields(self):
+            if spec.name == "shards":
+                continue
+            values = [getattr(part, spec.name) for part in parts]
+            if isinstance(values[0], Counter64):
+                setattr(merged, spec.name,
+                        Counter64(sum(int(value) for value in values)))
+            else:
+                setattr(merged, spec.name, values[0].merge(values[1:]))
+        if shards is not None:
+            merged.shards = [dict(entry) for entry in shards]
+        else:
+            combined = [entry for part in parts
+                        for entry in (part.shards or ())]
+            merged.shards = combined or None
+        return merged
 
     # -- derived -------------------------------------------------------
 
@@ -167,4 +273,7 @@ class SimulationStatistics:
             f"  (misfetch {int(self.misfetch_stall_cycles)},"
             f" recovery {int(self.recovery_stall_cycles)})",
         ]
+        if self.sharded:
+            lines.append(
+                f"merged from shards      : {len(self.shards)}")
         return "\n".join(lines)

@@ -15,7 +15,11 @@ pieces:
   one-host fan-out (the sweep runner's historical behaviors);
 * :class:`~repro.exec.queue.DirectoryQueueBackend` + ``resim worker``
   (:mod:`repro.exec.worker`) — multi-host execution over a shared
-  filesystem with crash-tolerant atomic-rename leases.
+  filesystem with crash-tolerant atomic-rename leases;
+* :class:`~repro.exec.shard.ShardPlan` /
+  :class:`~repro.exec.shard.ShardReducer` (:mod:`repro.exec.shard`) —
+  split one design point into segment-range shard units and merge
+  their statistics back into one point result.
 
 Backends are named in :data:`~repro.exec.backends.BACKENDS`.  Because
 work units are deterministic and results are written atomically,
@@ -36,6 +40,14 @@ from repro.exec.queue import (
     queue_paths,
     reclaim_stale,
 )
+from repro.exec.shard import (
+    EXACT_SUM_COUNTERS,
+    ShardPlan,
+    ShardReducer,
+    merge_result_documents,
+    plan_shards,
+    shard_units,
+)
 from repro.exec.unit import (
     ExecError,
     RESULT_SCHEMA,
@@ -50,18 +62,24 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_LEASE_SECONDS",
     "DirectoryQueueBackend",
+    "EXACT_SUM_COUNTERS",
     "ExecError",
     "ExecutionBackend",
     "LeaseHeartbeat",
     "ProcessPoolBackend",
     "RESULT_SCHEMA",
     "SerialBackend",
+    "ShardPlan",
+    "ShardReducer",
     "UnitExecutionError",
     "WorkUnit",
     "enqueue",
     "execute_unit",
     "load_unit_result",
+    "merge_result_documents",
+    "plan_shards",
     "queue_paths",
     "reclaim_stale",
     "run_worker",
+    "shard_units",
 ]

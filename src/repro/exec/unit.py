@@ -41,9 +41,12 @@ RESULT_SCHEMA = 1
 
 #: Keys the executor itself writes into a result document; tags may
 #: not shadow them (a tag silently overwriting "stats" would corrupt
-#: every consumer downstream).
+#: every consumer downstream).  "sharded" belongs to the shard
+#: reducer (:mod:`repro.exec.shard`), which stamps it on merged
+#: point documents.
 RESERVED_RESULT_KEYS = frozenset(
-    ("schema", "unit_id", "spec", "config", "stats", "error"))
+    ("schema", "unit_id", "spec", "config", "stats", "error",
+     "sharded"))
 
 #: Unit identifiers become queue/result filenames; restrict them to
 #: characters that cannot traverse paths or collide across platforms.

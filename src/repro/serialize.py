@@ -65,7 +65,13 @@ def config_key(config: ProcessorConfig) -> str:
 
 
 def stats_to_dict(stats: SimulationStatistics) -> dict:
-    """Flatten simulation statistics into JSON primitives."""
+    """Flatten simulation statistics into JSON primitives.
+
+    Merged (sharded) statistics round-trip too: the
+    :attr:`~repro.core.stats.SimulationStatistics.shards` provenance
+    field is already a JSON-safe list of dicts (or ``None``) and is
+    carried verbatim.
+    """
     out: dict = {}
     for spec in fields(stats):
         value = getattr(stats, spec.name)
@@ -75,7 +81,8 @@ def stats_to_dict(stats: SimulationStatistics) -> dict:
             out[spec.name] = {"total": value.total,
                               "samples": value.samples,
                               "peak": value.peak}
-        else:  # pragma: no cover - future plain fields
+        else:
+            # Plain JSON-safe field (the shards provenance list).
             out[spec.name] = value
     return out
 
@@ -97,6 +104,7 @@ def stats_from_dict(data: dict) -> SimulationStatistics:
             setattr(stats, spec.name, Counter64(int(value)))
         elif isinstance(current, OccupancySampler):
             setattr(stats, spec.name, OccupancySampler(**value))
-        else:  # pragma: no cover - future plain fields
+        else:
+            # Plain JSON-safe field (the shards provenance list).
             setattr(stats, spec.name, value)
     return stats

@@ -60,9 +60,15 @@ from repro.exec import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    ShardPlan,
+    ShardReducer,
     UnitExecutionError,
     WorkUnit,
+    load_unit_result,
+    plan_shards,
+    shard_units,
 )
+from repro.exec.unit import result_matches_unit
 from repro.serialize import (
     canonical_digest,
     config_to_dict,
@@ -71,7 +77,11 @@ from repro.serialize import (
 from repro.sweep.progress import SweepProgress
 from repro.sweep.result import SweepOutcome, SweepResult
 from repro.sweep.spec import SweepError, SweepPoint, SweepSpec
-from repro.trace.fileio import TraceFileError, read_trace_header
+from repro.trace.fileio import (
+    DEFAULT_SEGMENT_RECORDS,
+    TraceFileError,
+    read_trace_header,
+)
 from repro.workloads.profiles import SPECINT_PROFILES
 from repro.workloads.tracegen import (
     UnknownWorkloadError,
@@ -145,6 +155,19 @@ class SweepRunner:
     progress:
         A :class:`~repro.sweep.progress.SweepProgress` sink for
         per-point completion events (``resim sweep --progress``).
+    shards:
+        Split every design point into this many segment-range shard
+        units (``resim sweep --shards N``), fanned through the same
+        backend and merged by a :class:`~repro.exec.ShardReducer` —
+        intra-point parallelism for grids smaller than the worker
+        pool.  Exact-sum counters of the merged result equal the
+        monolithic run's; cycle-derived metrics are approximate (see
+        :mod:`repro.exec.shard`).  Traces with fewer v2 segments than
+        ``shards`` split as far as segment granularity allows.
+    segment_records:
+        Records per segment when this runner generates a trace —
+        the shard planner's boundary granularity (a trace shorter
+        than one segment cannot shard).
     """
 
     def __init__(
@@ -158,11 +181,18 @@ class SweepRunner:
         workers: int = 1,
         backend: ExecutionBackend | None = None,
         progress: SweepProgress | None = None,
+        shards: int = 1,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
     ) -> None:
         if backend is None:
             backend = default_backend(workers)
         if not is_known_workload(workload):
             raise SweepError(str(UnknownWorkloadError(workload)))
+        if shards < 1:
+            raise SweepError(f"shards must be >= 1, got {shards}")
+        if segment_records < 1:
+            raise SweepError(
+                f"segment_records must be >= 1, got {segment_records}")
         self._is_synthetic = workload in SPECINT_PROFILES
         self.spec = spec
         self.workload = workload
@@ -173,7 +203,10 @@ class SweepRunner:
         self.backend = backend
         self.progress = progress if progress is not None \
             else SweepProgress()
+        self.shards = shards
+        self.segment_records = segment_records
         self._traces: dict[str, _TraceInfo] = {}
+        self._plans: dict[str, ShardPlan] = {}
 
     # -- trace management ---------------------------------------------
 
@@ -258,6 +291,7 @@ class SweepRunner:
         written = write_workload_trace(
             self.workload, replace(self.spec.base, predictor=predictor),
             trace_path, budget=self.budget, seed=self.seed,
+            segment_records=self.segment_records,
             extra={"generator": "sweep"},
         )
         return _TraceInfo(trace_path, written.start_pc,
@@ -311,6 +345,17 @@ class SweepRunner:
             return None
         return payload
 
+    # -- sharding ------------------------------------------------------
+
+    def _plan_for(self, trace: _TraceInfo) -> ShardPlan:
+        """Memoizing shard planner: one trace file is probed (and its
+        clean boundaries found) once per runner, shared by every
+        design point simulated over it."""
+        key = str(trace.path)
+        if key not in self._plans:
+            self._plans[key] = plan_shards(trace.path, self.shards)
+        return self._plans[key]
+
     # -- unit building -------------------------------------------------
 
     def _unit_for(self, point: SweepPoint, trace: _TraceInfo,
@@ -349,12 +394,25 @@ class SweepRunner:
         This is the scheduler core the grid sweep and the adaptive
         search strategies share: load-or-build each point's
         checkpoint, hand the missing ones to the backend as work
-        units, and emit progress events in true completion order.
+        units — one per point, or one per shard when ``shards > 1``,
+        merged back into a point checkpoint as the last shard lands —
+        and emit progress events in true completion order.
         """
         provenance = self._manifest() if points else {}
         outcomes: dict[str, SweepOutcome] = {}
         units: list[WorkUnit] = []
         by_id: dict[str, SweepPoint] = {}
+        reducers: dict[str, ShardReducer] = {}
+        shard_point: dict[str, str] = {}  # shard unit id -> point key
+
+        def finish(point: SweepPoint, payload: dict,
+                   from_checkpoint: bool) -> None:
+            outcome = self._outcome(point, payload, from_checkpoint)
+            outcomes[point.key] = outcome
+            self.progress.point(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+
         for point in points:
             if point.key in outcomes or point.key in by_id:
                 raise SweepError(
@@ -366,15 +424,36 @@ class SweepRunner:
             payload = self._load_checkpoint(
                 self._checkpoint_path(point), config_dict)
             if payload is not None:
-                outcome = self._outcome(point, payload,
-                                        from_checkpoint=True)
-                outcomes[point.key] = outcome
-                self.progress.point(outcome)
-                if on_outcome is not None:
-                    on_outcome(outcome)
-            else:
-                by_id[point.key] = point
-                units.append(self._unit_for(point, trace, provenance))
+                finish(point, payload, from_checkpoint=True)
+                continue
+            by_id[point.key] = point
+            base_unit = self._unit_for(point, trace, provenance)
+            plan = self._plan_for(trace) if self.shards > 1 else None
+            if plan is None or plan.shards == 1:
+                # Monolithic (or unsplittable trace): bit-identical to
+                # the pre-shard path, including the unit's identity.
+                units.append(base_unit)
+                continue
+            # Sharded: per-shard results are checkpoints too — reuse
+            # the ones a previous (interrupted) run already computed
+            # and submit only the missing slices.
+            reducer = ShardReducer(base_unit, plan)
+            pending = []
+            for shard_unit in shard_units(base_unit, plan):
+                existing = load_unit_result(shard_unit.result_path)
+                if existing is not None and "error" not in existing \
+                        and result_matches_unit(existing, shard_unit):
+                    reducer.add(existing)
+                else:
+                    pending.append(shard_unit)
+            if not pending:
+                finish(point, reducer.write(), from_checkpoint=True)
+                del by_id[point.key]
+                continue
+            reducers[point.key] = reducer
+            for shard_unit in pending:
+                shard_point[shard_unit.unit_id] = point.key
+                units.append(shard_unit)
 
         if units:
             def collect(unit: WorkUnit, payload: dict) -> None:
@@ -384,12 +463,19 @@ class SweepRunner:
                         unit.unit_id,
                         f"{error.get('type')}: {error.get('message')}")
                     return
-                outcome = self._outcome(by_id[unit.unit_id], payload,
-                                        from_checkpoint=False)
-                outcomes[unit.unit_id] = outcome
-                self.progress.point(outcome)
-                if on_outcome is not None:
-                    on_outcome(outcome)
+                point_key = shard_point.get(unit.unit_id)
+                if point_key is None:
+                    finish(by_id[unit.unit_id], payload,
+                           from_checkpoint=False)
+                    return
+                reducer = reducers[point_key]
+                reducer.add(payload)
+                if reducer.complete:
+                    # The merged document lands at the monolithic
+                    # checkpoint path (atomically), so the point
+                    # resumes like any other from here on.
+                    finish(by_id[point_key], reducer.write(),
+                           from_checkpoint=False)
 
             def corrupt(error: Exception) -> SweepError:
                 # Executors decode the persisted trace payload; their
@@ -454,9 +540,12 @@ def run_sweep(
     workers: int = 1,
     backend: ExecutionBackend | None = None,
     progress: SweepProgress | None = None,
+    shards: int = 1,
+    segment_records: int = DEFAULT_SEGMENT_RECORDS,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     runner = SweepRunner(spec, workload, results_dir=results_dir,
                          budget=budget, seed=seed, workers=workers,
-                         backend=backend, progress=progress)
+                         backend=backend, progress=progress,
+                         shards=shards, segment_records=segment_records)
     return runner.run()

@@ -414,12 +414,17 @@ class SearchRunner:
         workers: int = 1,
         backend: ExecutionBackend | None = None,
         progress: SweepProgress | None = None,
+        shards: int = 1,
+        segment_records: int | None = None,
     ) -> None:
         self.strategy = strategy
+        extra = {} if segment_records is None \
+            else {"segment_records": segment_records}
         self._runner = SweepRunner(
             strategy.spec, workload, results_dir=results_dir,
             budget=budget, seed=seed, workers=workers,
-            backend=backend, progress=progress,
+            backend=backend, progress=progress, shards=shards,
+            **extra,
         )
 
     @property
@@ -497,9 +502,12 @@ def run_search(
     workers: int = 1,
     backend: ExecutionBackend | None = None,
     progress: SweepProgress | None = None,
+    shards: int = 1,
+    segment_records: int | None = None,
 ) -> SearchResult:
     """One-call convenience wrapper around :class:`SearchRunner`."""
     return SearchRunner(
         strategy, workload, results_dir=results_dir, budget=budget,
         seed=seed, workers=workers, backend=backend, progress=progress,
+        shards=shards, segment_records=segment_records,
     ).run()

@@ -243,3 +243,71 @@ class TestWorker:
             main(["worker", str(tmp_path), "--poll-seconds", "0"])
         with pytest.raises(SystemExit, match="lease-seconds"):
             main(["worker", str(tmp_path), "--lease-seconds", "-1"])
+
+
+class TestShardedCli:
+    def test_sweep_with_shards_matches_serial(self, tmp_path, capsys):
+        """`--shards 2` through the CLI: exact-sum counters equal the
+        serial monolithic sweep's, and the note names the shards."""
+        from repro.exec import EXACT_SUM_COUNTERS
+        mono = tmp_path / "mono.json"
+        shard = tmp_path / "shard.json"
+        common = ["sweep", "gzip", "--rob", "16", "--budget", BUDGET,
+                  "--segment-records", "64"]
+        assert main([*common, "--results-dir",
+                     str(tmp_path / "mono"), "--json", str(mono)]) == 0
+        capsys.readouterr()
+        assert main([*common, "--shards", "2", "--results-dir",
+                     str(tmp_path / "shard"), "--json",
+                     str(shard)]) == 0
+        assert "2 shards per point" in capsys.readouterr().out
+        mono_doc = json.loads(mono.read_text())["outcomes"][0]
+        shard_doc = json.loads(shard.read_text())["outcomes"][0]
+        for counter in EXACT_SUM_COUNTERS:
+            assert shard_doc["stats"][counter] == \
+                mono_doc["stats"][counter], counter
+        assert len(shard_doc["stats"]["shards"]) == 2
+
+    def test_stats_merge_subcommand(self, tmp_path, capsys):
+        """`resim stats merge` exposes the reducer standalone."""
+        assert main(["sweep", "gzip", "--rob", "16", "--budget",
+                     BUDGET, "--segment-records", "64", "--shards",
+                     "2", "--results-dir", str(tmp_path / "sw")]) == 0
+        capsys.readouterr()
+        shard_files = sorted(
+            str(path) for path in (tmp_path / "sw").glob("*.s*of2.json"))
+        assert len(shard_files) == 2
+        merged_path = tmp_path / "merged.json"
+        assert main(["stats", "merge", *shard_files,
+                     "--output", str(merged_path)]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 result document(s)" in out
+        assert "merged from shards      : 2" in out
+        merged = json.loads(merged_path.read_text())
+        # The standalone merge agrees with the sweep's own reducer.
+        checkpoint = next(
+            path for path in (tmp_path / "sw").glob("*.json")
+            if ".s" not in path.name and path.name != "sweep.json")
+        assert merged["stats"] == \
+            json.loads(checkpoint.read_text())["stats"]
+
+    def test_stats_merge_rejects_mixed_points(self, tmp_path, capsys):
+        assert main(["sweep", "gzip", "--rob", "8,16", "--budget",
+                     BUDGET, "--results-dir",
+                     str(tmp_path / "sw")]) == 0
+        capsys.readouterr()
+        points = sorted(
+            str(path) for path in (tmp_path / "sw").glob("*.json")
+            if path.name != "sweep.json")
+        assert len(points) == 2
+        with pytest.raises(SystemExit,
+                           match="different design points"):
+            main(["stats", "merge", *points])
+
+    def test_stats_merge_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["stats", "merge", str(bad)])
+        with pytest.raises(SystemExit, match="No such file|o such"):
+            main(["stats", "merge", str(tmp_path / "missing.json")])

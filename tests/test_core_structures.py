@@ -190,6 +190,36 @@ class TestStatistics:
         assert sampler.average == pytest.approx(4.0)
         assert sampler.peak == 6
 
+    def test_counter64_equality_and_hash(self):
+        assert Counter64(5) == Counter64(5) == 5
+        assert Counter64(5) != Counter64(6)
+        assert Counter64(5) != "5"
+        assert hash(Counter64(5)) == hash(Counter64(5))
+
+    def test_occupancy_sampler_raw_state(self):
+        """Merge-safe accessors: reducers read (total, samples), not
+        private fields."""
+        sampler = OccupancySampler()
+        assert sampler.raw() == (0, 0)
+        for value in (3, 5):
+            sampler.sample(value)
+        assert sampler.raw() == (8, 2)
+
+    def test_occupancy_sampler_merge_pools_weighted(self):
+        light = OccupancySampler()          # avg 2.0 over 1 cycle
+        light.sample(2)
+        heavy = OccupancySampler()          # avg 8.0 over 3 cycles
+        for value in (7, 8, 9):
+            heavy.sample(value)
+        merged = light.merge([heavy])
+        assert merged.raw() == (26, 4)
+        assert merged.average == pytest.approx(6.5)  # not (2+8)/2
+        assert merged.peak == 9
+        # Parts are untouched; merging nothing copies.
+        assert light.raw() == (2, 1)
+        identity = heavy.merge([])
+        assert identity == heavy and identity is not heavy
+
     def test_derived_rates_guard_zero(self):
         stats = SimulationStatistics()
         assert stats.ipc == 0.0

@@ -111,3 +111,12 @@ def test_adaptive_search():
     assert "trajectory:" in output
     assert "== full grid (ground truth) ==" in output
     assert "from optimal" in output
+
+
+def test_sharded_sweep():
+    output = run_example("sharded_sweep.py", "--budget", "1500",
+                         "--shards", "2", "--workers", "2")
+    assert "== monolithic reference" in output
+    assert "2 points x 2 shards" in output
+    assert "exact-sum counters verified" in output
+    assert "identical" in output

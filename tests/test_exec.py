@@ -451,3 +451,283 @@ class TestDirectoryQueue:
             [make_unit(trace_file, tmp_path, rob=16)])
         assert set(first) == {"rob8"}
         assert set(second) == {"rob16"}
+
+
+# -- sharded execution ------------------------------------------------
+
+from repro.exec import (  # noqa: E402  (grouped with their tests)
+    EXACT_SUM_COUNTERS,
+    ShardPlan,
+    ShardReducer,
+    merge_result_documents,
+    plan_shards,
+    shard_units,
+)
+from repro.trace.fileio import read_segment_table  # noqa: E402
+from repro.trace.fileio import iter_trace_records  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def segmented_trace(tmp_path_factory):
+    """A finely segmented trace the shard planner can actually split."""
+    path = tmp_path_factory.mktemp("shard") / "gzip.rtrc"
+    write_workload_trace("gzip", PAPER_4WIDE_PERFECT, path,
+                         budget=2_000, seed=7, segment_records=64)
+    return path
+
+
+def make_base_unit(trace, out_dir, uid="point") -> WorkUnit:
+    return WorkUnit.for_trace(
+        uid, trace, config_to_dict(PAPER_4WIDE_PERFECT),
+        Path(out_dir) / f"{uid}.json",
+        tags={"sweep": {"workload": "gzip"}})
+
+
+class TestShardPlan:
+    def test_ranges_partition_the_segment_table(self, segmented_trace):
+        table = read_segment_table(segmented_trace)
+        plan = plan_shards(segmented_trace, 4)
+        assert plan.shards == 4
+        assert plan.ranges[0][0] == 0
+        assert plan.ranges[-1][1] == len(table)
+        for (_, hi), (lo, _) in zip(plan.ranges, plan.ranges[1:]):
+            assert hi == lo  # contiguous, no gap, no overlap
+        assert plan.total_records == sum(s.record_count for s in table)
+
+    def test_boundaries_are_clean(self, segmented_trace):
+        """Every shard must open on the correct path — a boundary
+        cutting a branch from its wrong-path block would lose the
+        misprediction signal."""
+        table = read_segment_table(segmented_trace)
+        plan = plan_shards(segmented_trace, 5)
+        for lo, _ in plan.ranges[1:]:
+            first = next(iter_trace_records(
+                segmented_trace, segments=table[lo:lo + 1]))
+            assert not first.tag, f"shard boundary {lo} is dirty"
+
+    def test_shards_balanced_by_records(self, segmented_trace):
+        plan = plan_shards(segmented_trace, 4)
+        ideal = plan.total_records / 4
+        for count in plan.records:
+            # Clean snapping moves cuts by about a segment, no more.
+            assert abs(count - ideal) <= 3 * 64
+
+    def test_more_shards_than_segments_clamps(self, segmented_trace):
+        table = read_segment_table(segmented_trace)
+        plan = plan_shards(segmented_trace, 10_000)
+        assert plan.shards <= len(table)
+        assert all(count > 0 for count in plan.records)
+
+    def test_single_shard_and_bad_count(self, segmented_trace):
+        plan = plan_shards(segmented_trace, 1)
+        assert plan.shards == 1
+        with pytest.raises(ExecError, match="shards must be >= 1"):
+            plan_shards(segmented_trace, 0)
+
+    def test_v1_trace_is_one_pseudo_segment(self, tmp_path):
+        from repro.trace.fileio import write_trace_file
+        from repro.workloads.tracegen import generate_workload_trace
+        generation, start_pc = generate_workload_trace(
+            "gzip", PAPER_4WIDE_PERFECT, budget=500, seed=7)
+        path = tmp_path / "v1.rtrc"
+        write_trace_file(path, generation.records, version=1)
+        plan = plan_shards(path, 4)  # cannot split a v1 payload
+        assert plan.shards == 1
+
+
+class TestShardUnits:
+    def test_units_carry_ranges_tags_and_paths(self, segmented_trace,
+                                               tmp_path):
+        base = make_base_unit(segmented_trace, tmp_path)
+        plan = plan_shards(segmented_trace, 3)
+        units = shard_units(base, plan)
+        assert [u.spec["segments"] for u in units] == \
+            [list(span) for span in plan.ranges]
+        for index, unit in enumerate(units):
+            assert unit.unit_id == f"point.s{index}of3"
+            assert unit.tags["shard"] == {
+                "index": index, "of": 3, "unit": "point"}
+            assert unit.tags["sweep"] == base.tags["sweep"]
+            assert unit.result_path.endswith(f"point.s{index}of3.json")
+            # Everything else of the spec rides along unchanged.
+            rest = {k: v for k, v in unit.spec.items()
+                    if k != "segments"}
+            assert rest == dict(base.spec)
+
+    def test_already_sharded_unit_refused(self, segmented_trace,
+                                          tmp_path):
+        base = WorkUnit.for_trace(
+            "shard", segmented_trace, "4wide-perfect",
+            tmp_path / "s.json", segments=(0, 2))
+        with pytest.raises(ExecError, match="already segment"):
+            shard_units(base, plan_shards(segmented_trace, 2))
+
+    def test_sharded_result_key_is_reserved(self, tmp_path):
+        with pytest.raises(ExecError, match="may not shadow"):
+            WorkUnit(unit_id="x", spec={"workload": "gzip"},
+                     result_path=str(tmp_path / "x.json"),
+                     tags={"sharded": {}})
+
+
+class TestShardReducer:
+    def test_merged_document_matches_monolithic_exact_sums(
+            self, segmented_trace, tmp_path):
+        base = make_base_unit(segmented_trace, tmp_path)
+        monolithic = execute_unit(base)
+        plan = plan_shards(segmented_trace, 4)
+        reducer = ShardReducer(base, plan)
+        for unit in shard_units(base, plan):
+            reducer.add(execute_unit(unit))
+        assert reducer.complete
+        merged = reducer.write()
+        for counter in EXACT_SUM_COUNTERS:
+            assert merged["stats"][counter] == \
+                monolithic["stats"][counter], counter
+        # The merged document is checkpoint-shaped: loadable, shard-
+        # tagged, carrying the monolithic unit's identity and tags.
+        loaded = load_unit_result(base.result_path)
+        assert loaded is not None
+        assert loaded["unit_id"] == base.unit_id
+        assert loaded["spec"] == dict(base.spec)
+        assert loaded["sweep"] == base.tags["sweep"]
+        assert loaded["sharded"]["shards"] == 4
+        assert len(loaded["stats"]["shards"]) == 4
+
+    def test_out_of_order_and_duplicate_adds(self, segmented_trace,
+                                             tmp_path):
+        base = make_base_unit(segmented_trace, tmp_path, uid="ooo")
+        plan = plan_shards(segmented_trace, 2)
+        payloads = [execute_unit(u) for u in shard_units(base, plan)]
+        reducer = ShardReducer(base, plan)
+        reducer.add(payloads[1])  # any order
+        with pytest.raises(ExecError, match="not collected yet"):
+            reducer.merged()
+        reducer.add(payloads[0])
+        assert reducer.complete
+        with pytest.raises(ExecError, match="duplicate result"):
+            reducer.add(payloads[0])
+
+    def test_foreign_and_untagged_payloads_rejected(
+            self, segmented_trace, tmp_path):
+        base = make_base_unit(segmented_trace, tmp_path, uid="bad")
+        plan = plan_shards(segmented_trace, 2)
+        reducer = ShardReducer(base, plan)
+        with pytest.raises(ExecError, match="no shard tag"):
+            reducer.add(execute_unit(base))  # monolithic result
+        other_plan_payload = execute_unit(
+            shard_units(make_base_unit(segmented_trace, tmp_path,
+                                       uid="other"),
+                        plan_shards(segmented_trace, 3))[0])
+        with pytest.raises(ExecError, match="does not belong"):
+            reducer.add(other_plan_payload)
+        # Same shard count, different unit: still refused — a shard
+        # of another design point must never fold into this one.
+        foreign_unit_payload = execute_unit(
+            shard_units(make_base_unit(segmented_trace, tmp_path,
+                                       uid="foreign"), plan)[0])
+        with pytest.raises(ExecError, match="does not belong"):
+            reducer.add(foreign_unit_payload)
+
+    def test_merge_refuses_shards_of_different_runs(
+            self, segmented_trace, tmp_path):
+        """Two shards with equal configs but different run specs
+        (budget/seed/trace) describe different experiments; the
+        standalone reducer must refuse, not average them."""
+        base = make_base_unit(segmented_trace, tmp_path, uid="runa")
+        plan = plan_shards(segmented_trace, 2)
+        units = shard_units(base, plan)
+        good = execute_unit(units[0])
+        other = dict(execute_unit(units[1]))
+        other_spec = dict(other["spec"])
+        other_spec["budget"] = 99_999  # same config, different run
+        other["spec"] = other_spec
+        with pytest.raises(ExecError, match="different runs"):
+            merge_result_documents([good, other])
+
+    def test_merge_refuses_errors_and_mixed_configs(
+            self, segmented_trace, tmp_path):
+        base = make_base_unit(segmented_trace, tmp_path, uid="mix")
+        plan = plan_shards(segmented_trace, 2)
+        units = shard_units(base, plan)
+        good = execute_unit(units[0])
+        from repro.exec.unit import error_document
+        failed = error_document(units[1], ValueError("boom"))
+        with pytest.raises(ExecError, match="failed shard"):
+            merge_result_documents([good, failed])
+        other_config = replace(PAPER_4WIDE_PERFECT, rob_entries=8)
+        foreign = dict(good)
+        foreign["config"] = config_to_dict(other_config)
+        with pytest.raises(ExecError, match="different design points"):
+            merge_result_documents([good, foreign])
+        with pytest.raises(ExecError, match="nothing to merge"):
+            merge_result_documents([])
+
+    def test_standalone_merge_composes_associatively(
+            self, segmented_trace, tmp_path):
+        """`resim stats merge` semantics: merging merged documents
+        flattens provenance, and any grouping yields the same
+        statistics."""
+        base = make_base_unit(segmented_trace, tmp_path, uid="assoc")
+        plan = plan_shards(segmented_trace, 3)
+        payloads = [execute_unit(u) for u in shard_units(base, plan)]
+        flat = merge_result_documents(payloads)
+        nested = merge_result_documents(
+            [merge_result_documents(payloads[:2]), payloads[2]])
+        assert flat["stats"] == nested["stats"]
+        assert len(nested["stats"]["shards"]) == 3
+
+
+class TestShardedQueueFaultTolerance:
+    def test_killed_shard_worker_unit_reclaimed_merge_unchanged(
+            self, tmp_path):
+        """Satellite: SIGKILL a worker mid-shard; the shard's unit is
+        reclaimed and re-run, and the merged point result is
+        byte-identical to an undisturbed reduction."""
+        trace = tmp_path / "slow.rtrc"
+        write_workload_trace("gzip", PAPER_4WIDE_PERFECT, trace,
+                             budget=30_000, seed=7,
+                             segment_records=2048)
+        base = make_base_unit(trace, tmp_path, uid="victim")
+        plan = plan_shards(trace, 2)
+        units = shard_units(base, plan)
+        reference = [execute_unit(unit) for unit in units]
+        for unit in units:  # forget the reference runs' files
+            Path(unit.result_path).unlink()
+
+        paths = queue_paths(tmp_path / "queue")
+        for unit in units:
+            assert enqueue(paths, unit)
+        worker = _spawn_worker(paths.root)
+        try:
+            deadline = time.monotonic() + 30
+            lease = None
+            while lease is None:
+                assert time.monotonic() < deadline, \
+                    "worker never claimed a shard"
+                assert worker.poll() is None, "worker exited early"
+                lease = next(
+                    iter(paths.leases.glob("victim.s*.json")), None)
+                if lease is None:
+                    time.sleep(0.005)
+            worker.send_signal(signal.SIGKILL)
+            worker.wait(timeout=30)
+        finally:
+            if worker.poll() is None:  # pragma: no cover - cleanup
+                worker.kill()
+                worker.wait()
+        assert lease.exists()  # the kill left a reclaimable claim
+        old = time.time() - 120
+        os.utime(lease, (old, old))
+        processed = run_worker(paths.root, exit_when_drained=True,
+                               poll_seconds=0.02, lease_seconds=60)
+        assert processed == 2
+        reducer = ShardReducer(base, plan)
+        for unit in units:
+            payload = load_unit_result(unit.result_path)
+            assert payload is not None and "error" not in payload
+            reducer.add(payload)
+        merged = reducer.merged()
+        undisturbed = merge_result_documents(
+            reference, unit_id=base.unit_id,
+            spec=dict(base.spec), tags=dict(base.tags))
+        assert merged == undisturbed

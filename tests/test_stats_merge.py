@@ -1,0 +1,180 @@
+"""Property tests for the mergeable-statistics layer.
+
+The shard reducer (:mod:`repro.exec.shard`) is only sound if
+:meth:`SimulationStatistics.merge` behaves like the sum it claims to
+be: associative, order-insensitive, identity on a single part — and,
+for a real trace split at segment boundaries, *exactly* equal to the
+monolithic run on the trace-authoritative counters.  Hypothesis
+drives all four properties.
+"""
+
+from dataclasses import fields
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import PAPER_4WIDE_PERFECT
+from repro.core.stats import (
+    Counter64,
+    OccupancySampler,
+    SimulationStatistics,
+)
+from repro.exec import EXACT_SUM_COUNTERS, plan_shards
+from repro.serialize import stats_from_dict, stats_to_dict
+from repro.session import Simulation
+from repro.workloads.tracegen import write_workload_trace
+
+#: Counters that sum exactly for ANY segment split (mispredictions
+#: additionally require the planner's clean boundaries, so they are
+#: excluded from the arbitrary-split property below and asserted in
+#: the clean-plan test instead).
+ANY_SPLIT_EXACT = tuple(name for name in EXACT_SUM_COUNTERS
+                        if name != "mispredictions")
+
+_COUNTER_NAMES = tuple(
+    spec.name for spec in fields(SimulationStatistics)
+    if spec.name not in ("ifq_occupancy", "rob_occupancy",
+                         "lsq_occupancy", "shards"))
+_SAMPLER_NAMES = ("ifq_occupancy", "rob_occupancy", "lsq_occupancy")
+
+_counter = st.integers(min_value=0, max_value=(1 << 64) - 1)
+_sampler = st.fixed_dictionaries({
+    "total": st.integers(min_value=0, max_value=10**9),
+    "samples": st.integers(min_value=0, max_value=10**6),
+    "peak": st.integers(min_value=0, max_value=512),
+})
+
+
+@st.composite
+def statistics(draw) -> SimulationStatistics:
+    data = {name: draw(_counter) for name in _COUNTER_NAMES}
+    data.update({name: draw(_sampler) for name in _SAMPLER_NAMES})
+    return stats_from_dict(data)
+
+
+class TestMergeAlgebra:
+    @given(a=statistics(), b=statistics(), c=statistics())
+    def test_merge_is_associative(self, a, b, c):
+        left = a.merge([b]).merge([c])
+        right = a.merge([b.merge([c])])
+        flat = a.merge([b, c])
+        assert left == right == flat
+
+    @given(a=statistics(), b=statistics(), c=statistics())
+    def test_merge_is_order_insensitive(self, a, b, c):
+        assert a.merge([b, c]) == c.merge([b, a]) == b.merge([a, c])
+
+    @given(a=statistics())
+    def test_merging_one_part_is_identity(self, a):
+        merged = a.merge()
+        assert merged == a
+        assert merged is not a  # a copy, not the same object
+
+    @given(a=statistics(), b=statistics())
+    def test_counters_wrap_like_the_registers_they_model(self, a, b):
+        merged = a.merge([b])
+        for name in _COUNTER_NAMES:
+            expected = (int(getattr(a, name))
+                        + int(getattr(b, name))) & ((1 << 64) - 1)
+            assert int(getattr(merged, name)) == expected
+
+    @given(a=statistics(), b=statistics())
+    def test_round_trip_preserves_merged_document(self, a, b):
+        merged = a.merge([b], shards=[{"index": 0}, {"index": 1}])
+        assert stats_from_dict(stats_to_dict(merged)) == merged
+
+    def test_explicit_shards_override_and_concatenation(self):
+        a = SimulationStatistics(shards=[{"index": 0}])
+        b = SimulationStatistics(shards=[{"index": 1}])
+        assert a.merge([b]).shards == [{"index": 0}, {"index": 1}]
+        override = a.merge([b], shards=[{"index": 9}])
+        assert override.shards == [{"index": 9}]
+        assert not SimulationStatistics().merge(
+            [SimulationStatistics()]).sharded
+
+
+class TestOccupancyPooling:
+    @given(samplers=st.lists(_sampler, min_size=1, max_size=6))
+    def test_pooled_average_is_weighted_mean(self, samplers):
+        parts = [OccupancySampler(**data) for data in samplers]
+        merged = parts[0].merge(parts[1:])
+        total = sum(data["total"] for data in samplers)
+        weight = sum(data["samples"] for data in samplers)
+        assert merged.raw() == (total, weight)
+        expected = total / weight if weight else 0.0
+        assert merged.average == pytest.approx(expected)
+        assert merged.peak == max(data["peak"] for data in samplers)
+
+    def test_hand_computed_weighted_mean(self):
+        # Shard 1 averages 4.0 over 10 cycles, shard 2 averages 8.0
+        # over 30 cycles: the pooled average must weight by cycles
+        # (7.0), not average the averages (6.0).
+        one = OccupancySampler(total=40, samples=10, peak=6)
+        two = OccupancySampler(total=240, samples=30, peak=9)
+        merged = one.merge([two])
+        assert merged.average == pytest.approx(7.0)
+        assert merged.average != pytest.approx(6.0)
+        assert merged.peak == 9
+
+
+# -- real-trace splits ------------------------------------------------
+
+BUDGET = 1200
+SEGMENT_RECORDS = 32
+
+_trace_state: dict = {}
+
+
+@pytest.fixture(scope="module")
+def split_trace(tmp_path_factory):
+    """A segmented gzip trace plus its monolithic statistics."""
+    if not _trace_state:
+        path = tmp_path_factory.mktemp("merge") / "gzip.rtrc"
+        written = write_workload_trace(
+            "gzip", PAPER_4WIDE_PERFECT, path, budget=BUDGET, seed=7,
+            segment_records=SEGMENT_RECORDS)
+        mono = Simulation.for_trace_file(path).run()
+        _trace_state["path"] = path
+        _trace_state["segments"] = (written.record_count
+                                    + SEGMENT_RECORDS - 1) \
+            // SEGMENT_RECORDS
+        _trace_state["mono"] = stats_to_dict(mono.stats)
+    return _trace_state
+
+
+def _run_ranges(path, ranges) -> SimulationStatistics:
+    parts = [Simulation.for_trace_file(path, segments=span).run().stats
+             for span in ranges]
+    return parts[0].merge(parts[1:])
+
+
+class TestTraceSplits:
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_segment_splits_sum_exactly(self, data,
+                                                  split_trace):
+        segments = split_trace["segments"]
+        cuts = data.draw(st.lists(
+            st.integers(min_value=1, max_value=segments - 1),
+            max_size=4, unique=True).map(sorted))
+        edges = [0, *cuts, segments]
+        ranges = [(edges[i], edges[i + 1])
+                  for i in range(len(edges) - 1)]
+        merged = stats_to_dict(_run_ranges(split_trace["path"], ranges))
+        for name in ANY_SPLIT_EXACT:
+            assert merged[name] == split_trace["mono"][name], (
+                f"{name}: sharded {merged[name]} != monolithic "
+                f"{split_trace['mono'][name]} for split {ranges}"
+            )
+
+    @pytest.mark.parametrize("shards", (2, 3, 4))
+    def test_clean_planned_splits_sum_mispredictions_too(
+            self, split_trace, shards):
+        plan = plan_shards(split_trace["path"], shards)
+        merged = stats_to_dict(
+            _run_ranges(split_trace["path"], plan.ranges))
+        for name in EXACT_SUM_COUNTERS:
+            assert merged[name] == split_trace["mono"][name], (
+                f"{name}: sharded {merged[name]} != monolithic "
+                f"{split_trace['mono'][name]} under {plan}"
+            )

@@ -666,3 +666,168 @@ class TestSweepCli:
                      "--results-dir", str(tmp_path / "out")]) == 0
         out = capsys.readouterr().out
         assert "4 design points" in out
+
+
+# -- sharded design points --------------------------------------------
+
+#: Documented bound on the monolithic-vs-sharded relative IPC delta
+#: for the conformance workloads below.  Shards start cold (drained
+#: pipeline, cold predictor/cache state, fetch PC realigned at the
+#: first committed taken branch), so cycle-derived metrics are
+#: approximate by design; at these budgets the observed deltas are a
+#: few percent.  See README "Sharded design points".
+SHARD_IPC_TOLERANCE = 0.08
+
+
+def assert_ipc_within(monolithic, sharded,
+                      tolerance=SHARD_IPC_TOLERANCE) -> None:
+    """Bound the sharded-vs-monolithic IPC delta, loudly."""
+    delta = abs(sharded.ipc - monolithic.ipc) / monolithic.ipc
+    assert delta <= tolerance, (
+        f"sharded IPC {sharded.ipc:.4f} deviates from monolithic "
+        f"IPC {monolithic.ipc:.4f} by {delta:.2%} "
+        f"(tolerance {tolerance:.0%})"
+    )
+
+
+class TestShardedSweep:
+    """Differential conformance: a sharded sweep against the serial
+    monolithic reference (ISSUE 5 satellite + acceptance)."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, small_spec, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("mono")
+        return run_sweep(small_spec, "gzip", results_dir=directory,
+                         budget=BUDGET, segment_records=64)
+
+    def test_exact_sum_counters_equal_monolithic(
+            self, small_spec, reference, tmp_path):
+        from repro.exec import EXACT_SUM_COUNTERS
+        sharded = run_sweep(small_spec, "gzip",
+                            results_dir=tmp_path / "sharded",
+                            budget=BUDGET, segment_records=64,
+                            shards=3)
+        assert [o.key for o in sharded] == [o.key for o in reference]
+        for mono, shard in zip(reference, sharded):
+            mono_stats = stats_to_dict(mono.stats)
+            shard_stats = stats_to_dict(shard.stats)
+            for counter in EXACT_SUM_COUNTERS:
+                assert shard_stats[counter] == mono_stats[counter], (
+                    f"{counter}: sharded {shard_stats[counter]} != "
+                    f"monolithic {mono_stats[counter]} at {mono.label}"
+                )
+            assert shard.stats.sharded
+            assert len(shard.stats.shards) == 3
+            assert_ipc_within(mono, shard)
+
+    def test_tolerance_violation_reports_observed_delta(self):
+        """The bound must fail loudly, naming the delta it saw."""
+        from repro.core.stats import SimulationStatistics
+
+        def fake(cycles, instructions):
+            stats = SimulationStatistics()
+            stats.major_cycles.increment(cycles)
+            stats.committed_instructions.increment(instructions)
+            return stats
+
+        with pytest.raises(AssertionError, match=r"deviates.*by 50"):
+            assert_ipc_within(fake(100, 200), fake(100, 100))
+
+    def test_queue_backend_four_workers_four_shards(
+            self, tmp_path, reference, small_spec):
+        """Acceptance: a 1-point, 4-shard sweep through the directory
+        queue with 4 workers merges to the monolithic run's exact-sum
+        counters, with shard provenance that round-trips."""
+        from repro.exec import DirectoryQueueBackend, EXACT_SUM_COUNTERS
+        spec = SweepSpec(axes={"rob_entries": (16,)})
+        backend = DirectoryQueueBackend(
+            tmp_path / "queue", workers=4, poll_seconds=0.02,
+            timeout=180)
+        sharded = run_sweep(spec, "gzip",
+                            results_dir=tmp_path / "sharded",
+                            budget=BUDGET, segment_records=64,
+                            backend=backend, shards=4)
+        assert len(sharded) == 1
+        outcome = sharded.outcomes[0]
+        mono = next(o for o in reference
+                    if o.param("rob_entries") == 16)
+        mono_stats = stats_to_dict(mono.stats)
+        shard_stats = stats_to_dict(outcome.stats)
+        for counter in EXACT_SUM_COUNTERS:
+            assert shard_stats[counter] == mono_stats[counter], (
+                f"{counter}: sharded {shard_stats[counter]} != "
+                f"monolithic {mono_stats[counter]}"
+            )
+        # Shard provenance survives the serialize round trip.
+        assert len(outcome.stats.shards) == 4
+        restored = stats_from_dict(
+            json.loads(json.dumps(stats_to_dict(outcome.stats))))
+        assert stats_to_dict(restored) == stats_to_dict(outcome.stats)
+        assert restored.sharded
+
+    def test_sharded_checkpoints_resume(self, small_spec, tmp_path):
+        directory = tmp_path / "resume"
+        first = run_sweep(small_spec, "gzip", results_dir=directory,
+                          budget=BUDGET, segment_records=64, shards=2)
+        again = run_sweep(small_spec, "gzip", results_dir=directory,
+                          budget=BUDGET, segment_records=64, shards=2)
+        assert again.resumed_count == len(again)
+        for a, b in zip(first, again):
+            assert stats_to_dict(a.stats) == stats_to_dict(b.stats)
+
+    def test_partial_shard_results_resume(self, small_spec, tmp_path):
+        """Per-shard result files are checkpoints too: delete the
+        merged documents and the rerun re-merges without
+        re-simulating a single shard."""
+        from pathlib import Path
+        directory = tmp_path / "partial"
+        first = run_sweep(small_spec, "gzip", results_dir=directory,
+                          budget=BUDGET, segment_records=64, shards=2)
+        shard_files = sorted(directory.glob("*.s*of2.json"))
+        assert len(shard_files) == 2 * len(first)
+        stamps = {path: path.stat().st_mtime_ns
+                  for path in shard_files}
+        for outcome in first:
+            Path(directory, f"{outcome.key}.json").unlink()
+        again = run_sweep(small_spec, "gzip", results_dir=directory,
+                          budget=BUDGET, segment_records=64, shards=2)
+        assert again.resumed_count == len(again)
+        for path, stamp in stamps.items():
+            assert path.stat().st_mtime_ns == stamp, \
+                f"shard result {path.name} was recomputed"
+        for a, b in zip(first, again):
+            assert stats_to_dict(a.stats) == stats_to_dict(b.stats)
+
+    def test_single_segment_trace_degrades_to_monolithic(
+            self, tmp_path):
+        """A trace shorter than one segment cannot split: the sweep
+        must fall back to the bit-identical monolithic unit rather
+        than fail or mislabel the result as sharded."""
+        spec = SweepSpec(axes={"rob_entries": (8,)})
+        mono = run_sweep(spec, "gzip", results_dir=tmp_path / "mono",
+                         budget=BUDGET)
+        sharded = run_sweep(spec, "gzip",
+                            results_dir=tmp_path / "sharded",
+                            budget=BUDGET, shards=4)  # 1 segment
+        assert stats_to_dict(sharded.outcomes[0].stats) == \
+            stats_to_dict(mono.outcomes[0].stats)
+        assert not sharded.outcomes[0].stats.sharded
+
+    def test_bad_shard_count_rejected(self, small_spec, tmp_path):
+        with pytest.raises(SweepError, match="shards must be >= 1"):
+            SweepRunner(small_spec, "gzip",
+                        results_dir=tmp_path / "x", shards=0)
+        with pytest.raises(SweepError,
+                           match="segment_records must be >= 1"):
+            SweepRunner(small_spec, "gzip",
+                        results_dir=tmp_path / "x", segment_records=0)
+
+    def test_search_accepts_shards(self, tmp_path):
+        from repro.sweep import GridSearch, run_search
+        spec = SweepSpec(axes={"rob_entries": (8, 16)})
+        search = run_search(GridSearch(spec), "gzip",
+                            results_dir=tmp_path / "search",
+                            budget=BUDGET, shards=2,
+                            segment_records=64)
+        assert len(search) == 2
+        assert all(o.stats.sharded for o in search.outcomes)
