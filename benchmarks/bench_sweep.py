@@ -69,7 +69,7 @@ def test_sweep_parallel_speedup(spec, tmp_path):
                                        WORKERS)
 
     assert len(serial_result) == len(parallel_result) == 16
-    for a, b in zip(serial_result, parallel_result):
+    for a, b in zip(serial_result, parallel_result, strict=True):
         assert stats_to_dict(a.stats) == stats_to_dict(b.stats)
 
     speedup = serial_s / parallel_s

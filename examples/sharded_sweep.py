@@ -64,7 +64,7 @@ def main() -> None:
 
         print(f"\n{'point':>16} {'mono IPC':>9} {'shard IPC':>9} "
               f"{'delta':>7}  exact-sum counters")
-        for mono, shard in zip(monolithic, sharded):
+        for mono, shard in zip(monolithic, sharded, strict=True):
             mono_stats = stats_to_dict(mono.stats)
             shard_stats = stats_to_dict(shard.stats)
             for counter in EXACT_SUM_COUNTERS:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.cache.cache import Cache
 from repro.core.config import ProcessorConfig

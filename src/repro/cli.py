@@ -66,14 +66,14 @@ def _config(name: str):
     try:
         return CONFIGS.get(name)
     except RegistryError as error:
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
 
 
 def _device(name: str):
     try:
         return DEVICES.get(name)
     except RegistryError as error:
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
 
 
 def _workload_simulation(args, config) -> Simulation:
@@ -93,9 +93,9 @@ def cmd_trace(args) -> int:
             segment_records=args.segment_records,
         )
     except UnknownWorkloadError as error:
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
     except TraceFileError as error:
-        raise SystemExit(f"{args.output}: {error}")
+        raise SystemExit(f"{args.output}: {error}") from error
     print(f"wrote {written.record_count} records "
           f"({written.bytes_written} bytes) to {args.output}")
     return 0
@@ -117,9 +117,9 @@ def cmd_trace_info(args) -> int:
         header = read_trace_header(path)
         segments = read_segment_table(path)
     except OSError as error:
-        raise SystemExit(f"{path}: {error.strerror or error}")
+        raise SystemExit(f"{path}: {error.strerror or error}") from error
     except TraceFileError as error:
-        raise SystemExit(f"{path}: {error}")
+        raise SystemExit(f"{path}: {error}") from error
     size = path.stat().st_size
     print(f"{path}")
     print(f"  format version       : {header.version}"
@@ -171,10 +171,10 @@ def cmd_simulate(args) -> int:
         try:
             prepared = simulation.prepare()
         except TraceFileError as error:
-            raise SystemExit(f"{args.trace_file}: {error}")
+            raise SystemExit(f"{args.trace_file}: {error}") from error
         except OSError as error:
             raise SystemExit(
-                f"{args.trace_file}: {error.strerror or error}")
+                f"{args.trace_file}: {error.strerror or error}") from error
         if prepared.predictor_mismatch:
             print("warning: trace was generated with a different "
                   "predictor configuration; Tag bits may not match "
@@ -188,11 +188,11 @@ def cmd_simulate(args) -> int:
     try:
         session = simulation.run()
     except UnknownWorkloadError as error:
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
     except TraceFileError as error:
         # Streamed payload corruption surfaces during the run, not at
         # prepare time (only one segment is ever decoded ahead).
-        raise SystemExit(f"{args.trace_file}: {error}")
+        raise SystemExit(f"{args.trace_file}: {error}") from error
     print(session.stats.report())
     pipeline = select_pipeline(config.width, config.memory_ports)
     print(f"\ninternal pipeline: {pipeline.name} "
@@ -207,7 +207,7 @@ def cmd_tables(args) -> int:
     try:
         render_all(args.tables or None, args.budget)
     except KeyError as error:
-        raise SystemExit(str(error.args[0]))
+        raise SystemExit(str(error.args[0])) from error
     return 0
 
 
@@ -245,11 +245,11 @@ def cmd_multicore(args) -> int:
         result = simulator.run(benchmarks[:count], budget=args.budget,
                                seed=args.seed)
     except UnknownWorkloadError as error:
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
     except (TraceFileError, OSError) as error:
         # A core given a .rtrc path: missing or corrupt trace files
         # must not escape as tracebacks.
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
     print(result.summary())
     return 0
 
@@ -260,7 +260,7 @@ def _int_list(raw: str, option: str) -> list[int]:
     except ValueError:
         raise SystemExit(
             f"{option} expects a comma-separated integer list, got {raw!r}"
-        )
+        ) from None
 
 
 def _collect_axes(args) -> dict[str, list]:
@@ -323,7 +323,7 @@ def _make_backend(args, results_dir: Path):
     try:
         backend_cls = BACKENDS.get(args.backend)
     except RegistryError as error:
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
     try:
         if backend_cls is SerialBackend:
             return SerialBackend()
@@ -339,7 +339,7 @@ def _make_backend(args, results_dir: Path):
             )
         return backend_cls()  # extension-registered backend
     except ExecError as error:
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
 
 
 def _bulk_progress(args):
@@ -413,7 +413,7 @@ def cmd_sweep(args) -> int:
         )
         result = runner.run()
     except (SweepError, ExecError) as error:
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
 
     print(sweep_table(result, device_name=args.device,
                       sort_key=args.sort, limit=args.top))
@@ -460,7 +460,7 @@ def cmd_search(args) -> int:
     try:
         strategy_cls = SEARCHES.get(args.strategy)
     except RegistryError as error:
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
 
     try:
         spec = SweepSpec(axes=axes, base=base)
@@ -483,7 +483,7 @@ def cmd_search(args) -> int:
         )
         search = runner.run()
     except (SweepError, ExecError) as error:
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
 
     print(sweep_table(search.result, device_name=args.device,
                       sort_key=args.metric, limit=args.top))
@@ -514,14 +514,14 @@ def cmd_stats(args) -> int:
         try:
             payload = _json.loads(path.read_text())
         except OSError as error:
-            raise SystemExit(f"{path}: {error.strerror or error}")
+            raise SystemExit(f"{path}: {error.strerror or error}") from error
         except _json.JSONDecodeError as error:
-            raise SystemExit(f"{path}: not valid JSON ({error})")
+            raise SystemExit(f"{path}: not valid JSON ({error})") from error
         documents.append(payload)
     try:
         merged = merge_result_documents(documents)
     except ExecError as error:
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
     stats = stats_from_dict(merged["stats"])
     print(f"merged {len(documents)} result document(s) "
           f"({len(merged['stats']['shards'] or ())} shard(s))")
@@ -531,6 +531,38 @@ def cmd_stats(args) -> int:
         Path(args.output).write_text(text)
         print(f"wrote {args.output}")
     return 0
+
+
+def cmd_lint(args) -> int:
+    """`resim lint`: run the project's AST invariant linter.
+
+    The linter lives in ``tools/lint`` (repo tooling, stdlib-only,
+    outside the installable package) so the same code path serves
+    ``python -m tools.lint`` and this subcommand.  It is importable
+    from a source checkout; an installed-only environment has no
+    ``src/`` to lint anyway.
+    """
+    try:
+        from tools.lint.cli import run
+    except ImportError:
+        # Running from the source tree without the repo root on
+        # sys.path: src/repro/cli.py -> parents[2] is the checkout.
+        root = Path(__file__).resolve().parents[2]
+        if not (root / "tools" / "lint").is_dir():
+            raise SystemExit(
+                "resim lint needs a source checkout (tools/lint not "
+                "found); run it from the repository, or use "
+                "python -m tools.lint there") from None
+        sys.path.insert(0, str(root))
+        from tools.lint.cli import run
+    argv = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return run(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -712,6 +744,21 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--output", "-o", default=None,
                        help="write the merged document here")
     stats.set_defaults(func=cmd_stats)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant linter (determinism, "
+             "serialization, exact-sum contracts) over src/")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint "
+                           "(default: the checkout's src/)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", help="output format")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule ids to run")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list rules with rationale and exit")
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -122,7 +122,7 @@ class ProcessorConfig:
             f"{self.predictor.describe()}"
         )
 
-    def with_width(self, width: int) -> "ProcessorConfig":
+    def with_width(self, width: int) -> ProcessorConfig:
         """Same machine at a different superscalar width."""
         return replace(self, width=width)
 

@@ -49,7 +49,7 @@ checks).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.bpred.unit import BranchPredictorUnit, BranchResolution
 from repro.cache.hierarchy import MemorySystem, PerfectMemory
@@ -88,13 +88,13 @@ class EngineObserver:
     ``engine.stats``, ``engine.predictor``...) but must not mutate it.
     """
 
-    def on_cycle(self, engine: "ReSimEngine") -> None:
+    def on_cycle(self, engine: ReSimEngine) -> None:
         """Called after every major cycle."""
 
-    def on_commit(self, engine: "ReSimEngine", op: InFlightOp) -> None:
+    def on_commit(self, engine: ReSimEngine, op: InFlightOp) -> None:
         """Called for every committed instruction."""
 
-    def on_recovery(self, engine: "ReSimEngine",
+    def on_recovery(self, engine: ReSimEngine,
                     branch: InFlightOp) -> None:
         """Called when a mispredicted branch retires and recovers."""
 

@@ -133,13 +133,13 @@ class MinorPipeline(abc.ABC):
              if op.stage == "issue" and op.slot >= self.first_load_slot()),
             default=None,
         )
-        if first_load_issue is not None:
-            if refresh[0].minor_cycle > first_load_issue:
-                raise AssertionError(
-                    f"{self.name}: load issue at minor cycle "
-                    f"{first_load_issue} precedes Lsq_refresh at "
-                    f"{refresh[0].minor_cycle}"
-                )
+        if (first_load_issue is not None
+                and refresh[0].minor_cycle > first_load_issue):
+            raise AssertionError(
+                f"{self.name}: load issue at minor cycle "
+                f"{first_load_issue} precedes Lsq_refresh at "
+                f"{refresh[0].minor_cycle}"
+            )
 
     def first_load_slot(self) -> int:
         """First issue slot allowed to carry a load (0-based)."""

@@ -21,7 +21,7 @@ how the result was produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 _MASK64 = (1 << 64) - 1
 
@@ -85,8 +85,8 @@ class OccupancySampler:
         """
         return (self.total, self.samples)
 
-    def merge(self, others: Iterable["OccupancySampler"]
-              ) -> "OccupancySampler":
+    def merge(self, others: Iterable[OccupancySampler]
+              ) -> OccupancySampler:
         """Pool this sampler with others into a new sampler.
 
         Totals and sample counts add (every part sampled once per
@@ -156,9 +156,9 @@ class SimulationStatistics:
 
     # -- reduction -----------------------------------------------------
 
-    def merge(self, others: Sequence["SimulationStatistics"] = (), *,
+    def merge(self, others: Sequence[SimulationStatistics] = (), *,
               shards: Sequence[dict] | None = None,
-              ) -> "SimulationStatistics":
+              ) -> SimulationStatistics:
         """Reduce this object and ``others`` into one new statistics
         object (none of the parts is mutated).
 

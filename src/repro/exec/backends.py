@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.exec.unit import ExecError, WorkUnit, execute_unit
 from repro.utils.registry import Registry
@@ -108,7 +108,8 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def _execute(self, batch, on_result):
+    def _execute(self, batch: Sequence[WorkUnit],
+                 on_result: OnResult | None) -> dict[str, dict]:
         results: dict[str, dict] = {}
         for unit in batch:
             payload = execute_unit(unit)
@@ -137,7 +138,8 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ExecError(f"workers must be >= 1, got {workers}")
         self.workers = workers
 
-    def _execute(self, batch, on_result):
+    def _execute(self, batch: Sequence[WorkUnit],
+                 on_result: OnResult | None) -> dict[str, dict]:
         results: dict[str, dict] = {}
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             futures = {pool.submit(execute_unit, unit): unit

@@ -46,15 +46,17 @@ hosts (sharing the mount) drain the same queue concurrently.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import subprocess
 import sys
 import time
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.exec.backends import BACKENDS, ExecutionBackend
+from repro.exec.backends import BACKENDS, ExecutionBackend, OnResult
 from repro.exec.unit import (
     ExecError,
     UnitExecutionError,
@@ -112,7 +114,7 @@ def _claim_nonce() -> str:
     return f"{os.getpid():x}-{uuid.uuid4().hex[:8]}"
 
 
-def _leases_for(paths: QueuePaths, unit_id: str):
+def _leases_for(paths: QueuePaths, unit_id: str) -> Iterator[Path]:
     return paths.leases.glob(f"{unit_id}.*.json")
 
 
@@ -149,10 +151,9 @@ def claim_next(paths: QueuePaths) -> Path | None:
 
 def touch_lease(lease_path: Path) -> None:
     """Refresh a lease's heartbeat (mtime = now)."""
-    try:
+    # Lease may be completed/reclaimed under us; that is harmless.
+    with contextlib.suppress(OSError):
         os.utime(lease_path)
-    except OSError:
-        pass  # lease was completed/reclaimed under us; harmless
 
 
 def read_unit(path: Path) -> WorkUnit:
@@ -170,11 +171,10 @@ def complete_lease(paths: QueuePaths, lease_path: Path) -> None:
     racing duplicate completion simply overwrites the done marker;
     a reclaimed claimant's completion is a no-op because its lease
     path no longer exists)."""
-    try:
+    # Someone else may have completed/reclaimed it; the result exists.
+    with contextlib.suppress(OSError):
         os.replace(lease_path,
                    paths.done / f"{lease_unit_id(lease_path)}.json")
-    except OSError:
-        pass  # someone else completed/reclaimed it; the result exists
 
 
 def reclaim_stale(paths: QueuePaths,
@@ -329,7 +329,8 @@ class DirectoryQueueBackend(ExecutionBackend):
 
     # -- drain ---------------------------------------------------------
 
-    def _execute(self, batch, on_result):
+    def _execute(self, batch: Sequence[WorkUnit],
+                 on_result: OnResult | None) -> dict[str, dict]:
         paths = queue_paths(self.queue_dir)
         results: dict[str, dict] = {}
         failures: list[tuple[WorkUnit, dict]] = []
@@ -391,7 +392,9 @@ class DirectoryQueueBackend(ExecutionBackend):
             raise
         return results
 
-    def _poll(self, paths, outstanding, collect) -> None:
+    def _poll(self, paths: QueuePaths,
+              outstanding: dict[str, WorkUnit],
+              collect: OnResult) -> None:
         last_progress = time.monotonic()
         last_full_scan = 0.0
         while outstanding:
@@ -475,6 +478,8 @@ class DirectoryQueueBackend(ExecutionBackend):
         """True while any claimed unit's lease is fresher than the
         staleness horizon — i.e. some worker heartbeats it."""
         now = time.time()
+        # resim-lint: disable=D104 -- pure existence scan with early
+        # exit; no iteration-order-dependent effect escapes.
         for lease in paths.leases.glob("*.json"):
             try:
                 age = now - lease.stat().st_mtime

@@ -147,7 +147,7 @@ class ShardPlan:
     def describe(self) -> str:
         spans = ", ".join(f"{lo}..{hi - 1} ({count} records)"
                           for (lo, hi), count
-                          in zip(self.ranges, self.records))
+                          in zip(self.ranges, self.records, strict=True))
         return f"ShardPlan({self.shards} shard(s): {spans})"
 
     __repr__ = describe
@@ -340,7 +340,7 @@ def merge_result_documents(
             )
     parts = [stats_from_dict(payload["stats"]) for payload in payloads]
     provenance: list[dict] = []
-    for position, (payload, stats) in enumerate(zip(payloads, parts)):
+    for position, (payload, stats) in enumerate(zip(payloads, parts, strict=True)):
         provenance.extend(_shard_provenance(payload, stats, position))
     merged = parts[0].merge(parts[1:], shards=provenance)
     document = {

@@ -30,7 +30,7 @@ import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.serialize import config_to_dict, stats_to_dict
 
@@ -130,7 +130,7 @@ class WorkUnit:
         segments: tuple[int, int] | None = None,
         start_pc: int | None = None,
         tags: Mapping | None = None,
-    ) -> "WorkUnit":
+    ) -> WorkUnit:
         """Convenience constructor for the common shape: one stored
         trace (optionally a segment shard of it) simulated under one
         config dict or registered config name."""
@@ -154,7 +154,7 @@ class WorkUnit:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "WorkUnit":
+    def from_dict(cls, data: Mapping) -> WorkUnit:
         if not isinstance(data, Mapping):
             raise ExecError(
                 f"unit document must be a mapping, got "

@@ -225,7 +225,7 @@ def add_worker_arguments(parser: argparse.ArgumentParser) -> None:
                         help="suppress per-unit log lines")
 
 
-def run_from_args(args) -> int:
+def run_from_args(args: argparse.Namespace) -> int:
     """Validate parsed worker options and run the loop (the shared
     implementation behind both entry points)."""
     if args.poll_seconds <= 0:

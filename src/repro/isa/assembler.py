@@ -174,9 +174,8 @@ class Assembler:
             size = {".word": 4, ".half": 2, ".byte": 1}[directive]
             for token in rest.split(","):
                 token = token.strip()
-                if token in self._symbols:
-                    value = self._symbols[token]
-                else:
+                value = self._symbols.get(token)
+                if value is None:
                     value = _parse_int(token, line)
                 self._data.extend(
                     (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")

@@ -141,7 +141,7 @@ class Instruction:
         return word
 
     @classmethod
-    def decode(cls, word: int) -> "Instruction":
+    def decode(cls, word: int) -> Instruction:
         """Unpack a 64-bit instruction word.
 
         Raises

@@ -49,7 +49,7 @@ import copy
 import json
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.core.config import (
     PAPER_2WIDE_CACHE,
@@ -175,7 +175,7 @@ class PreparedTrace:
 class _WorkloadSource:
     name: str
 
-    def prepare(self, sim: "Simulation") -> PreparedTrace:
+    def prepare(self, sim: Simulation) -> PreparedTrace:
         generation, start_pc = generate_workload_trace(
             self.name, sim.config, budget=sim.budget, seed=sim.seed)
         return PreparedTrace(records=generation.records,
@@ -203,7 +203,7 @@ class _TraceFileSource:
                 "or the segment range"
             )
 
-    def prepare(self, sim: "Simulation") -> PreparedTrace:
+    def prepare(self, sim: Simulation) -> PreparedTrace:
         if self.streaming:
             source = FileSource(self.path, segments=self.segments)
             header = source.header
@@ -240,7 +240,7 @@ class _RecordsSource:
     records: Sequence[TraceRecord]
     start_pc: int | None
 
-    def prepare(self, sim: "Simulation") -> PreparedTrace:
+    def prepare(self, sim: Simulation) -> PreparedTrace:
         return PreparedTrace(records=self.records, start_pc=self.start_pc)
 
     def spec_entry(self) -> dict:
@@ -258,7 +258,7 @@ class _ProgramSource:
     program: Program
     inputs: tuple[int, ...] | None
 
-    def prepare(self, sim: "Simulation") -> PreparedTrace:
+    def prepare(self, sim: Simulation) -> PreparedTrace:
         tracer = build_tracer(sim.config)
         inputs = list(self.inputs) if self.inputs is not None else None
         generation = tracer.generate(self.program, inputs=inputs)
@@ -281,6 +281,9 @@ class _ProgramSource:
 
 
 @dataclass
+# resim-lint: disable=S202 -- deliberate one-way export: results are
+# reconstructed from their inner "stats"/"config" documents via
+# stats_from_dict/config_from_dict, never from this wrapper.
 class SessionResult:
     """Outcome of one :meth:`Simulation.run`.
 
@@ -400,7 +403,7 @@ class Simulation:
     def for_workload(cls, workload: str,
                      config: ProcessorConfig = PAPER_4WIDE_PERFECT, *,
                      budget: int = 30_000, seed: int = 7,
-                     ) -> "Simulation":
+                     ) -> Simulation:
         """A run over a named workload (SPECINT profile or kernel)."""
         return cls(config, source=_WorkloadSource(workload),
                    budget=budget, seed=seed)
@@ -410,7 +413,7 @@ class Simulation:
                        config: ProcessorConfig = PAPER_4WIDE_PERFECT,
                        *, streaming: bool = True,
                        segments: tuple[int, int] | None = None,
-                       ) -> "Simulation":
+                       ) -> Simulation:
         """A run over a stored ``.rtrc`` trace file.
 
         By default the file is *streamed* through a
@@ -435,14 +438,14 @@ class Simulation:
     @classmethod
     def for_records(cls, records: Sequence[TraceRecord],
                     config: ProcessorConfig = PAPER_4WIDE_PERFECT, *,
-                    start_pc: int | None = None) -> "Simulation":
+                    start_pc: int | None = None) -> Simulation:
         """A run over records already in memory."""
         return cls(config, source=_RecordsSource(records, start_pc))
 
     @classmethod
     def for_program(cls, program: Program,
                     config: ProcessorConfig = PAPER_4WIDE_PERFECT, *,
-                    inputs: Sequence[int] | None = None) -> "Simulation":
+                    inputs: Sequence[int] | None = None) -> Simulation:
         """A run over an assembled program, traced through the
         functional simulator (``sim-bpred``) at prepare time."""
         inputs_tuple = tuple(inputs) if inputs is not None else None
@@ -451,7 +454,7 @@ class Simulation:
     # -- declarative form ----------------------------------------------
 
     @classmethod
-    def from_spec(cls, spec: Mapping) -> "Simulation":
+    def from_spec(cls, spec: Mapping) -> Simulation:
         """Build a run from a plain-dict description.
 
         The spec is the serializable contract shared by the CLI, the
@@ -594,20 +597,20 @@ class Simulation:
 
     # -- fluent builders -----------------------------------------------
 
-    def _replace(self, **changes) -> "Simulation":
+    def _replace(self, **changes) -> Simulation:
         clone = copy.copy(self)
         for name, value in changes.items():
             setattr(clone, name, value)
         clone._prepared = None  # a changed run must re-prepare
         return clone
 
-    def with_config(self, config: ProcessorConfig | str) -> "Simulation":
+    def with_config(self, config: ProcessorConfig | str) -> Simulation:
         """Swap the processor configuration (name or object)."""
         if isinstance(config, str):
             config = CONFIGS.get(config)
         return self._replace(_config=config)
 
-    def with_predictor(self, predictor) -> "Simulation":
+    def with_predictor(self, predictor) -> Simulation:
         """Swap the branch predictor (scheme name or PredictorConfig).
 
         Note the trace-driven contract: for workload sources the trace
@@ -622,20 +625,20 @@ class Simulation:
         return self._replace(
             _config=replace(self._config, predictor=predictor))
 
-    def with_budget(self, budget: int) -> "Simulation":
+    def with_budget(self, budget: int) -> Simulation:
         """Instruction budget for synthetic workload generation."""
         return self._replace(_budget=budget)
 
-    def with_seed(self, seed: int) -> "Simulation":
+    def with_seed(self, seed: int) -> Simulation:
         """Synthetic-generator seed."""
         return self._replace(_seed=seed)
 
-    def with_start_pc(self, start_pc: int | None) -> "Simulation":
+    def with_start_pc(self, start_pc: int | None) -> Simulation:
         """Override the engine's first-fetch PC (rarely needed; trace
         files and kernels carry their own)."""
         return self._replace(_start_pc=start_pc)
 
-    def with_devices(self, *devices: FpgaDevice | str) -> "Simulation":
+    def with_devices(self, *devices: FpgaDevice | str) -> Simulation:
         """FPGA devices to project throughput onto (names or objects)."""
         resolved = tuple(
             device if isinstance(device, FpgaDevice)
@@ -644,31 +647,31 @@ class Simulation:
         )
         return self._replace(_devices=resolved)
 
-    def with_observer(self, *observers: EngineObserver) -> "Simulation":
+    def with_observer(self, *observers: EngineObserver) -> Simulation:
         """Attach engine instrumentation (appends to existing)."""
         return self._replace(_observers=self._observers + observers)
 
-    def with_warmup(self, instructions: int) -> "Simulation":
+    def with_warmup(self, instructions: int) -> Simulation:
         """Fast-forward: commit this many instructions with warm
         microarchitectural state before statistics start."""
         return self._replace(_warmup=instructions)
 
-    def with_roi(self, instructions: int | None) -> "Simulation":
+    def with_roi(self, instructions: int | None) -> Simulation:
         """Region of interest: stop after this many post-warmup
         committed instructions."""
         return self._replace(_roi=instructions)
 
     def with_stop_when(
             self, predicate: Callable[[ReSimEngine], bool] | None
-    ) -> "Simulation":
+    ) -> Simulation:
         """Early-stop predicate, checked after every cycle."""
         return self._replace(_stop_when=predicate)
 
-    def with_max_cycles(self, max_cycles: int | None) -> "Simulation":
+    def with_max_cycles(self, max_cycles: int | None) -> Simulation:
         """Cycle budget guard (None = the engine's default)."""
         return self._replace(_max_cycles=max_cycles)
 
-    def with_predictor_training(self, at_commit: bool) -> "Simulation":
+    def with_predictor_training(self, at_commit: bool) -> Simulation:
         """True (paper behaviour): train the predictor at commit;
         False: train at fetch (engine agrees with the generator
         bit-for-bit)."""

@@ -23,7 +23,7 @@ import csv
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.core.config import ProcessorConfig
 from repro.core.engine import SimulationResult
@@ -117,7 +117,7 @@ class SweepResult:
     # -- selection -----------------------------------------------------
 
     def sorted_by(self, key: str | Callable[[SweepOutcome], float] = "ipc",
-                  reverse: bool | None = None) -> "SweepResult":
+                  reverse: bool | None = None) -> SweepResult:
         """Outcomes reordered best-first by a named or callable key.
 
         Named keys know their own direction (higher IPC is better,
@@ -140,7 +140,7 @@ class SweepResult:
         return self._with_outcomes(ordered)
 
     def filter(self, predicate: Callable[[SweepOutcome], bool] | None = None,
-               **params: object) -> "SweepResult":
+               **params: object) -> SweepResult:
         """Keep outcomes matching a predicate and/or axis values.
 
         >>> result.filter(rob_entries=32)        # doctest: +SKIP
@@ -156,7 +156,7 @@ class SweepResult:
 
     def top(self, count: int,
             key: str | Callable[[SweepOutcome], float] = "ipc"
-            ) -> "SweepResult":
+            ) -> SweepResult:
         """The best ``count`` outcomes under a sort key."""
         ordered = self.sorted_by(key)
         return ordered._with_outcomes(ordered.outcomes[:count])
@@ -169,7 +169,7 @@ class SweepResult:
         return self.sorted_by(key).outcomes[0]
 
     def _with_outcomes(self, outcomes: tuple[SweepOutcome, ...]
-                       ) -> "SweepResult":
+                       ) -> SweepResult:
         return SweepResult(
             outcomes=outcomes, workload=self.workload, budget=self.budget,
             seed=self.seed,

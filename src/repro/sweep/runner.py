@@ -53,7 +53,7 @@ import json
 import os
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.bpred.unit import PredictorConfig
 from repro.exec import (

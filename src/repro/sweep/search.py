@@ -38,7 +38,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.exec import ExecutionBackend
 from repro.sweep.progress import SweepProgress
@@ -291,7 +291,7 @@ class HillClimb(SearchStrategy):
         from itertools import product as _product
         for indices in _product(*(range(len(self._axes[name]))
                                   for name in self._names)):
-            position = dict(zip(self._names, indices))
+            position = dict(zip(self._names, indices, strict=True))
             if self._point_at(position) is not None:
                 return position
         raise SearchError(

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
 from itertools import product
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.bpred.unit import PREDICTORS, PredictorConfig
 from repro.cache.cache import CacheConfig
@@ -255,7 +255,7 @@ class SweepSpec:
         skipped_invalid = 0
         skipped_duplicates = 0
         for combo in product(*value_lists):
-            overrides = dict(zip(names, combo))
+            overrides = dict(zip(names, combo, strict=True))
             try:
                 config = replace(self.base, **overrides)
             except ValueError:
@@ -272,7 +272,7 @@ class SweepSpec:
                 continue
             seen.add(config)
             points.append(SweepPoint(config=config,
-                                     params=tuple(zip(names, combo))))
+                                     params=tuple(zip(names, combo, strict=True))))
         if not points:
             raise SweepError(
                 "sweep expansion produced no valid design points "

@@ -19,7 +19,7 @@ cycle, so the hardware-friendly flat layout is part of the design.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.isa.opcodes import FuClass
 from repro.trace.record import (

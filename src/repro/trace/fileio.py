@@ -84,7 +84,8 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import BinaryIO, Iterable, Iterator, Sequence
+from typing import BinaryIO
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.bpred.unit import PredictorConfig
 from repro.trace.encode import (
@@ -271,7 +272,8 @@ class SegmentedTraceWriter:
         self._header_length = _V2_PREFIX + len(blob)
         self._segment_records = segment_records
         if isinstance(target, (str, Path)):
-            self._handle: BinaryIO = open(target, "w+b")
+            # noqa'd: the handle outlives __init__ and is released in close().
+            self._handle: BinaryIO = open(target, "w+b")  # noqa: SIM115
             self._owns_handle = True
         else:
             self._handle = target
@@ -358,7 +360,7 @@ class SegmentedTraceWriter:
             handle.close()
         return self._bytes_written
 
-    def __enter__(self) -> "SegmentedTraceWriter":
+    def __enter__(self) -> SegmentedTraceWriter:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:

@@ -69,7 +69,7 @@ def _check_trace_reg(value: int, field: str) -> None:
         raise ValueError(f"{field}={value} outside 6-bit trace register space")
 
 
-def _check_common_fields(record: "TraceRecord") -> None:
+def _check_common_fields(record: TraceRecord) -> None:
     """Shared field validation (zero-arg ``super()`` is unavailable in
     ``slots=True`` dataclasses, so subclasses call this explicitly)."""
     _check_trace_reg(record.dest, "dest")

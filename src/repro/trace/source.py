@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.trace.fileio import (
     TraceFileHeader,
@@ -94,7 +94,7 @@ class TraceSource(ABC):
         """True when no record is available right now."""
         return self.peek() is None
 
-    def fresh(self) -> "TraceSource":
+    def fresh(self) -> TraceSource:
         """An independent cursor over the same stream, rewound to the
         start.  Sources that cannot rewind raise
         :class:`TraceSourceError`."""
@@ -139,7 +139,7 @@ class InMemorySource(TraceSource):
     def total_records(self) -> int:
         return len(self._records)
 
-    def fresh(self) -> "InMemorySource":
+    def fresh(self) -> InMemorySource:
         return InMemorySource(self._records)
 
 
@@ -231,7 +231,7 @@ class FileSource(TraceSource):
             return sum(s.record_count for s in self._segments)
         return self._header.record_count
 
-    def fresh(self) -> "FileSource":
+    def fresh(self) -> FileSource:
         return FileSource(self._path, segments=self._range)
 
 
@@ -293,12 +293,12 @@ class ConcatSource(TraceSource):
     def total_records(self) -> int:
         return sum(source.total_records for source in self._sources)
 
-    def fresh(self) -> "ConcatSource":
+    def fresh(self) -> ConcatSource:
         return ConcatSource([source.fresh() for source in self._sources])
 
 
 def as_source(
-    trace: "TraceSource | Sequence[TraceRecord]",
+    trace: TraceSource | Sequence[TraceRecord],
 ) -> TraceSource:
     """Coerce the engine's ``trace`` argument into a source."""
     if isinstance(trace, TraceSource):

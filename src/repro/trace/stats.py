@@ -11,7 +11,7 @@ bits-per-instruction and record-mix measurements that feed it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.trace.encode import record_bit_length
 from repro.trace.record import RecordKind, TraceRecord

@@ -14,7 +14,7 @@ in-flight instructions than the machine can hold.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.trace.record import TraceRecord
 

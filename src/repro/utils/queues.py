@@ -14,7 +14,8 @@ Reorder Buffer / LSQ occupancy statistics, Section V.B).
 
 from __future__ import annotations
 
-from typing import Generic, Iterator, TypeVar
+from typing import Generic, TypeVar
+from collections.abc import Iterator
 
 T = TypeVar("T")
 

@@ -32,7 +32,8 @@ repro.utils.registry.RegistryError: unknown color 'mauve'; choose from red
 
 from __future__ import annotations
 
-from typing import Generic, Iterator, Mapping, TypeVar
+from typing import Generic, TypeVar
+from collections.abc import Iterator, Mapping
 
 T = TypeVar("T")
 

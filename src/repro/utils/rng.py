@@ -100,7 +100,7 @@ class XorShiftRNG:
         assert last_key is not None  # floating point edge: return last
         return last_key
 
-    def fork(self, stream_id: int) -> "XorShiftRNG":
+    def fork(self, stream_id: int) -> XorShiftRNG:
         """Derive an independent generator for a sub-stream.
 
         The workload generator forks one stream per concern (mix,

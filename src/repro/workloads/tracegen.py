@@ -46,7 +46,7 @@ class UnknownWorkloadError(ValueError):
         )
 
 
-def build_tracer(config: "ProcessorConfig") -> SimBpred:
+def build_tracer(config: ProcessorConfig) -> SimBpred:
     """A functional tracer wired to one processor config.
 
     The generator's predictor/ROB/IFQ parameters must match the
@@ -68,11 +68,11 @@ class SyntheticSource:
     profile_name: str
     kind: str = "synthetic"
 
-    def start_pc(self, config: "ProcessorConfig") -> int | None:
+    def start_pc(self, config: ProcessorConfig) -> int | None:
         """Engine start PC, known before generation begins."""
         return None
 
-    def generate(self, config: "ProcessorConfig", *, budget: int,
+    def generate(self, config: ProcessorConfig, *, budget: int,
                  seed: int, sink=None,
                  ) -> tuple[TraceGenerationResult, int | None]:
         synthetic = SyntheticWorkload(
@@ -92,11 +92,11 @@ class KernelSource:
     kernel_name: str
     kind: str = "kernel"
 
-    def start_pc(self, config: "ProcessorConfig") -> int | None:
+    def start_pc(self, config: ProcessorConfig) -> int | None:
         """Engine start PC, known before generation begins."""
         return kernel_program(self.kernel_name).entry
 
-    def generate(self, config: "ProcessorConfig", *, budget: int,
+    def generate(self, config: ProcessorConfig, *, budget: int,
                  seed: int, sink=None,
                  ) -> tuple[TraceGenerationResult, int | None]:
         program = kernel_program(self.kernel_name)
@@ -172,8 +172,8 @@ class WrittenTrace:
 
 def write_workload_trace(
     workload: str,
-    config: "ProcessorConfig",
-    path: "str | Path",
+    config: ProcessorConfig,
+    path: str | Path,
     *,
     budget: int = 30_000,
     seed: int = 7,
@@ -247,7 +247,7 @@ def write_workload_trace(
 
 def generate_workload_trace(
     workload: str,
-    config: "ProcessorConfig",
+    config: ProcessorConfig,
     *,
     budget: int = 30_000,
     seed: int = 7,

@@ -84,7 +84,7 @@ class TestBaselineAgreement:
         # Allow one adjacent swap (parser/vpr are within noise of each
         # other in both models).
         disagreements = sum(a != b for a, b in
-                            zip(engine_order, baseline_order))
+                            zip(engine_order, baseline_order, strict=True))
         assert disagreements <= 2, (engine_order, baseline_order)
 
     def test_instruction_counts_agree_exactly(self):

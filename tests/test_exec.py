@@ -490,7 +490,7 @@ class TestShardPlan:
         assert plan.shards == 4
         assert plan.ranges[0][0] == 0
         assert plan.ranges[-1][1] == len(table)
-        for (_, hi), (lo, _) in zip(plan.ranges, plan.ranges[1:]):
+        for (_, hi), (lo, _) in zip(plan.ranges, plan.ranges[1:], strict=False):
             assert hi == lo  # contiguous, no gap, no overlap
         assert plan.total_records == sum(s.record_count for s in table)
 

@@ -183,7 +183,7 @@ class TestSearchRuns:
                        "gzip", results_dir=tmp_path / "b",
                        budget=BUDGET)
         assert [o.key for o in a] == [o.key for o in b]
-        for x, y in zip(a, b):
+        for x, y in zip(a, b, strict=True):
             assert stats_to_dict(x.stats) == stats_to_dict(y.stats)
 
     def test_search_resumes_from_checkpoints(self, rob_spec,

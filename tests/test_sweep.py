@@ -185,7 +185,7 @@ class TestSweepRunner:
                              results_dir=tmp_path / "parallel",
                              budget=BUDGET, workers=4)
         assert [o.key for o in serial] == [o.key for o in parallel]
-        for a, b in zip(serial, parallel):
+        for a, b in zip(serial, parallel, strict=True):
             assert stats_to_dict(a.stats) == stats_to_dict(b.stats)
 
     def test_kernel_workload_carries_entry_pc(self, tmp_path):
@@ -295,7 +295,7 @@ class TestCheckpointResume:
         second = run_sweep(small_spec, "gzip", results_dir=directory,
                            budget=BUDGET, workers=1)
         assert second.resumed_count == len(second) == 4
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             assert stats_to_dict(a.stats) == stats_to_dict(b.stats)
 
     def test_partial_checkpoints_resume_partially(self, small_spec,
@@ -486,7 +486,7 @@ class TestExecutionBackends:
                 poll_seconds=0.02, timeout=120))
         assert [o.key for o in serial] == [o.key for o in pool] \
             == [o.key for o in queue]
-        for a, b, c in zip(serial, pool, queue):
+        for a, b, c in zip(serial, pool, queue, strict=True):
             assert stats_to_dict(a.stats) == stats_to_dict(b.stats) \
                 == stats_to_dict(c.stats)
 
@@ -515,7 +515,7 @@ class TestExecutionBackends:
         second = run_sweep(small_spec, "gzip", results_dir=directory,
                            budget=BUDGET, workers=1)
         assert second.resumed_count == len(second) == 4
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             assert stats_to_dict(a.stats) == stats_to_dict(b.stats)
 
     def test_queue_does_not_revive_stale_checkpoints(self, small_spec,
@@ -708,7 +708,7 @@ class TestShardedSweep:
                             budget=BUDGET, segment_records=64,
                             shards=3)
         assert [o.key for o in sharded] == [o.key for o in reference]
-        for mono, shard in zip(reference, sharded):
+        for mono, shard in zip(reference, sharded, strict=True):
             mono_stats = stats_to_dict(mono.stats)
             shard_stats = stats_to_dict(shard.stats)
             for counter in EXACT_SUM_COUNTERS:
@@ -772,7 +772,7 @@ class TestShardedSweep:
         again = run_sweep(small_spec, "gzip", results_dir=directory,
                           budget=BUDGET, segment_records=64, shards=2)
         assert again.resumed_count == len(again)
-        for a, b in zip(first, again):
+        for a, b in zip(first, again, strict=True):
             assert stats_to_dict(a.stats) == stats_to_dict(b.stats)
 
     def test_partial_shard_results_resume(self, small_spec, tmp_path):
@@ -795,7 +795,7 @@ class TestShardedSweep:
         for path, stamp in stamps.items():
             assert path.stat().st_mtime_ns == stamp, \
                 f"shard result {path.name} was recomputed"
-        for a, b in zip(first, again):
+        for a, b in zip(first, again, strict=True):
             assert stats_to_dict(a.stats) == stats_to_dict(b.stats)
 
     def test_single_segment_trace_degrades_to_monolithic(

@@ -1,0 +1,7 @@
+"""Development tooling for the ReSim reproduction (not shipped).
+
+Everything under ``tools/`` runs from a source checkout only — it is
+deliberately outside the installable ``src/`` tree and depends on
+nothing but the standard library, so ``python -m tools.lint`` works
+with no environment setup at all.
+"""

@@ -1,0 +1,55 @@
+"""resim-lint: AST-based invariant linter for the ReSim codebase.
+
+Run it over ``src/`` with either entry point::
+
+    python -m tools.lint            # from the repo root
+    resim lint                      # from the installed CLI
+
+Three rule families enforce the contracts the distributed layer
+depends on (see each module's docstring for the full rationale):
+
+=====  ==============================================================
+D1xx   determinism — seeded RNG only, no wall-clock in results, no
+       set/readdir iteration order escaping, canonical JSON
+S2xx   serialization/queue safety — atomic write-then-rename in the
+       protocol layer, paired spec codecs, named registry components
+X3xx   exact-sum statistics — integer-only Counter64 accumulation,
+       merge() coverage of every statistics field
+=====  ==============================================================
+
+Suppress a finding per line with a *justified* disable comment::
+
+    thing()  # resim-lint: disable=D104 -- why this is safe here
+
+Unjustified (L001) and unused (L002) suppressions are findings
+themselves, so the zero-findings CI gate also keeps suppressions
+honest.
+"""
+
+from __future__ import annotations
+
+# Importing the rule modules registers their rules.
+from tools.lint import determinism, exactsum, serialization  # noqa: F401
+from tools.lint.framework import (
+    FileContext,
+    Finding,
+    LintReport,
+    ProjectRule,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

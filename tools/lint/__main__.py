@@ -1,0 +1,6 @@
+"""``python -m tools.lint`` — the zero-setup entry point."""
+
+from tools.lint.cli import run
+
+if __name__ == "__main__":
+    raise SystemExit(run())

@@ -1,0 +1,95 @@
+"""Command-line front end shared by ``python -m tools.lint`` and
+``resim lint``.
+
+Exit status: 0 clean, 1 findings, 2 usage errors — the CI
+``invariant-lint`` job simply runs it and fails on any non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+
+from tools.lint import all_rules, lint_paths
+
+#: The default lint target: the installable source tree, resolved
+#: relative to the repo root so the gate works from any cwd.
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_TARGET = REPO_ROOT / "src"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="resim lint",
+        description="AST-based invariant linter enforcing the "
+                    "determinism, serialization, and exact-sum "
+                    "contracts (see tools/lint).",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules with their rationale and exit")
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.title}")
+        if rule.rationale:
+            for line in rule.rationale.split(". "):
+                text = line.strip().rstrip(".")
+                if text:
+                    print(f"      {text}.")
+        print()
+    return 0
+
+
+def run(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    select = None
+    if args.select:
+        select = {rule.strip() for rule in args.select.split(",")
+                  if rule.strip()}
+        known = {rule.id for rule in all_rules()}
+        unknown = select - known
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                  f"known: {', '.join(sorted(known))}",
+                  file=sys.stderr)
+            return 2
+    paths = args.paths or [DEFAULT_TARGET]
+    missing = [str(path) for path in paths if not Path(path).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    report = lint_paths(paths, select=select)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (f"checked {report.files_checked} file(s): "
+                   f"{len(report.findings)} finding(s), "
+                   f"{report.suppressions_honored} justified "
+                   f"suppression(s)")
+        print(summary if report.clean else f"\n{summary}",
+              file=sys.stderr)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    raise SystemExit(run())

@@ -1,0 +1,226 @@
+"""X-rules: exact-sum statistics.
+
+Sharded design points are only correct because
+:meth:`SimulationStatistics.merge` is *exact*: counters sum modulo
+2^64 (integer arithmetic, the registers they model) and every field
+of the dataclass is either merged generically or special-cased by
+name.  Two failure modes are invisible to the type system:
+
+* ``X301`` — float arithmetic leaking into :class:`Counter64`
+  accumulation (floats round; 2^53 is smaller than 2^64; an exact-sum
+  counter that ever held a float stops summing exactly);
+* ``X302`` — a field added to ``SimulationStatistics`` that
+  ``merge()`` does not know how to reduce, or an
+  ``EXACT_SUM_COUNTERS`` entry naming a non-counter field (the
+  conformance suite would assert over garbage).
+
+``X302`` is a project rule: it cross-checks ``repro.core.stats``
+against ``repro.exec.shard`` and fires whenever the two drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from tools.lint.framework import (
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    call_name,
+    register,
+)
+
+
+def _float_taint(node: ast.AST) -> str | None:
+    """Why this expression may be a float, or None if it looks
+    integral.  Checks the expression tree for float literals, true
+    division, and float() conversions — the three ways floats creep
+    into counter math in practice."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value,
+                                                       float):
+            return f"float literal {sub.value!r}"
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return "true division (/)"
+        if isinstance(sub, ast.Call) and call_name(sub) == "float":
+            return "float() conversion"
+    return None
+
+
+@register
+class FloatIntoCounterRule(Rule):
+    """X301: float arithmetic reaching Counter64."""
+
+    id = "X301"
+    title = "float arithmetic mixed into Counter64 accumulation"
+    rationale = (
+        "Counter64 models a 64-bit hardware register: exact integer "
+        "sums modulo 2^64 are what make shard merges associative and "
+        "bit-identical to monolithic runs.  Python floats carry 53 "
+        "bits of mantissa — one float in an accumulation silently "
+        "rounds large counts and breaks the exact-sum contract.  Use "
+        "integer arithmetic (//, int()) on the way in; derive rates "
+        "as properties on the way out."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ctx.walk(ast.Call):
+            func = node.func
+            is_counter_ctor = (
+                call_name(node) is not None
+                and call_name(node).rsplit(".", 1)[-1] == "Counter64")
+            is_increment = (isinstance(func, ast.Attribute)
+                            and func.attr == "increment")
+            if not (is_counter_ctor or is_increment):
+                continue
+            for arg in list(node.args) + \
+                    [kw.value for kw in node.keywords]:
+                taint = _float_taint(arg)
+                if taint is not None:
+                    sink = ("Counter64()" if is_counter_ctor
+                            else "Counter64.increment()")
+                    yield self.finding(
+                        ctx, node,
+                        f"{taint} feeds {sink}; counters are exact "
+                        f"64-bit integer registers — keep float math "
+                        f"out of accumulation")
+                    break
+
+
+def _class_def(ctx: FileContext, name: str) -> ast.ClassDef | None:
+    for node in ctx.walk(ast.ClassDef):
+        if node.name == name:
+            return node
+    return None
+
+
+def _stats_fields(cls: ast.ClassDef) -> dict[str, str]:
+    """Annotated dataclass fields of SimulationStatistics:
+    ``{field_name: annotation_source}``."""
+    fields: dict[str, str] = {}
+    for item in cls.body:
+        if isinstance(item, ast.AnnAssign) \
+                and isinstance(item.target, ast.Name):
+            fields[item.target.id] = ast.unparse(item.annotation)
+    return fields
+
+
+def _merge_special_cases(cls: ast.ClassDef) -> set[str]:
+    """Field names merge() handles by explicit name comparison
+    (``spec.name == "shards"``-style), i.e. outside the generic
+    counter/sampler reduction."""
+    handled: set[str] = set()
+    for item in cls.body:
+        if not (isinstance(item, ast.FunctionDef)
+                and item.name == "merge"):
+            continue
+        for node in ast.walk(item):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            names = [op for op in operands
+                     if isinstance(op, ast.Attribute)
+                     and op.attr == "name"]
+            constants = [op.value for op in operands
+                         if isinstance(op, ast.Constant)
+                         and isinstance(op.value, str)]
+            if names and constants:
+                handled.update(constants)
+    return handled
+
+
+def _exact_sum_counters(ctx: FileContext) -> tuple[ast.Assign | None,
+                                                   list[str]]:
+    """The EXACT_SUM_COUNTERS assignment and its entries."""
+    for node in ctx.walk(ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Name) \
+                    and target.id == "EXACT_SUM_COUNTERS":
+                names = [
+                    element.value
+                    for element in ast.walk(node.value)
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)]
+                return node, names
+    return None, []
+
+
+#: Field kinds merge() reduces generically (isinstance dispatch).
+_MERGEABLE_KINDS = ("Counter64", "OccupancySampler")
+
+
+@register
+class MergeCompletenessRule(ProjectRule):
+    """X302: every statistics field must be covered by merge()."""
+
+    id = "X302"
+    title = "SimulationStatistics field not covered by merge()"
+    rationale = (
+        "merge() reduces Counter64 and OccupancySampler fields "
+        "generically and special-cases the rest by name; a new field "
+        "of any other kind silently breaks shard reduction (at best "
+        "a crash, at worst wrong statistics).  Separately, every "
+        "name in EXACT_SUM_COUNTERS must be a Counter64 field — the "
+        "conformance suite asserts exact equality over that set."
+    )
+
+    def check_project(self,
+                      contexts: list[FileContext]) -> Iterable[Finding]:
+        stats_ctx = next((ctx for ctx in contexts
+                          if ctx.module == "repro.core.stats"), None)
+        if stats_ctx is None:
+            return  # linting a subset that excludes the stats module
+        cls = _class_def(stats_ctx, "SimulationStatistics")
+        if cls is None:
+            yield Finding(
+                path=stats_ctx.path, line=1, col=1, rule=self.id,
+                message="repro.core.stats no longer defines "
+                        "SimulationStatistics; X302 cannot verify "
+                        "merge completeness")
+            return
+        fields = _stats_fields(cls)
+        special = _merge_special_cases(cls)
+        for name, annotation in fields.items():
+            kind = annotation.split("|")[0].strip()
+            if kind in _MERGEABLE_KINDS:
+                continue
+            if name in special:
+                continue
+            line = next(
+                (item.lineno for item in cls.body
+                 if isinstance(item, ast.AnnAssign)
+                 and isinstance(item.target, ast.Name)
+                 and item.target.id == name), cls.lineno)
+            yield Finding(
+                path=stats_ctx.path, line=line, col=1, rule=self.id,
+                message=f"field {name!r} ({annotation}) is neither a "
+                        f"generically merged kind "
+                        f"({'/'.join(_MERGEABLE_KINDS)}) nor "
+                        f"special-cased by name in merge(); shard "
+                        f"reduction would break")
+
+        shard_ctx = next((ctx for ctx in contexts
+                          if ctx.module == "repro.exec.shard"), None)
+        if shard_ctx is None:
+            return
+        assign, counters = _exact_sum_counters(shard_ctx)
+        if assign is None:
+            yield Finding(
+                path=shard_ctx.path, line=1, col=1, rule=self.id,
+                message="repro.exec.shard no longer defines "
+                        "EXACT_SUM_COUNTERS; X302 cannot verify the "
+                        "conformance set")
+            return
+        for name in counters:
+            if fields.get(name) != "Counter64":
+                yield Finding(
+                    path=shard_ctx.path, line=assign.lineno, col=1,
+                    rule=self.id,
+                    message=f"EXACT_SUM_COUNTERS entry {name!r} is "
+                            f"not a Counter64 field of "
+                            f"SimulationStatistics "
+                            f"(found: {fields.get(name)!r}); the "
+                            f"conformance suite would assert over "
+                            f"garbage")

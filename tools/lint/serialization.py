@@ -1,0 +1,211 @@
+"""S-rules: serialization and queue-protocol safety.
+
+The directory queue (:mod:`repro.exec.queue`) survives SIGKILL at any
+instruction only because every shared-filesystem artifact is written
+with the write-tmpfile-then-rename idiom, and resumable campaigns
+survive version skew only because every serializable component
+round-trips through a spec.  These rules make both contracts
+mechanical:
+
+* ``S201`` — inside the queue/checkpoint protocol layer, no bare
+  ``open(path, "w")`` / ``.write_text()`` to a non-temporary target;
+* ``S202`` — codec methods come in pairs (``to_spec``/``from_spec``,
+  ``to_dict``/``from_dict``): a one-way codec cannot round-trip;
+* ``S203`` — a class registered into a component registry must carry
+  a ``name`` class attribute (the registry key *is* its spec form —
+  specs and CLI flags reconstruct the component by that name).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from tools.lint.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    register,
+)
+
+#: Modules implementing the shared-filesystem protocol (queue files,
+#: leases, result documents, sweep checkpoints/manifests).  Only here
+#: is a bare write a protocol violation; user-facing exports (e.g.
+#: ``SweepResult.to_csv``) may write destinations directly.
+_PROTOCOL_MODULES = ("repro.exec", "repro.sweep.runner")
+
+#: Target names that mark the write as the first half of the atomic
+#: write-then-rename idiom.
+_TMP_TARGET_RE = re.compile(r"tmp|temp|part|scratch", re.IGNORECASE)
+
+_WRITE_MODES = re.compile(r"[wax]")
+
+
+def _in_protocol_layer(module: str) -> bool:
+    return any(module == prefix or module.startswith(prefix + ".")
+               for prefix in _PROTOCOL_MODULES)
+
+
+@register
+class NonAtomicWriteRule(Rule):
+    """S201: bare writes of protocol artifacts."""
+
+    id = "S201"
+    title = "non-atomic write of a queue/checkpoint artifact"
+    rationale = (
+        "A worker killed mid-write must leave the old artifact (or "
+        "none), never truncated JSON that bricks every future "
+        "resume.  Files in the queue/checkpoint protocol layer are "
+        "written via atomic_write_json or an explicit tmp-file + "
+        "os.replace; a bare open(path, 'w') or write_text on the "
+        "final path races every reader on the shared mount."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_protocol_layer(ctx.module):
+            return
+        for node in ctx.walk(ast.Call):
+            target = self._unsafe_write_target(node)
+            if target is None:
+                continue
+            if _TMP_TARGET_RE.search(target):
+                continue  # tmp-file half of write-then-rename
+            yield self.finding(
+                ctx, node,
+                f"direct write to {target!r} in the protocol layer; "
+                f"use atomic_write_json() or write a *.tmp file and "
+                f"os.replace() it into place")
+
+    def _unsafe_write_target(self, node: ast.Call) -> str | None:
+        """The written path's source text, if this call writes."""
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = None
+            if len(node.args) >= 2:
+                mode = node.args[1]
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+            if isinstance(mode, ast.Constant) \
+                    and isinstance(mode.value, str) \
+                    and _WRITE_MODES.search(mode.value):
+                return ast.unparse(node.args[0]) if node.args else "?"
+            return None
+        if isinstance(func, ast.Attribute) \
+                and func.attr in ("write_text", "write_bytes"):
+            return ast.unparse(func.value)
+        return None
+
+
+#: Codec method pairs: defining one half without the other leaves a
+#: component that can be serialized but never reconstructed (or the
+#: reverse).
+_CODEC_PAIRS = (("to_spec", "from_spec"), ("to_dict", "from_dict"))
+
+
+@register
+class OneWayCodecRule(Rule):
+    """S202: to_spec/from_spec and to_dict/from_dict must pair up."""
+
+    id = "S202"
+    title = "one-way spec codec (to_* without from_*, or vice versa)"
+    rationale = (
+        "Serializable components round-trip: work units cross "
+        "process and host boundaries as dicts, specs are the cache "
+        "key of every future memoization layer.  A class with "
+        "to_dict but no from_dict (or the reverse) silently becomes "
+        "write-only; if the asymmetry is intended (a pure export), "
+        "say so with a justified suppression."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ctx.walk(ast.ClassDef):
+            methods = {
+                item.name for item in node.body
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef))}
+            for encode, decode in _CODEC_PAIRS:
+                if encode in methods and decode not in methods:
+                    yield self.finding(
+                        ctx, node,
+                        f"class {node.name} defines {encode}() but "
+                        f"no {decode}(): the codec cannot round-trip")
+                elif decode in methods and encode not in methods:
+                    yield self.finding(
+                        ctx, node,
+                        f"class {node.name} defines {decode}() but "
+                        f"no {encode}(): the codec cannot round-trip")
+
+
+@register
+class RegisteredClassNameRule(Rule):
+    """S203: registry-registered classes must expose ``name``."""
+
+    id = "S203"
+    title = "registry-registered class without a name attribute"
+    rationale = (
+        "The registry key is the component's serialized form — CLI "
+        "flags, JSON specs, and sweep axes all reconstruct it by "
+        "name.  A registered class must carry a matching 'name' "
+        "class attribute so instances can describe themselves and "
+        "round-trip through specs."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ctx.walk(ast.ClassDef):
+            registered_as = self._registry_key(node)
+            if registered_as is None:
+                continue
+            declared = self._declared_name(node)
+            if declared is None:
+                yield self.finding(
+                    ctx, node,
+                    f"class {node.name} is registered as "
+                    f"{registered_as!r} but declares no 'name' class "
+                    f"attribute; specs and describe() need it")
+            elif declared not in ("?", registered_as):
+                yield self.finding(
+                    ctx, node,
+                    f"class {node.name} registers as "
+                    f"{registered_as!r} but declares name="
+                    f"{declared!r}; the two must agree or specs "
+                    f"resolve a different component than describe() "
+                    f"reports")
+
+    @staticmethod
+    def _registry_key(node: ast.ClassDef) -> str | None:
+        """The registration key when the class is decorated with
+        ``@SOME_REGISTRY.register("key")`` (ALL_CAPS registry)."""
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            func = decorator.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr == "register" \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id.isupper() \
+                    and decorator.args \
+                    and isinstance(decorator.args[0], ast.Constant) \
+                    and isinstance(decorator.args[0].value, str):
+                return decorator.args[0].value
+        return None
+
+    @staticmethod
+    def _declared_name(node: ast.ClassDef) -> str | None:
+        """The class-body ``name = "..."`` constant, if any."""
+        for item in node.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(item, ast.Assign):
+                targets, value = item.targets, item.value
+            elif isinstance(item, ast.AnnAssign) and item.value:
+                targets, value = [item.target], item.value
+            for target in targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == "name":
+                    if isinstance(value, ast.Constant) \
+                            and isinstance(value.value, str):
+                        return value.value
+                    return "?"  # dynamic; treat as declared
+        return None
