@@ -28,7 +28,18 @@ Subcommands mirror how the paper's system is used:
   queue directory (``sweep``/``search`` with ``--backend queue``)
   and simulates them until the queue drains or it is stopped;
 * ``stats``    — statistics utilities: ``stats merge A.json B.json``
-  reduces per-shard result documents into one merged document.
+  reduces per-shard result documents into one merged document;
+* ``serve``    — the campaign service: a long-lived process accepting
+  simulate/sweep/search submissions over HTTP/JSON, scheduling them
+  onto the execution backends, streaming progress events, and
+  memoizing every completed work unit in a content-addressed result
+  cache (``serve ROOT --port N``);
+* ``client``   — drive a running service: ``client submit REQ.json``,
+  ``client batch REQS.json --wait``, ``client watch/fetch/status/``
+  ``cancel JOB``, ``client health/cache/jobs``;
+* ``spec``     — spec utilities: ``spec hash`` prints the canonical
+  content key (spec + trace digest + engine version) the campaign
+  cache addresses results by.
 
 Entry point: ``python -m repro.cli <subcommand>`` or the installed
 ``resim`` script.
@@ -112,6 +123,8 @@ def _describe_predictor(blob) -> str:
 
 def cmd_trace_info(args) -> int:
     """`resim trace info <file>`: inspect a stored trace."""
+    from repro.serve.canon import trace_digest  # deferred: hashes the file
+
     path = Path(args.output)
     try:
         header = read_trace_header(path)
@@ -121,6 +134,33 @@ def cmd_trace_info(args) -> int:
     except TraceFileError as error:
         raise SystemExit(f"{path}: {error}") from error
     size = path.stat().st_size
+    digest = trace_digest(path)
+    if args.format == "json":
+        import json as _json
+        document = {
+            "path": str(path),
+            "file_size_bytes": size,
+            "format_version": header.version,
+            "records": header.record_count,
+            "committed_low32": header.committed_low32,
+            "payload_bits": header.bit_length,
+            "bits_per_instruction": header.bits_per_instruction,
+            "content_digest": digest,
+            "metadata": dict(header.metadata),
+            "segment_count": (None if header.version == 1
+                              else header.segment_count),
+            "segment_records": (None if header.version == 1
+                                else header.segment_records),
+            "segments": [
+                {"index": segment.index,
+                 "records": segment.record_count,
+                 "bits": segment.bit_length,
+                 "payload_offset": segment.payload_offset}
+                for segment in segments
+            ],
+        }
+        print(_json.dumps(document, indent=2, sort_keys=True))
+        return 0
     print(f"{path}")
     print(f"  format version       : {header.version}"
           + ("" if header.version != 1 else " (monolithic payload)"))
@@ -129,6 +169,7 @@ def cmd_trace_info(args) -> int:
     print(f"  committed (low 32)   : {header.committed_low32}")
     print(f"  payload bits         : {header.bit_length}")
     print(f"  bits per instruction : {header.bits_per_instruction:.2f}")
+    print(f"  content digest       : {digest}")
     metadata = dict(header.metadata)
     predictor = metadata.pop("predictor", None)
     print(f"  generation predictor : {_describe_predictor(predictor)}")
@@ -533,6 +574,149 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _read_json_document(target):
+    """Load a JSON document from a file path, or stdin for ``-``."""
+    import json as _json
+    if target in (None, "-"):
+        raw = sys.stdin.read()
+        label = "<stdin>"
+    else:
+        try:
+            raw = Path(target).read_text()
+        except OSError as error:
+            raise SystemExit(
+                f"{target}: {error.strerror or error}") from error
+        label = target
+    try:
+        return _json.loads(raw)
+    except _json.JSONDecodeError as error:
+        raise SystemExit(f"{label}: not valid JSON ({error})") from error
+
+
+def cmd_serve(args) -> int:
+    """``resim serve``: run the campaign service until interrupted."""
+    from repro.serve import (
+        CampaignServer,
+        CampaignService,
+        ServiceError,
+    )
+
+    if args.concurrency < 1:
+        raise SystemExit(f"--concurrency must be >= 1, "
+                         f"got {args.concurrency}")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    try:
+        service = CampaignService(
+            args.root, concurrency=args.concurrency,
+            workers=args.workers)
+        server = CampaignServer(service, host=args.host,
+                                port=args.port)
+    except (ServiceError, OSError) as error:
+        raise SystemExit(str(error)) from error
+
+    def ready(host: str, port: int) -> None:
+        print(f"campaign service listening on http://{host}:{port} "
+              f"(root {Path(args.root).resolve()})", flush=True)
+
+    try:
+        server.run(ready=ready)
+    except OSError as error:
+        raise SystemExit(
+            f"cannot serve on {args.host}:{args.port}: "
+            f"{error}") from error
+    return 0
+
+
+def cmd_client(args) -> int:
+    """``resim client``: drive a running campaign service."""
+    import json as _json
+    from repro.serve import ClientError, ServiceClient
+
+    client = ServiceClient(args.host, args.port,
+                           timeout=args.timeout)
+
+    def show(document) -> None:
+        print(_json.dumps(document, indent=2, sort_keys=True))
+
+    def watch(job_id: str) -> dict:
+        # Events go to stderr so stdout stays one parseable JSON
+        # document (the batch/submit answer or final status).
+        def on_event(event: dict) -> None:
+            print(_json.dumps(event, sort_keys=True),
+                  file=sys.stderr, flush=True)
+        return client.wait(job_id, on_event=on_event)
+
+    try:
+        if args.action == "health":
+            show(client.health())
+        elif args.action == "cache":
+            show(client.cache_stats())
+        elif args.action == "jobs":
+            show({"jobs": client.jobs()})
+        elif args.action == "submit":
+            answer = client.submit(_read_json_document(args.target))
+            if args.wait:
+                watch(answer["job_id"])
+                show(client.result(answer["job_id"]))
+            else:
+                show(answer)
+        elif args.action == "batch":
+            documents = _read_json_document(args.target)
+            if not isinstance(documents, list):
+                raise SystemExit(
+                    "batch expects a JSON array of request documents")
+            answers = client.batch_submit(documents)
+            if args.wait:
+                for answer in answers:
+                    watch(answer["job_id"])
+                show({"results": [client.result(answer["job_id"])
+                                  for answer in answers]})
+            else:
+                show({"submitted": answers})
+        else:  # watch / fetch / status / cancel need a job id
+            if not args.target:
+                raise SystemExit(f"resim client {args.action} needs "
+                                 f"a job id")
+            if args.action == "watch":
+                show(watch(args.target))
+            elif args.action == "fetch":
+                show(client.result(args.target))
+            elif args.action == "status":
+                show(client.status(args.target))
+            else:
+                show(client.cancel(args.target))
+    except ClientError as error:
+        raise SystemExit(str(error)) from error
+    return 0
+
+
+def cmd_spec(args) -> int:
+    """``resim spec hash``: print a simulation spec's canonical
+    content key — the same canonicalization + hash the campaign
+    cache builds its keys from, so two invocations agree iff the
+    service would treat the specs as the same computation."""
+    from repro.session import SessionError
+
+    if args.length < 4 or args.length > 64:
+        raise SystemExit(f"--length must be in 4..64, "
+                         f"got {args.length}")
+    try:
+        if args.file:
+            simulation = Simulation.from_spec(
+                _read_json_document(args.file))
+        elif args.trace_file:
+            simulation = Simulation.for_trace_file(
+                args.trace_file, config=_config(args.config))
+        else:
+            simulation = _workload_simulation(args,
+                                              _config(args.config))
+        print(simulation.spec_key(length=args.length))
+    except SessionError as error:
+        raise SystemExit(str(error)) from error
+    return 0
+
+
 def cmd_lint(args) -> int:
     """`resim lint`: run the project's AST invariant linter.
 
@@ -593,6 +777,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_SEGMENT_RECORDS,
                        help="records per v2 segment (decode granularity "
                             "of streaming readers)")
+    trace.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="with 'info': output format (json includes "
+                            "the trace content digest the campaign "
+                            "cache keys on)")
     trace.set_defaults(func=cmd_trace)
 
     simulate = sub.add_parser("simulate", help="run the timing engine")
@@ -744,6 +933,71 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--output", "-o", default=None,
                        help="write the merged document here")
     stats.set_defaults(func=cmd_stats)
+
+    # Defaults below mirror repro.serve.app.DEFAULT_HOST/DEFAULT_PORT;
+    # literals keep parser construction free of the serve import.
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service: async submission API + "
+             "content-addressed result cache")
+    serve.add_argument("root", nargs="?", default="campaign-root",
+                       help="service state directory (cache, job "
+                            "journal, results; reuse to resume "
+                            "journaled jobs after a crash)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8437,
+                       help="listen port (0 = pick a free port)")
+    serve.add_argument("--concurrency", type=int, default=2,
+                       help="jobs running at once")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="process-pool size per job (1 = serial)")
+    serve.set_defaults(func=cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="talk to a running campaign service")
+    client.add_argument(
+        "action",
+        choices=("submit", "batch", "watch", "fetch", "status",
+                 "cancel", "health", "cache", "jobs"),
+        help="submit/batch take a request JSON file; "
+             "watch/fetch/status/cancel take a job id")
+    client.add_argument(
+        "target", nargs="?", default=None,
+        help="request document path ('-' = stdin) for submit, a "
+             "JSON array of documents for batch, or a job id")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8437)
+    client.add_argument("--timeout", type=float, default=600.0,
+                        help="per-request socket timeout in seconds")
+    client.add_argument("--wait", action="store_true",
+                        help="after submit/batch: stream progress "
+                             "events until done, then print the "
+                             "result envelope")
+    client.set_defaults(func=cmd_client)
+
+    spec = sub.add_parser(
+        "spec",
+        help="spec utilities: 'spec hash' prints the canonical "
+             "content key the campaign cache uses")
+    spec.add_argument("action", choices=("hash",),
+                      help="operation (currently only 'hash')")
+    spec.add_argument("--file", default=None, metavar="SPEC_JSON",
+                      help="hash a saved spec document "
+                           "('-' = stdin)")
+    spec.add_argument("--trace-file", default=None,
+                      help="hash a trace-file simulation spec")
+    spec.add_argument("--workload", default="gzip",
+                      help="hash a workload simulation spec "
+                           "(ignored with --file/--trace-file)")
+    spec.add_argument("--config", default="4wide-perfect",
+                      help=f"processor config ({', '.join(CONFIGS)})")
+    spec.add_argument("--budget", type=int, default=20_000)
+    spec.add_argument("--seed", type=int, default=7)
+    spec.add_argument("--length", type=int, default=40,
+                      help="hex digits to print (4..64; the campaign "
+                           "cache uses 40)")
+    spec.set_defaults(func=cmd_spec)
 
     lint = sub.add_parser(
         "lint",

@@ -53,8 +53,11 @@ from repro.exec.unit import (
     RESULT_SCHEMA,
     UnitExecutionError,
     WorkUnit,
+    atomic_write_json,
+    error_document,
     execute_unit,
     load_unit_result,
+    result_matches_unit,
 )
 from repro.exec.worker import LeaseHeartbeat, run_worker
 
@@ -73,13 +76,16 @@ __all__ = [
     "ShardReducer",
     "UnitExecutionError",
     "WorkUnit",
+    "atomic_write_json",
     "enqueue",
+    "error_document",
     "execute_unit",
     "load_unit_result",
     "merge_result_documents",
     "plan_shards",
     "queue_paths",
     "reclaim_stale",
+    "result_matches_unit",
     "run_worker",
     "shard_units",
 ]

@@ -50,12 +50,20 @@ def config_from_dict(data: dict) -> ProcessorConfig:
     return ProcessorConfig(**data)
 
 
+def canonical_json(data: dict) -> str:
+    """The canonical JSON form of a document: sorted keys, no
+    insertion-order leakage.  Every byte-compared or hashed document
+    in the repo (digests, cache keys, queue descriptors) goes through
+    this one serialization so two hosts always agree on the bytes."""
+    return json.dumps(data, sort_keys=True)
+
+
 def canonical_digest(data: dict, length: int = 16) -> str:
     """Truncated SHA-256 over a dict's canonical JSON form: stable
     across processes and interpreter restarts (unlike ``hash()``),
     and short enough to be a filename stem.  Every identifier derived
     from a config shares this one canonicalization."""
-    canonical = json.dumps(data, sort_keys=True)
+    canonical = canonical_json(data)
     return hashlib.sha256(canonical.encode()).hexdigest()[:length]
 
 

@@ -1,0 +1,110 @@
+"""``repro.serve`` — the campaign service: async submission API +
+content-addressed result cache.
+
+The ROADMAP's north star is serving heavy design-space-exploration
+traffic; this package is that front door.  A long-lived
+``resim serve`` process accepts simulate/sweep/search submissions as
+plain JSON documents, schedules them onto the existing execution
+backends with bounded concurrency and a crash-safe journal, streams
+progress as line-delimited JSON, and — the production-scale move —
+memoizes every completed work unit in a content-addressed store, so
+overlapping queries from any number of clients simulate each distinct
+computation exactly once.  The pieces:
+
+* :mod:`repro.serve.canon` — cache-key derivation: canonicalized
+  spec + trace content digest + engine version;
+* :mod:`repro.serve.cache` — :class:`CacheStore` (atomic, versioned,
+  self-invalidating on engine bumps) and :class:`CachingBackend`
+  (memoizes any :class:`~repro.exec.ExecutionBackend`);
+* :mod:`repro.serve.jobs` — :class:`JobManager`: submission
+  coalescing, bounded concurrency, journal-backed restart recovery,
+  cooperative cancellation;
+* :mod:`repro.serve.app` — :class:`CampaignService` (request
+  validation + job execution) and the server shells;
+* :mod:`repro.serve.http` — the stdlib asyncio HTTP/JSON layer;
+* :mod:`repro.serve.client` — :class:`ServiceClient`, the
+  programmatic twin of ``resim client``.
+
+Quick start (one process)::
+
+    from repro.serve import BackgroundServer, CampaignService, \\
+        ServiceClient
+
+    service = CampaignService("campaign-root")
+    with BackgroundServer(service) as server:
+        client = ServiceClient(*server.address)
+        answer = client.submit({"kind": "sweep",
+                                "axes": {"rob_entries": [8, 16]},
+                                "workload": "gzip", "budget": 4000})
+        client.wait(answer["job_id"])
+        print(client.result(answer["job_id"])["cache"])
+"""
+
+from repro.serve.app import (
+    BackgroundServer,
+    CampaignServer,
+    CampaignService,
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    REQUEST_KINDS,
+    ServiceError,
+)
+from repro.serve.cache import (
+    CACHE_SCHEMA,
+    CacheError,
+    CacheStore,
+    CachingBackend,
+)
+from repro.serve.canon import (
+    CACHE_KEY_LENGTH,
+    CanonError,
+    ENGINE_VERSION,
+    KEY_SCHEMA,
+    cache_key,
+    canonical_spec,
+    trace_digest,
+)
+from repro.serve.client import ClientError, ServiceClient
+from repro.serve.jobs import (
+    JOB_SCHEMA,
+    JOB_STATES,
+    Job,
+    JobCancelled,
+    JobContext,
+    JobError,
+    JobManager,
+    TERMINAL_STATES,
+    request_key,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "CACHE_KEY_LENGTH",
+    "CACHE_SCHEMA",
+    "CampaignServer",
+    "CampaignService",
+    "CanonError",
+    "CacheError",
+    "CacheStore",
+    "CachingBackend",
+    "ClientError",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ENGINE_VERSION",
+    "JOB_SCHEMA",
+    "JOB_STATES",
+    "Job",
+    "JobCancelled",
+    "JobContext",
+    "JobError",
+    "JobManager",
+    "KEY_SCHEMA",
+    "REQUEST_KINDS",
+    "ServiceClient",
+    "ServiceError",
+    "TERMINAL_STATES",
+    "cache_key",
+    "canonical_spec",
+    "request_key",
+    "trace_digest",
+]

@@ -1,0 +1,118 @@
+"""Canonical cache keys: (canonical spec, trace digest, engine version).
+
+The campaign service memoizes completed simulations, which is only
+sound if two submissions that describe *the same computation* agree on
+one key — and two submissions that could differ in a single produced
+bit never share one.  A ReSim result is a deterministic function of
+exactly three things:
+
+* **the canonical spec** — :meth:`Simulation.canonical_spec`:
+  defaults materialized, config fully expanded, keys sorted, so spec
+  key reordering, omitted defaults, and registered-name-vs-full-dict
+  configs all collapse to one form;
+* **the trace content** — hashed by :func:`trace_digest`, never
+  identified by path: the same trace regenerated into two different
+  job directories (or copied across hosts) must hit the same cache
+  entry, so :func:`cache_key` *replaces* the spec's ``trace_file``
+  path with the file's content digest.  Workload-sourced specs carry
+  no digest — generation is deterministic in the spec itself;
+* **the engine version** — :data:`ENGINE_VERSION`: a simulator change
+  may legitimately change results, so a version bump changes every
+  key (and :class:`~repro.serve.cache.CacheStore` additionally purges
+  entries written by other versions).
+
+Everything is hashed through :func:`repro.serialize.canonical_digest`
+(sorted-key JSON → SHA-256), the same canonicalization every other
+identifier in the repo uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from collections.abc import Mapping
+
+from repro import __version__ as ENGINE_VERSION
+from repro.serialize import canonical_digest
+from repro.session import SessionError, Simulation
+
+#: Hex digits of a cache key (160 bits of SHA-256): long enough that
+#: collisions are not a practical concern, short enough for filenames.
+CACHE_KEY_LENGTH = 40
+
+#: Cache-key schema; bump when the key derivation itself changes (a
+#: derivation change silently re-keys every entry, which must read as
+#: a miss, never as a false hit).
+KEY_SCHEMA = 1
+
+
+class CanonError(ValueError):
+    """Raised for specs that cannot be canonically keyed."""
+
+
+def trace_digest(path: str | Path, *, chunk_bytes: int = 1 << 20) -> str:
+    """Content digest of a stored trace file: streamed SHA-256 over
+    the raw bytes, constant memory regardless of trace length.
+
+    This is the digest ``resim trace info`` surfaces and the one the
+    campaign-service cache key folds in — byte-identical trace files
+    digest identically wherever they live.
+    """
+    digest = hashlib.sha256()
+    try:
+        with open(path, "rb") as handle:
+            while chunk := handle.read(chunk_bytes):
+                digest.update(chunk)
+    except OSError as error:
+        raise CanonError(
+            f"cannot digest trace file {path}: "
+            f"{error.strerror or error}") from error
+    return f"sha256:{digest.hexdigest()}"
+
+
+def canonical_spec(spec: Mapping) -> dict:
+    """Canonicalize a raw spec mapping (see
+    :meth:`Simulation.canonical_spec`); raises :class:`CanonError`
+    for specs :meth:`Simulation.from_spec` rejects."""
+    try:
+        return Simulation.from_spec(spec).canonical_spec()
+    except SessionError as error:
+        raise CanonError(str(error)) from error
+
+
+def cache_key(
+    spec: Mapping,
+    *,
+    trace_digest: str | None = None,
+    engine_version: str = ENGINE_VERSION,
+    length: int = CACHE_KEY_LENGTH,
+) -> str:
+    """The content-addressed cache key of one simulation spec.
+
+    ``trace_digest`` is required for (and only for) trace-file specs:
+    the spec's machine-specific ``trace_file`` *path* is replaced by
+    the digest so relocated-but-identical traces share an entry.
+    Workload specs pass ``None`` — the canonical spec alone pins the
+    deterministic generation.
+    """
+    canonical = canonical_spec(spec)
+    if canonical["trace_file"] is not None:
+        if trace_digest is None:
+            raise CanonError(
+                "a trace-file spec needs its trace content digest to "
+                "be cache-keyed (paths are machine-specific); pass "
+                "trace_digest=trace_digest(path)"
+            )
+        canonical["trace_file"] = None
+    elif trace_digest is not None:
+        raise CanonError(
+            "a workload spec has no trace file to digest; its "
+            "generation is pinned by the canonical spec alone"
+        )
+    identity = {
+        "key_schema": KEY_SCHEMA,
+        "engine_version": engine_version,
+        "spec": canonical,
+        "trace_digest": trace_digest,
+    }
+    return canonical_digest(identity, length=length)

@@ -1,0 +1,176 @@
+"""A stdlib HTTP client for the campaign service (``resim client``).
+
+:class:`ServiceClient` speaks the :mod:`repro.serve.http` contract
+with nothing beyond ``http.client``: one connection per call
+(the server answers ``Connection: close``), JSON documents both ways,
+and a line-by-line reader for the NDJSON event stream.  It is the
+programmatic twin of the ``resim client`` subcommand and the driver
+the test suite, the benchmark, and the CI smoke job all share.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPException
+from collections.abc import Callable, Iterator, Mapping, Sequence
+
+#: Default per-request socket timeout.  Generous: a submission answer
+#: is instant, but a watch stream stays open for the whole job.
+DEFAULT_TIMEOUT_SECONDS = 600.0
+
+
+class ClientError(RuntimeError):
+    """A failed request: transport trouble or a non-2xx answer.
+
+    ``status`` is the HTTP status code when the server answered
+    (0 when the failure was transport-level), so callers can
+    distinguish "your request is malformed" (4xx) from "the service
+    is gone".
+    """
+
+    def __init__(self, message: str, *, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one campaign service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8437, *,
+                 timeout: float = DEFAULT_TIMEOUT_SECONDS) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _open(self, method: str, path: str,
+              body_doc: Mapping | None = None) -> tuple[int, object]:
+        """One request; returns ``(status, response_object)``.  The
+        caller owns reading/closing the response."""
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=self.timeout)
+        headers = {"Accept": "application/json"}
+        body = None
+        if body_doc is not None:
+            body = json.dumps(dict(body_doc), sort_keys=True).encode()
+            headers["Content-Type"] = "application/json"
+        try:
+            connection.request(method, path, body=body,
+                               headers=headers)
+            response = connection.getresponse()
+        except (OSError, HTTPException) as error:
+            connection.close()
+            raise ClientError(
+                f"cannot reach campaign service at "
+                f"{self.host}:{self.port}: {error}") from error
+        return response.status, response
+
+    def request(self, method: str, path: str,
+                body_doc: Mapping | None = None) -> dict:
+        """One JSON round trip; raises :class:`ClientError` on any
+        non-2xx answer (carrying the server's ``error`` message)."""
+        status, response = self._open(method, path, body_doc)
+        try:
+            raw = response.read()
+        finally:
+            response.close()
+        try:
+            answer = json.loads(raw.decode()) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ClientError(
+                f"service answered non-JSON to {method} {path}: "
+                f"{error}", status=status) from error
+        if status >= 400:
+            detail = answer.get("error", raw.decode(errors="replace")) \
+                if isinstance(answer, dict) else str(answer)
+            raise ClientError(
+                f"{method} {path} failed ({status}): {detail}",
+                status=status)
+        if not isinstance(answer, dict):
+            raise ClientError(
+                f"service answered a non-object document to "
+                f"{method} {path}", status=status)
+        return answer
+
+    # -- API surface ---------------------------------------------------
+
+    def health(self) -> dict:
+        return self.request("GET", "/v1/health")
+
+    def cache_stats(self) -> dict:
+        return self.request("GET", "/v1/cache")
+
+    def jobs(self) -> list[dict]:
+        return self.request("GET", "/v1/jobs")["jobs"]
+
+    def submit(self, request_doc: Mapping) -> dict:
+        """Submit one request document; returns the submission answer
+        (``job_id``, ``state``, ``coalesced``, ``request_key``)."""
+        return self.request("POST", "/v1/jobs", request_doc)
+
+    def batch_submit(self, request_docs: Sequence[Mapping]
+                     ) -> list[dict]:
+        """Submit several request documents, in order."""
+        return [self.submit(request_doc)
+                for request_doc in request_docs]
+
+    def status(self, job_id: str) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The finished job's result envelope (409 → ClientError
+        while it is still running)."""
+        return self.request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def events(self, job_id: str, *, after: int = 0
+               ) -> Iterator[dict]:
+        """Iterate the job's NDJSON event stream; ends when the job
+        reaches a terminal state (the server closes the stream)."""
+        status, response = self._open(
+            "GET", f"/v1/jobs/{job_id}/events?after={after}")
+        if status >= 400:
+            raw = response.read()
+            response.close()
+            try:
+                detail = json.loads(raw.decode()).get("error", "")
+            except (UnicodeDecodeError, json.JSONDecodeError,
+                    AttributeError):
+                detail = raw.decode(errors="replace")
+            raise ClientError(
+                f"events stream for {job_id!r} failed ({status}): "
+                f"{detail}", status=status)
+        try:
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                text = line.decode().strip()
+                if not text:
+                    continue
+                try:
+                    event = json.loads(text)
+                except json.JSONDecodeError as error:
+                    raise ClientError(
+                        f"malformed event line from service: "
+                        f"{text!r}") from error
+                yield event
+        finally:
+            response.close()
+
+    def wait(self, job_id: str, *,
+             on_event: Callable[[dict], None] | None = None) -> dict:
+        """Consume the event stream until the job is terminal; returns
+        the final status document."""
+        for event in self.events(job_id):
+            if on_event is not None:
+                on_event(event)
+        return self.status(job_id)
+
+    def describe(self) -> str:
+        return f"ServiceClient({self.host!r}, {self.port})"
+
+    __repr__ = describe

@@ -1,0 +1,280 @@
+"""A minimal HTTP/1.1 JSON layer over the campaign service.
+
+Stdlib-only by design (the repo bakes in no web framework): one
+``asyncio.start_server`` callback parses a single request per
+connection (``Connection: close``), routes it, and answers JSON.  The
+API surface::
+
+    GET  /v1/health                     service liveness + job counts
+    GET  /v1/cache                      cache hit/miss/occupancy stats
+    GET  /v1/jobs                       every job's status document
+    POST /v1/jobs                       submit a request document
+    GET  /v1/jobs/<id>                  one job's status document
+    GET  /v1/jobs/<id>/result           the finished job's payload
+    GET  /v1/jobs/<id>/events[?after=N] NDJSON progress stream
+    POST /v1/jobs/<id>/cancel           cooperative cancellation
+
+Error contract: malformed documents and unknown request kinds are
+``400`` with ``{"error": ...}``; unknown jobs and paths are ``404``;
+wrong methods are ``405``; asking a job that is not ``done`` for its
+result is ``409``.  The events endpoint streams line-delimited JSON
+(one event object per line) and closes once the job reaches a
+terminal state — the long-poll primitive ``resim client watch``
+builds on.
+
+All responses are canonical JSON (``sort_keys=True``): service
+answers are documents like any other in this repo and may be hashed
+or byte-compared by clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.jobs import DONE, JobError
+
+#: Submissions larger than this are refused outright (413) — request
+#: documents are small; anything bigger is a client bug.
+MAX_BODY_BYTES = 4 << 20
+
+#: Seconds between polls of a streaming job's event log.
+EVENT_POLL_SECONDS = 0.05
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """An error response decided before (or instead of) routing."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json_body(self) -> object:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpError(
+                400, f"request body is not valid JSON: {error}"
+            ) from error
+
+
+class HttpApi:
+    """Route parsed requests into a
+    :class:`~repro.serve.app.CampaignService`."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    # -- connection handling -------------------------------------------
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        """One connection: parse, route, respond, close."""
+        try:
+            try:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                await self._dispatch(request, writer)
+            except _HttpError as error:
+                self._respond(writer, error.status,
+                              {"error": error.message})
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return
+            except Exception as error:  # noqa: BLE001 — the server
+                # must answer 500 and survive, whatever a handler
+                # raised.
+                self._respond(
+                    writer, 500,
+                    {"error": f"{type(error).__name__}: {error}"})
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> _Request | None:
+        start_line = await reader.readline()
+        if not start_line.strip():
+            return None  # client connected and went away
+        parts = start_line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HttpError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise _HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        return _Request(method=method, path=split.path,
+                        query=parse_qs(split.query), body=body)
+
+    # -- responses -----------------------------------------------------
+
+    def _respond(self, writer: asyncio.StreamWriter, status: int,
+                 body_doc: dict) -> None:
+        body = (json.dumps(body_doc, sort_keys=True) + "\n").encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    # -- routing -------------------------------------------------------
+
+    async def _dispatch(self, request: _Request,
+                        writer: asyncio.StreamWriter) -> None:
+        segments = [part for part in request.path.split("/") if part]
+        if not segments or segments[0] != "v1":
+            raise _HttpError(404, f"no such path {request.path!r}")
+        route = segments[1:]
+        method = request.method
+
+        if route == ["health"]:
+            self._require_method(method, "GET")
+            self._respond(writer, 200, self.service.health_document())
+        elif route == ["cache"]:
+            self._require_method(method, "GET")
+            self._respond(writer, 200, self.service.store.stats_document())
+        elif route == ["jobs"]:
+            if method == "GET":
+                self._respond(writer, 200, {
+                    "jobs": [self.service.status_document(job)
+                             for job in self.service.manager.jobs()]})
+            elif method == "POST":
+                self._submit(request, writer)
+            else:
+                raise _HttpError(405, f"{method} not allowed here")
+        elif len(route) == 2 and route[0] == "jobs":
+            self._require_method(method, "GET")
+            job = self._job(route[1])
+            self._respond(writer, 200, self.service.status_document(job))
+        elif len(route) == 3 and route[0] == "jobs" \
+                and route[2] == "result":
+            self._require_method(method, "GET")
+            self._result(route[1], writer)
+        elif len(route) == 3 and route[0] == "jobs" \
+                and route[2] == "cancel":
+            self._require_method(method, "POST")
+            job = self.service.manager.cancel(self._job(route[1]).job_id)
+            self._respond(writer, 200, self.service.status_document(job))
+        elif len(route) == 3 and route[0] == "jobs" \
+                and route[2] == "events":
+            self._require_method(method, "GET")
+            await self._stream_events(route[1], request, writer)
+        else:
+            raise _HttpError(404, f"no such path {request.path!r}")
+
+    @staticmethod
+    def _require_method(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"{method} not allowed here")
+
+    def _job(self, job_id: str):
+        try:
+            return self.service.manager.get(job_id)
+        except JobError as error:
+            raise _HttpError(404, str(error)) from error
+
+    def _submit(self, request: _Request,
+                writer: asyncio.StreamWriter) -> None:
+        body_doc = request.json_body()
+        if not isinstance(body_doc, dict):
+            raise _HttpError(400, "submission must be a JSON object")
+        try:
+            job, coalesced = self.service.submit(body_doc)
+        except ValueError as error:
+            # ServiceError, CanonError, SweepError, SessionError —
+            # the whole validation family means "fix your request".
+            raise _HttpError(400, str(error)) from error
+        self._respond(writer, 200 if coalesced else 202, {
+            "job_id": job.job_id,
+            "state": job.state,
+            "request_key": job.request_key,
+            "coalesced": coalesced,
+        })
+
+    def _result(self, job_id: str,
+                writer: asyncio.StreamWriter) -> None:
+        job = self._job(job_id)
+        if job.state != DONE:
+            raise _HttpError(
+                409,
+                f"job {job_id!r} has no result yet "
+                f"(state {job.state!r}"
+                + (f": {job.error}" if job.error else "") + ")")
+        self._respond(writer, 200, {
+            "job_id": job.job_id,
+            "state": job.state,
+            "cache": {"hits": job.cache_hits,
+                      "misses": job.cache_misses},
+            "result": self.service.manager.result_document(job_id),
+        })
+
+    async def _stream_events(self, job_id: str, request: _Request,
+                             writer: asyncio.StreamWriter) -> None:
+        """NDJSON event stream: everything after ``?after=N``, then
+        live events until the job is terminal."""
+        job = self._job(job_id)
+        try:
+            after = int(request.query.get("after", ["0"])[0])
+        except ValueError:
+            raise _HttpError(400, "malformed 'after' parameter") \
+                from None
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        manager = self.service.manager
+        seq = after
+        while True:
+            for event in manager.events_since(job_id, seq):
+                seq = event["seq"]
+                line = json.dumps(event, sort_keys=True) + "\n"
+                writer.write(line.encode())
+            await writer.drain()
+            if job.finished and not manager.events_since(job_id, seq):
+                break
+            await asyncio.sleep(EVENT_POLL_SECONDS)

@@ -59,7 +59,12 @@ from repro.core.config import (
 from repro.core.engine import EngineObserver, ReSimEngine, SimulationResult
 from repro.fpga.device import DEVICES, FpgaDevice
 from repro.isa.program import Program
-from repro.serialize import config_from_dict, config_to_dict, stats_to_dict
+from repro.serialize import (
+    canonical_digest,
+    config_from_dict,
+    config_to_dict,
+    stats_to_dict,
+)
 from repro.trace.fileio import (
     read_trace_file,
     read_trace_header,
@@ -594,6 +599,62 @@ class Simulation:
         if self._max_cycles is not None:
             spec["max_cycles"] = self._max_cycles
         return spec
+
+    def canonical_spec(self) -> dict:
+        """The *canonical* serializable description of this run.
+
+        Same contract as :meth:`to_spec` (``from_spec`` reproduces the
+        identical run) but normalized for hashing: every default is
+        materialized (a spec that omits ``budget`` and one that spells
+        out ``"budget": 30000`` canonicalize identically), the config
+        is always the full config dict (a registered name and its
+        expanded dict canonicalize identically), keys are emitted in
+        sorted order, and the source entry always carries all three
+        source keys (``workload`` / ``trace_file`` / ``segments``,
+        unused ones ``None``).  The ``streaming`` flag is dropped: it
+        selects an I/O strategy with bit-identical statistics, so two
+        specs differing only there describe the same result.
+
+        This is the spec half of the campaign-service cache key (see
+        :mod:`repro.serve.canon`); :meth:`spec_key` hashes it.
+        """
+        self.to_spec()  # same serializability rules (and errors)
+        source = self._source
+        if isinstance(source, _WorkloadSource):
+            entry: dict = {"workload": source.name, "trace_file": None,
+                           "segments": None}
+        else:
+            segments = (None if source.segments is None
+                        else [int(source.segments[0]),
+                              int(source.segments[1])])
+            entry = {"workload": None, "trace_file": source.path,
+                     "segments": segments}
+        spec = {
+            "schema": SPEC_SCHEMA,
+            "config": config_to_dict(self._config),
+            "budget": self._budget,
+            "seed": self._seed,
+            "start_pc": self._start_pc,
+            "update_predictor_at_commit": self._update_at_commit,
+            "devices": [device.name for device in self._devices],
+            "warmup_instructions": self._warmup,
+            "roi_instructions": self._roi,
+            "max_cycles": self._max_cycles,
+            **entry,
+        }
+        return dict(sorted(spec.items()))
+
+    def spec_key(self, *, length: int = 40) -> str:
+        """Canonical hash of this run's description.
+
+        Truncated SHA-256 over :meth:`canonical_spec`'s canonical JSON
+        — invariant under spec key reordering and default
+        materialization, so users can predict the campaign service's
+        cache keys offline (``resim spec hash``).  Note the full cache
+        key additionally folds in the trace content digest and the
+        engine version (:func:`repro.serve.canon.cache_key`).
+        """
+        return canonical_digest(self.canonical_spec(), length=length)
 
     # -- fluent builders -----------------------------------------------
 

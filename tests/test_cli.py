@@ -311,3 +311,68 @@ class TestShardedCli:
             main(["stats", "merge", str(bad)])
         with pytest.raises(SystemExit, match="No such file|o such"):
             main(["stats", "merge", str(tmp_path / "missing.json")])
+
+
+class TestSpecHash:
+    def test_flags_and_file_agree(self, tmp_path, capsys):
+        assert main(["spec", "hash", "--workload", "gzip",
+                     "--budget", BUDGET]) == 0
+        from_flags = capsys.readouterr().out.strip()
+        assert len(from_flags) == 40
+        spec = Simulation.for_workload(
+            "gzip", CONFIGS.get("4wide-perfect"),
+            budget=int(BUDGET), seed=7).to_spec()
+        saved = tmp_path / "spec.json"
+        saved.write_text(json.dumps(spec))
+        assert main(["spec", "hash", "--file", str(saved)]) == 0
+        assert capsys.readouterr().out.strip() == from_flags
+
+    def test_key_order_does_not_matter(self, tmp_path, capsys):
+        spec = Simulation.for_workload(
+            "gzip", CONFIGS.get("4wide-perfect"),
+            budget=int(BUDGET), seed=7).to_spec()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(spec))
+        b.write_text(json.dumps(dict(reversed(list(spec.items())))))
+        assert main(["spec", "hash", "--file", str(a)]) == 0
+        hash_a = capsys.readouterr().out.strip()
+        assert main(["spec", "hash", "--file", str(b)]) == 0
+        assert capsys.readouterr().out.strip() == hash_a
+
+    def test_length_and_validation(self, capsys):
+        assert main(["spec", "hash", "--workload", "gzip",
+                     "--budget", BUDGET, "--length", "64"]) == 0
+        assert len(capsys.readouterr().out.strip()) == 64
+        with pytest.raises(SystemExit, match="--length"):
+            main(["spec", "hash", "--length", "2"])
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["spec", "hash", "--file", "/dev/null"])
+
+
+class TestTraceInfoJson:
+    def test_json_format_carries_cache_digest(self, tmp_path, capsys):
+        out = tmp_path / "gzip.rtrc"
+        assert main(["trace", "gzip", str(out),
+                     "--budget", BUDGET]) == 0
+        capsys.readouterr()
+        assert main(["trace", "info", str(out),
+                     "--format", "json"]) == 0
+        raw = capsys.readouterr().out
+        document = json.loads(raw)
+        from repro.serve import trace_digest
+        assert document["content_digest"] == trace_digest(out)
+        assert document["records"] > 0
+        assert document["format_version"] == 2
+        assert document["segments"]
+        # Canonical form: sorted keys, so output is diffable.
+        assert raw.strip() \
+            == json.dumps(document, indent=2, sort_keys=True)
+
+    def test_text_format_also_names_digest(self, tmp_path, capsys):
+        out = tmp_path / "v.rtrc"
+        assert main(["trace", "vecsum", str(out),
+                     "--budget", BUDGET]) == 0
+        capsys.readouterr()
+        assert main(["trace", "info", str(out)]) == 0
+        assert "content digest       : sha256:" \
+            in capsys.readouterr().out

@@ -33,7 +33,8 @@ from tools.lint.framework import (
 #: leases, result documents, sweep checkpoints/manifests).  Only here
 #: is a bare write a protocol violation; user-facing exports (e.g.
 #: ``SweepResult.to_csv``) may write destinations directly.
-_PROTOCOL_MODULES = ("repro.exec", "repro.sweep.runner")
+_PROTOCOL_MODULES = ("repro.exec", "repro.serve.cache",
+                     "repro.serve.jobs", "repro.sweep.runner")
 
 #: Target names that mark the write as the first half of the atomic
 #: write-then-rename idiom.
