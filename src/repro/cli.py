@@ -58,7 +58,8 @@ from repro.fpga.area import AreaEstimator
 from repro.fpga.device import DEVICES, VIRTEX4_LX40, VIRTEX5_LX50T
 from repro.fpga.vhdlgen import generate_branch_predictor_vhdl
 from repro.multicore.simulator import MultiCoreSimulator, TraceChannel
-from repro.session import CONFIGS, Simulation
+from repro.core.specialize import ENGINES
+from repro.session import CONFIGS, SessionError, Simulation
 from repro.trace.fileio import (
     DEFAULT_SEGMENT_RECORDS,
     TraceFileError,
@@ -84,6 +85,17 @@ def _device(name: str):
     try:
         return DEVICES.get(name)
     except RegistryError as error:
+        raise SystemExit(str(error)) from error
+
+
+def _apply_engine(simulation: Simulation, engine: str) -> Simulation:
+    """Select the engine tier before observers attach / prepare()
+    runs (``with_*`` clones invalidate the prepared-trace cache)."""
+    if engine == "reference":
+        return simulation
+    try:
+        return simulation.with_engine(engine)
+    except SessionError as error:
         raise SystemExit(str(error)) from error
 
 
@@ -203,6 +215,7 @@ def cmd_simulate(args) -> int:
             args.trace_file, config=config,
             streaming=not args.in_memory,
         ).with_devices(VIRTEX4_LX40, VIRTEX5_LX50T)
+        simulation = _apply_engine(simulation, args.engine)
         if args.progress:
             # Attach before prepare(): every with_* clone invalidates
             # the prepared-trace cache, and preparing twice would
@@ -223,6 +236,7 @@ def cmd_simulate(args) -> int:
     else:
         simulation = _workload_simulation(args, config).with_devices(
             VIRTEX4_LX40, VIRTEX5_LX50T)
+        simulation = _apply_engine(simulation, args.engine)
         if args.progress:
             simulation = simulation.with_observer(
                 ProgressObserver(args.progress_records))
@@ -451,6 +465,7 @@ def cmd_sweep(args) -> int:
             budget=args.budget, seed=args.seed, workers=args.workers,
             backend=backend, progress=_bulk_progress(args),
             shards=args.shards, segment_records=args.segment_records,
+            engine=args.engine,
         )
         result = runner.run()
     except (SweepError, ExecError) as error:
@@ -521,6 +536,7 @@ def cmd_search(args) -> int:
             budget=args.budget, seed=args.seed, workers=args.workers,
             backend=backend, progress=_bulk_progress(args),
             shards=args.shards, segment_records=args.segment_records,
+            engine=args.engine,
         )
         search = runner.run()
     except (SweepError, ExecError) as error:
@@ -797,6 +813,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--progress-records", type=int,
                           default=100_000,
                           help="records between progress lines")
+    simulate.add_argument("--engine", default="reference",
+                          help=f"engine tier ({', '.join(ENGINES)}); "
+                               f"tiers are bit-identical, 'specialized' "
+                               f"compiles the config into a fast path")
     simulate.set_defaults(func=cmd_simulate)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -873,6 +893,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="records per v2 trace segment when the "
                             "sweep generates its trace (the shard "
                             "planner's boundary granularity)")
+        p.add_argument("--engine", default="reference",
+                       help=f"engine tier executing every point "
+                            f"({', '.join(ENGINES)}); tiers are "
+                            f"bit-identical, so checkpoints and cache "
+                            f"keys are shared across them")
         p.add_argument("--progress", action="store_true",
                        help="report per-point completion to stderr")
         p.add_argument("--device", default="xc4vlx40",

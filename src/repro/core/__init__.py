@@ -38,10 +38,19 @@ from repro.core.minorpipe import (
     SimplePipeline,
     select_pipeline,
 )
+from repro.core.specialize import (
+    ENGINES,
+    EngineRequest,
+    SpecializationError,
+    SpecializedEngine,
+    create_engine,
+)
 from repro.core.stats import SimulationStatistics
 
 __all__ = [
+    "ENGINES",
     "EngineObserver",
+    "EngineRequest",
     "ImprovedPipeline",
     "MinorPipeline",
     "OptimizedPipeline",
@@ -53,5 +62,8 @@ __all__ = [
     "SimplePipeline",
     "SimulationResult",
     "SimulationStatistics",
+    "SpecializationError",
+    "SpecializedEngine",
+    "create_engine",
     "select_pipeline",
 ]

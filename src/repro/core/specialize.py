@@ -1,0 +1,1116 @@
+"""Config-specialized engine generation — the raw-speed tier.
+
+:class:`~repro.core.engine.ReSimEngine` interprets one immutable
+:class:`~repro.core.config.ProcessorConfig`: every major cycle it
+re-reads the same config attributes, re-dispatches through the same
+registries, and re-tests the same dead branches (no observers
+attached, no wrong-path records in the trace, perfect memory).
+Reshadi & Dutt ("Generic Pipelined Processor Modeling and High
+Performance Cycle-Accurate Simulator Generation") get their speed by
+*generating* the simulator from the machine description instead.
+This module applies that move to ReSim:
+
+* :func:`compile_engine` emits the source of a ``run_trace`` function
+  for one fully-resolved configuration — config constants are inlined
+  as literals, predictor/cache calls are pre-bound locals, statistics
+  are plain local integers, and statically-dead branches (observer
+  dispatch, wrong-path recovery for wrong-path-free traces, the cache
+  hierarchy under perfect memory) are not emitted at all — then
+  ``exec``-compiles it, memoized in-process by a config-content hash;
+* :class:`SpecializedEngine` wraps the compiled function behind the
+  reference engine's ``run()`` shape and rebuilds the exact
+  :class:`~repro.core.stats.SimulationStatistics` from the returned
+  counters;
+* :data:`ENGINES` is the tier registry (``reference`` |
+  ``specialized``) with :func:`create_engine` as the selection point:
+  a request the specialized tier cannot honour (observers, warmup/ROI
+  windows, subclassed configs) transparently falls back to the
+  reference engine.
+
+The contract is **bit-identity**: for every supported request the
+specialized engine produces the same ``SimulationStatistics`` — and
+therefore the same result documents, checkpoints, and cache keys — as
+the reference engine, proven by the differential conformance suite in
+``tests/test_specialize.py`` with the reference engine as oracle
+(exactly how backends and shards were landed).
+
+The generated code is a line-for-line transcription of the reference
+stage semantics (Commit, Writeback, Lsq_refresh, Issue, Dispatch,
+Fetch in reverse pipeline order); when editing ``engine.py``'s stage
+logic, update :func:`_engine_source` in lockstep — the differential
+suite fails loudly on any divergence.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from repro.bpred.unit import BranchPredictorUnit
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import MemorySystem
+from repro.core.config import ProcessorConfig
+from repro.core.engine import EngineObserver, ReSimEngine, SimulationResult
+from repro.core.stats import Counter64, OccupancySampler, SimulationStatistics
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.opcodes import FuClass
+from repro.isa.program import TEXT_BASE
+from repro.serialize import canonical_digest, config_to_dict
+from repro.trace.record import BranchRecord, MemoryRecord, TraceRecord
+from repro.trace.source import InMemorySource, TraceSource, as_source
+from repro.utils.registry import Registry
+
+
+class SpecializationError(ValueError):
+    """A request the specialized tier cannot honour was forced on it."""
+
+
+@dataclass(frozen=True)
+class EngineRequest:
+    """Everything tier selection needs to know about one run.
+
+    Mirrors the reference engine's constructor plus the run-control
+    surface that decides specializability: observers and
+    instrumentation windows force the reference tier, and
+    ``wrong_path_free`` (a *sound* static fact about the trace,
+    derived from generation statistics or the v2 header's
+    committed-count consistency field) lets the generator compile out
+    speculative fetch and recovery entirely.
+    """
+
+    config: ProcessorConfig
+    trace: TraceSource | Sequence[TraceRecord]
+    start_pc: int | None = None
+    update_predictor_at_commit: bool = True
+    observers: tuple[EngineObserver, ...] = ()
+    warmup_instructions: int = 0
+    roi_instructions: int | None = None
+    stop_when: Callable | None = None
+    wrong_path_free: bool = False
+
+
+# ----------------------------------------------------------------------
+# The in-flight-op record used by generated code.
+#
+# A plain __slots__ class, not the reference dataclass: generated code
+# needs only the fields it actually reads, pre-decoded at admit time
+# (so the hot loop never touches the trace record again), and encodes
+# state as a small int (0=dispatched, 1=issued, 2=completed,
+# 3=squashed; committed ops leave all structures immediately) and the
+# waiting-on set as two producer-seq slots (an op has at most two
+# source registers), both measurably cheaper than enum/set traffic.
+# ----------------------------------------------------------------------
+
+
+class _Op:
+    __slots__ = (
+        "seq", "pc", "state", "exec_done", "completed",
+        "w1", "w2", "is_mem", "is_load", "is_store", "is_branch",
+        "fuc", "tag", "src1", "src2", "d1", "d2", "address",
+        "memory_ready", "forwarded", "bk", "taken", "target",
+        "resolution",
+    )
+
+
+def _block(text: str, indent: int) -> list[str]:
+    """Re-indent a template chunk by ``indent`` spaces."""
+    pad = " " * indent
+    lines = []
+    for line in text.strip("\n").splitlines():
+        lines.append(pad + line if line.strip() else "")
+    return lines
+
+
+def _admit_chunk(*, pc_var: str, wrong_path: bool) -> str:
+    """The fetch-side record decode: consume one record into the IFQ.
+
+    Pre-computes everything the later stages read so the hot loop
+    never revisits the trace record.  Register semantics transcribe
+    ``TraceRecord.src_registers``/``dest_registers``: sources are the
+    nonzero src fields in order, destinations are (HI, LO) for MUL/DIV
+    and the nonzero dest otherwise.
+    """
+    tag_line = "op.tag = rec.tag\n" if wrong_path else ""
+    return f"""
+op = Op()
+op.seq = seq
+seq += 1
+op.pc = {pc_var}
+op.state = 0
+op.w1 = -1
+op.w2 = -1
+op.src1 = rec.src1
+op.src2 = rec.src2
+op.memory_ready = False
+op.forwarded = False
+{tag_line}klass = rec.__class__
+fu = rec.fu
+if klass is MemRec:
+    op.is_mem = True
+    op.is_branch = False
+    ld = fu is FU_LOAD
+    op.is_load = ld
+    op.is_store = not ld
+    op.address = rec.address
+    op.fuc = 0
+    op.d1 = rec.dest
+    op.d2 = 0
+elif klass is BrRec:
+    op.is_mem = False
+    op.is_load = False
+    op.is_store = False
+    op.is_branch = True
+    op.bk = rec.branch_kind
+    op.taken = rec.taken
+    op.target = rec.target
+    op.fuc = 0
+    op.d1 = rec.dest
+    op.d2 = 0
+else:
+    op.is_mem = False
+    op.is_branch = False
+    op.is_load = fu is FU_LOAD
+    op.is_store = fu is FU_STORE
+    if fu is FU_MUL:
+        op.fuc = 1
+        op.d1 = 32
+        op.d2 = 33
+    elif fu is FU_DIV:
+        op.fuc = 2
+        op.d1 = 32
+        op.d2 = 33
+    else:
+        op.fuc = 0
+        op.d1 = rec.dest
+        op.d2 = 0
+ifq.append(op)
+c_fetched += 1
+c_cons += 1
+"""
+
+
+def _icache_chunk(*, pc_var: str, perfect: bool, block_bytes: int) -> str:
+    """The once-per-line I-cache access; on a miss, charges the stall
+    and breaks out of the fetch loop (the record stays in the trace
+    for the post-stall retry, which then hits the line buffer)."""
+    if perfect:
+        return f"""
+line = {pc_var} // 64
+if line != last_line:
+    last_line = line
+    c_iacc += 1
+"""
+    return f"""
+line = {pc_var} // {block_bytes}
+if line != last_line:
+    res = m_ifetch({pc_var})
+    c_iacc += 1
+    last_line = line
+    if not res.hit:
+        c_imiss += 1
+        fetch_stall += res.latency - 1
+        break
+"""
+
+
+def _engine_source(
+    config: ProcessorConfig,
+    *,
+    update_at_commit: bool,
+    wrong_path: bool,
+    inline_source: bool,
+) -> str:
+    """Emit the specialized ``run_trace`` source for one configuration.
+
+    Variant axes (each statically resolved, never re-tested at run
+    time): in-memory records vs generic :class:`TraceSource` cursor,
+    perfect memory vs cache hierarchy, commit-time vs fetch-time
+    predictor training, and wrong-path handling present vs compiled
+    out (sound only for traces proven wrong-path-free).
+    """
+    width = config.width
+    perfect = config.perfect_memory
+    lines: list[str] = []
+
+    def emit(text: str, indent: int = 0) -> None:
+        lines.extend(_block(text, indent))
+
+    emit(f"""
+# Generated by repro.core.specialize for one ProcessorConfig.
+# Bit-identical transcription of repro.core.engine.ReSimEngine.
+def run_trace(trace, start_pc, bpred, memory, max_cycles):
+    Op = _Op
+    MemRec = _MemoryRecord
+    BrRec = _BranchRecord
+    FU_LOAD = _FU_LOAD
+    FU_STORE = _FU_STORE
+    FU_MUL = _FU_MUL
+    FU_DIV = _FU_DIV
+    bp_resolve = bpred.resolve
+    bp_update = bpred.update
+    ifq = _deque()
+    dec = _deque()
+    rob = _deque()
+    lsq = _deque()
+    table = [None] * 64
+    consumers = dict()
+    cycle = 0
+    seq = 0
+    fetch_pc = start_pc
+    fetch_stall = 0
+    last_line = -1
+    c_commit = 0
+    c_fetched = 0
+    c_fwp = 0
+    c_disc = 0
+    c_cons = 0
+    c_branches = 0
+    c_loads = 0
+    c_stores = 0
+    c_mispred = 0
+    c_misfetch = 0
+    c_taken = 0
+    c_diverge = 0
+    c_fwd = 0
+    c_dacc = 0
+    c_dmiss = 0
+    c_iacc = 0
+    c_imiss = 0
+    c_fstall = 0
+    c_mfstall = 0
+    c_rstall = 0
+    ifq_tot = 0
+    ifq_peak = 0
+    rob_tot = 0
+    rob_peak = 0
+    lsq_tot = 0
+    lsq_peak = 0
+""")
+    if inline_source:
+        emit("""
+    records = trace
+    idx = 0
+""")
+    else:
+        emit("""
+    src_peek = trace.peek
+    src_next = trace.next
+    src_tagged = trace.peek_is_tagged
+""")
+    if not perfect:
+        emit("""
+    m_ifetch = memory.ifetch
+    m_dread = memory.dread
+    m_dwrite = memory.dwrite
+""")
+    if wrong_path:
+        emit("""
+    speculative = False
+    spec_pc = 0
+    spec_branch_seq = -1
+""")
+        # Cold-start drain: a segment-range shard may open inside a
+        # wrong-path block whose faulting branch lives in the previous
+        # shard (same bookkeeping as the reference constructor).
+        if inline_source:
+            emit("""
+    while idx < len(records) and records[idx].tag:
+        idx += 1
+        c_disc += 1
+        c_cons += 1
+""")
+        else:
+            emit("""
+    while src_tagged():
+        src_next()
+        c_disc += 1
+        c_cons += 1
+""")
+    if config.div_count != 1:
+        emit(f"""
+    div_busy = [0] * {config.div_count}
+""")
+    else:
+        emit("""
+    div_busy = 0
+""")
+
+    # ---- main loop: done check, cycle budget ----
+    if inline_source:
+        emit("""
+    while True:
+        if idx >= len(records) and not rob and not ifq and not dec:
+            break
+        if cycle >= max_cycles:
+            raise RuntimeError(
+                "simulation exceeded " + str(max_cycles) + " cycles ("
+                + str(idx) + "/" + str(len(records))
+                + " records consumed)")
+""")
+    else:
+        emit("""
+    while True:
+        if src_peek() is None and not rob and not ifq and not dec:
+            break
+        if cycle >= max_cycles:
+            raise RuntimeError(
+                "simulation exceeded " + str(max_cycles) + " cycles ("
+                + str(trace.consumed) + "/" + str(trace.total_records)
+                + " records consumed)")
+""")
+    emit("""
+        cycle += 1
+        alu_used = 0
+        mul_used = 0
+        div_used = 0
+""")
+
+    # ---- Commit ----
+    emit(f"""
+        # ---- Commit ----
+        committed = 0
+        wr_used = 0
+        while committed < {width} and rob:
+            op = rob[0]
+            if op.state != 2 or op.completed >= cycle:
+                break
+            if op.is_store:
+                if wr_used >= {config.mem_write_ports}:
+                    break
+                wr_used += 1
+""")
+    if perfect:
+        emit("""
+                c_dacc += 1
+""")
+    else:
+        emit("""
+                res = m_dwrite(op.address)
+                c_dacc += 1
+                if not res.hit:
+                    c_dmiss += 1
+""")
+    emit("""
+            rob.popleft()
+            if op.is_mem:
+                lsq.popleft()
+            d = op.d1
+            if d and table[d] is op:
+                table[d] = None
+            d = op.d2
+            if d and table[d] is op:
+                table[d] = None
+            consumers.pop(op.seq, None)
+            c_commit += 1
+            if op.is_load:
+                c_loads += 1
+            elif op.is_store:
+                c_stores += 1
+            elif op.is_branch:
+                c_branches += 1
+                if op.taken:
+                    c_taken += 1
+""")
+    if update_at_commit:
+        emit("""
+                bp_update(op.pc, op.bk, op.taken, op.target,
+                          op.resolution)
+""")
+    if wrong_path:
+        emit("""
+                committed += 1
+                if op.seq == spec_branch_seq:
+                    # Mis-speculation recovery: flush the pipeline,
+                    # discard the rest of the tagged block, redirect.
+                    for x in rob:
+                        x.state = 3
+                        consumers.pop(x.seq, None)
+                    rob.clear()
+                    lsq.clear()
+                    ifq.clear()
+                    dec.clear()
+                    for r in range(64):
+                        p = table[r]
+                        if p is not None and p.tag:
+                            table[r] = None
+""")
+        if inline_source:
+            emit("""
+                    while idx < len(records) and records[idx].tag:
+                        idx += 1
+                        c_disc += 1
+                        c_cons += 1
+""")
+        else:
+            emit("""
+                    while src_tagged():
+                        src_next()
+                        c_disc += 1
+                        c_cons += 1
+""")
+        emit(f"""
+                    fetch_pc = (op.target if op.taken
+                                else op.pc + {INSTRUCTION_BYTES})
+                    speculative = False
+                    spec_branch_seq = -1
+                    fetch_stall += {config.misspeculation_penalty}
+                    c_rstall += {config.misspeculation_penalty}
+                    c_mispred += 1
+                    break
+                continue
+            committed += 1
+""")
+    else:
+        emit("""
+                committed += 1
+                continue
+            committed += 1
+""")
+
+    # ---- Writeback ----
+    emit(f"""
+        # ---- Writeback ----
+        remaining = {width}
+        for op in rob:
+            if remaining == 0:
+                break
+            if op.state == 1 and op.exec_done <= cycle:
+                op.state = 2
+                op.completed = cycle
+                remaining -= 1
+                s = op.seq
+                for c in consumers.pop(s, ()):
+                    if c.state != 3:
+                        if c.w1 == s:
+                            c.w1 = -1
+                        if c.w2 == s:
+                            c.w2 = -1
+""")
+
+    # ---- Lsq_refresh ----
+    emit("""
+        # ---- Lsq_refresh ----
+        stores = []
+        for op in lsq:
+            if op.is_store:
+                stores.append(op)
+                continue
+            if op.state != 0 or op.memory_ready:
+                continue
+            if op.w1 >= 0 or op.w2 >= 0:
+                continue
+            ok = True
+            fwd = False
+            a = op.address >> 2
+            for st in reversed(stores):
+                s = st.state
+                if s != 1 and s != 2:
+                    ok = False
+                    break
+                if (st.address >> 2) == a:
+                    if s == 2:
+                        fwd = True
+                    else:
+                        ok = False
+                    break
+            if ok:
+                op.memory_ready = True
+                if fwd:
+                    op.forwarded = True
+""")
+
+    # ---- Issue ----
+    emit(f"""
+        # ---- Issue ----
+        remaining = {width}
+        rd_used = 0
+        for op in rob:
+            if remaining == 0:
+                break
+            if op.state != 0 or op.w1 >= 0 or op.w2 >= 0:
+                continue
+            if op.is_load:
+                if not op.memory_ready:
+                    continue
+                if op.forwarded:
+                    lat = 1
+                    c_fwd += 1
+                else:
+                    if rd_used >= {config.mem_read_ports}:
+                        continue
+                    rd_used += 1
+""")
+    if perfect:
+        emit("""
+                    c_dacc += 1
+                    lat = 1
+""")
+    else:
+        emit("""
+                    res = m_dread(op.address)
+                    c_dacc += 1
+                    if not res.hit:
+                        c_dmiss += 1
+                    lat = res.latency
+""")
+    emit(f"""
+            else:
+                f = op.fuc
+                if f == 0:
+                    if alu_used >= {config.alu_count}:
+                        continue
+                    alu_used += 1
+                    lat = {config.alu_latency}
+                elif f == 1:
+                    if mul_used >= {config.mul_count}:
+                        continue
+                    mul_used += 1
+                    lat = {config.mul_latency}
+                else:
+""")
+    if config.div_count == 1:
+        emit(f"""
+                    if div_used >= 1 or div_busy > cycle:
+                        continue
+                    div_used += 1
+                    div_busy = cycle + {config.div_latency}
+                    lat = {config.div_latency}
+""")
+    else:
+        emit(f"""
+                    if div_used >= {config.div_count}:
+                        continue
+                    slot = -1
+                    for i in range({config.div_count}):
+                        if div_busy[i] <= cycle:
+                            slot = i
+                            break
+                    if slot < 0:
+                        continue
+                    div_used += 1
+                    div_busy[slot] = cycle + {config.div_latency}
+                    lat = {config.div_latency}
+""")
+    emit("""
+            op.state = 1
+            op.exec_done = cycle + lat
+            remaining -= 1
+""")
+
+    # ---- Dispatch ----
+    emit(f"""
+        # ---- Dispatch ----
+        dispatched = 0
+        while dispatched < {width} and dec:
+            op = dec[0]
+            if len(rob) >= {config.rob_entries}:
+                break
+            if op.is_mem and len(lsq) >= {config.lsq_entries}:
+                break
+            dec.popleft()
+            rob.append(op)
+            if op.is_mem:
+                lsq.append(op)
+            r = op.src1
+            if r:
+                p = table[r]
+                if p is not None and p.state < 2:
+                    ps = p.seq
+                    op.w1 = ps
+                    cl = consumers.get(ps)
+                    if cl is None:
+                        consumers[ps] = [op]
+                    else:
+                        cl.append(op)
+            r = op.src2
+            if r:
+                p = table[r]
+                if p is not None and p.state < 2:
+                    ps = p.seq
+                    op.w2 = ps
+                    cl = consumers.get(ps)
+                    if cl is None:
+                        consumers[ps] = [op]
+                    else:
+                        cl.append(op)
+            d = op.d1
+            if d:
+                table[d] = op
+            d = op.d2
+            if d:
+                table[d] = op
+            dispatched += 1
+""")
+
+    # ---- Fetch ----
+    emit(f"""
+        # ---- Fetch ----
+        moved = 0
+        while moved < {width} and len(dec) < {width} and ifq:
+            dec.append(ifq.popleft())
+            moved += 1
+        if fetch_stall > 0:
+            fetch_stall -= 1
+            c_fstall += 1
+        else:
+            fetched = 0
+            while fetched < {width} and len(ifq) < {config.ifq_entries}:
+""")
+    if inline_source:
+        emit("""
+                if idx >= len(records):
+                    break
+                rec = records[idx]
+""", indent=0)
+    else:
+        emit("""
+                rec = src_peek()
+                if rec is None:
+                    break
+""")
+    consume = "idx += 1" if inline_source else "src_next()"
+    if wrong_path:
+        emit("""
+                if speculative:
+                    if not rec.tag:
+                        break
+""")
+        emit(_icache_chunk(pc_var="spec_pc", perfect=perfect,
+                           block_bytes=config.icache.block_bytes), indent=20)
+        emit(consume, indent=20)
+        emit(_admit_chunk(pc_var="spec_pc", wrong_path=True), indent=20)
+        emit(f"""
+                    c_fwp += 1
+                    spec_pc += {INSTRUCTION_BYTES}
+                    fetched += 1
+                    continue
+                assert not rec.tag, (
+                    "tagged record outside speculative fetch; trace "
+                    "and engine disagree about a misprediction")
+""")
+    else:
+        emit("""
+                if rec.tag:
+                    raise SpecializationError(
+                        "trace contains a tagged (wrong-path) record "
+                        "but the engine was specialized for a "
+                        "wrong-path-free trace")
+""")
+    emit("""
+                pc = fetch_pc
+""")
+    emit(_icache_chunk(pc_var="pc", perfect=perfect,
+                       block_bytes=config.icache.block_bytes), indent=16)
+    emit(consume, indent=16)
+    emit(_admit_chunk(pc_var="pc", wrong_path=wrong_path), indent=16)
+    emit("""
+                fetched += 1
+                if op.is_branch:
+                    resolution = bp_resolve(pc, op.bk, op.taken,
+                                            op.target)
+""")
+    if update_at_commit:
+        emit("""
+                    op.resolution = resolution
+""")
+    else:
+        emit("""
+                    bp_update(pc, op.bk, op.taken, op.target,
+                              resolution)
+""")
+    if wrong_path:
+        if inline_source:
+            emit("""
+                    tagged_next = (idx < len(records)
+                                   and records[idx].tag)
+""")
+        else:
+            emit("""
+                    tagged_next = src_tagged()
+""")
+        emit(f"""
+                    if resolution.mispredicted != tagged_next:
+                        c_diverge += 1
+                    if tagged_next:
+                        speculative = True
+                        spec_branch_seq = op.seq
+                        wps = resolution.wrong_path_start
+                        if wps is not None:
+                            spec_pc = wps
+                        elif op.taken:
+                            spec_pc = pc + {INSTRUCTION_BYTES}
+                        else:
+                            spec_pc = op.target
+                        break
+""")
+    else:
+        emit("""
+                    if resolution.mispredicted:
+                        c_diverge += 1
+""")
+    emit(f"""
+                    if op.taken:
+                        fetch_pc = op.target
+                        if resolution.misfetch:
+                            fetch_stall += {config.misfetch_penalty}
+                            c_misfetch += 1
+                            c_mfstall += {config.misfetch_penalty}
+                        break
+                    fetch_pc = pc + {INSTRUCTION_BYTES}
+                    if resolution.misfetch:
+                        fetch_stall += {config.misfetch_penalty}
+                        c_misfetch += 1
+                        c_mfstall += {config.misfetch_penalty}
+                        break
+                else:
+                    fetch_pc = pc + {INSTRUCTION_BYTES}
+""")
+
+    # ---- occupancy sampling + return ----
+    emit("""
+        n = len(ifq)
+        ifq_tot += n
+        if n > ifq_peak:
+            ifq_peak = n
+        n = len(rob)
+        rob_tot += n
+        if n > rob_peak:
+            rob_peak = n
+        n = len(lsq)
+        lsq_tot += n
+        if n > lsq_peak:
+            lsq_peak = n
+    return (cycle, c_commit, c_fetched, c_fwp, c_disc, c_cons,
+            c_branches, c_loads, c_stores, c_mispred, c_misfetch,
+            c_taken, c_diverge, c_fwd, c_dacc, c_dmiss, c_iacc,
+            c_imiss, c_fstall, c_mfstall, c_rstall,
+            ifq_tot, ifq_peak, rob_tot, rob_peak, lsq_tot, lsq_peak)
+""")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Codegen cache: one compiled run_trace per (config content, variant).
+# ----------------------------------------------------------------------
+
+_CODEGEN_LOCK = threading.Lock()
+_CODEGEN_CACHE: dict[tuple, Callable] = {}
+_CODEGEN_COUNTS = {"hits": 0, "misses": 0}
+
+
+def engine_cache_key(
+    config: ProcessorConfig,
+    *,
+    update_at_commit: bool,
+    wrong_path: bool,
+    inline_source: bool,
+) -> tuple:
+    """The in-process memoization key: a content hash of the config
+    plus the statically-resolved variant axes."""
+    return (
+        canonical_digest(config_to_dict(config)),
+        bool(update_at_commit),
+        bool(wrong_path),
+        bool(inline_source),
+    )
+
+
+def compile_engine(
+    config: ProcessorConfig,
+    *,
+    update_at_commit: bool = True,
+    wrong_path: bool = True,
+    inline_source: bool = True,
+) -> Callable:
+    """Return the compiled ``run_trace`` for this config + variant,
+    generating and ``exec``-compiling it on first use (thread-safe:
+    backends sharing the process share the cache)."""
+    key = engine_cache_key(
+        config,
+        update_at_commit=update_at_commit,
+        wrong_path=wrong_path,
+        inline_source=inline_source,
+    )
+    with _CODEGEN_LOCK:
+        fn = _CODEGEN_CACHE.get(key)
+        if fn is not None:
+            _CODEGEN_COUNTS["hits"] += 1
+            return fn
+        _CODEGEN_COUNTS["misses"] += 1
+        source = _engine_source(
+            config,
+            update_at_commit=update_at_commit,
+            wrong_path=wrong_path,
+            inline_source=inline_source,
+        )
+        namespace = {
+            "_Op": _Op,
+            "_deque": deque,
+            "_MemoryRecord": MemoryRecord,
+            "_BranchRecord": BranchRecord,
+            "_FU_LOAD": FuClass.LOAD,
+            "_FU_STORE": FuClass.STORE,
+            "_FU_MUL": FuClass.MUL,
+            "_FU_DIV": FuClass.DIV,
+            "SpecializationError": SpecializationError,
+        }
+        code = compile(source, f"<specialized-engine {key[0][:12]}>", "exec")
+        exec(code, namespace)  # noqa: S102 - the source is generated above
+        fn = namespace["run_trace"]
+        fn.__resim_generated_source__ = source  # debuggability
+        _CODEGEN_CACHE[key] = fn
+        return fn
+
+
+def codegen_cache_info() -> dict:
+    """Hit/miss/size counters for the in-process codegen cache."""
+    with _CODEGEN_LOCK:
+        return {
+            "hits": _CODEGEN_COUNTS["hits"],
+            "misses": _CODEGEN_COUNTS["misses"],
+            "entries": len(_CODEGEN_CACHE),
+        }
+
+
+def clear_codegen_cache() -> None:
+    """Drop all compiled engines (test isolation)."""
+    with _CODEGEN_LOCK:
+        _CODEGEN_CACHE.clear()
+        _CODEGEN_COUNTS["hits"] = 0
+        _CODEGEN_COUNTS["misses"] = 0
+
+
+# ----------------------------------------------------------------------
+# The specialized engine wrapper.
+# ----------------------------------------------------------------------
+
+_RAW_COUNTERS = (
+    "major_cycles", "committed_instructions", "fetched_instructions",
+    "fetched_wrong_path", "discarded_wrong_path",
+    "trace_records_consumed", "committed_branches", "committed_loads",
+    "committed_stores", "mispredictions", "misfetches",
+    "taken_branches", "prediction_divergence", "load_forwards",
+    "dcache_accesses", "dcache_misses", "icache_accesses",
+    "icache_misses", "fetch_stall_cycles", "misfetch_stall_cycles",
+    "recovery_stall_cycles",
+)
+
+
+def _stats_from_raw(raw: tuple) -> SimulationStatistics:
+    """Rebuild the exact reference statistics object from the counter
+    tuple a generated engine returns.
+
+    Exactness: every generated counter is a sum of non-negative int
+    increments, and ``Counter64`` masks to 64 bits at construction —
+    addition then masking equals masked addition, so the local-int
+    accumulation commutes with the reference's per-increment masking.
+    """
+    cycles = raw[0]
+    counters = {
+        name: Counter64(raw[index])
+        for index, name in enumerate(_RAW_COUNTERS)
+    }
+    return SimulationStatistics(
+        **counters,
+        ifq_occupancy=OccupancySampler(
+            total=raw[21], samples=cycles, peak=raw[22]),
+        rob_occupancy=OccupancySampler(
+            total=raw[23], samples=cycles, peak=raw[24]),
+        lsq_occupancy=OccupancySampler(
+            total=raw[25], samples=cycles, peak=raw[26]),
+    )
+
+
+class SpecializedEngine:
+    """Drives one compiled fast-path engine over one trace.
+
+    Exposes the slice of the reference engine surface the session
+    layer drives (``run``, ``stats``, ``config``, ``predictor``,
+    ``source``); step-wise driving and observers are reference-tier
+    features, guarded at tier selection.  Each instance runs once:
+    the generated function consumes the source in one call.
+    """
+
+    name = "specialized"
+    tier = "specialized"
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        trace: Sequence[TraceRecord] | TraceSource,
+        start_pc: int | None = None,
+        update_predictor_at_commit: bool = True,
+        *,
+        wrong_path_free: bool = False,
+    ) -> None:
+        self._config = config
+        source = as_source(trace)
+        self._source = source
+        self._records = None
+        if isinstance(source, InMemorySource) and source.consumed == 0:
+            # Fast path: index the sequence directly, skipping the
+            # cursor method calls (live-length semantics preserved).
+            self._records = source.records
+        self._start_pc = TEXT_BASE if start_pc is None else start_pc
+        self._update_at_commit = update_predictor_at_commit
+        self._bpred = BranchPredictorUnit(config.predictor)
+        self._memory = (
+            None if config.perfect_memory
+            else MemorySystem(config.icache, config.dcache,
+                              config.memory_latency))
+        self._ran = False
+        self.stats = SimulationStatistics()
+        self._run_fn = compile_engine(
+            config,
+            update_at_commit=update_predictor_at_commit,
+            wrong_path=not wrong_path_free,
+            inline_source=self._records is not None,
+        )
+
+    @property
+    def config(self) -> ProcessorConfig:
+        return self._config
+
+    @property
+    def predictor(self) -> BranchPredictorUnit:
+        return self._bpred
+
+    @property
+    def source(self) -> TraceSource:
+        return self._source
+
+    @property
+    def total_records(self) -> int:
+        return self._source.total_records
+
+    @property
+    def generated_source(self) -> str:
+        """The generated Python source (debugging/inspection)."""
+        return self._run_fn.__resim_generated_source__
+
+    def run(
+        self,
+        max_cycles: int | None = None,
+        *,
+        warmup_instructions: int = 0,
+        roi_instructions: int | None = None,
+        stop_when: Callable | None = None,
+    ) -> SimulationResult:
+        """Simulate until the trace is drained; same contract and
+        default cycle budget as the reference ``run()``."""
+        if (warmup_instructions or roi_instructions is not None
+                or stop_when is not None):
+            raise SpecializationError(
+                "the specialized engine compiles out instrumentation "
+                "windows; warmup/ROI/stop_when runs use the reference "
+                "engine (tier selection falls back automatically)")
+        if self._ran:
+            raise SpecializationError(
+                "a SpecializedEngine runs once; build a fresh engine "
+                "to re-run")
+        self._ran = True
+        if max_cycles is None:
+            max_cycles = 64 * max(1, self._source.total_records) + 10_000
+        trace = self._records if self._records is not None else self._source
+        raw = self._run_fn(trace, self._start_pc, self._bpred,
+                           self._memory, max_cycles)
+        if self._records is not None:
+            # Keep the wrapped cursor consistent with consumption.
+            while not self._source.exhausted:
+                self._source.next()
+        self.stats = _stats_from_raw(raw)
+        return SimulationResult(config=self._config, stats=self.stats)
+
+
+# ----------------------------------------------------------------------
+# Tier registry + selection.
+# ----------------------------------------------------------------------
+
+ENGINES: Registry = Registry("engine tier")
+
+
+@ENGINES.register("reference")
+class ReferenceEngineTier:
+    """The interpreted oracle: supports every request."""
+
+    name = "reference"
+
+    @staticmethod
+    def supports(request: EngineRequest) -> bool:
+        return True
+
+    @staticmethod
+    def build(request: EngineRequest) -> ReSimEngine:
+        engine = ReSimEngine(
+            request.config,
+            request.trace,
+            start_pc=request.start_pc,
+            update_predictor_at_commit=request.update_predictor_at_commit,
+        )
+        for observer in request.observers:
+            engine.add_observer(observer)
+        return engine
+
+
+@ENGINES.register("specialized")
+class SpecializedEngineTier:
+    """exec-compiled per-config fast path, bit-identical to reference.
+
+    Declines (falling back to the reference tier) when the request
+    carries observers or instrumentation windows — those hooks are
+    compiled out — or when the config is a subclass of
+    :class:`ProcessorConfig` / uses subclassed cache configs, whose
+    overridden behaviour the generator cannot see.
+    """
+
+    name = "specialized"
+
+    @staticmethod
+    def supports(request: EngineRequest) -> bool:
+        if request.observers:
+            return False
+        if (request.warmup_instructions
+                or request.roi_instructions is not None
+                or request.stop_when is not None):
+            return False
+        config = request.config
+        if type(config) is not ProcessorConfig:
+            return False
+        if type(config.icache) is not CacheConfig:
+            return False
+        if type(config.dcache) is not CacheConfig:
+            return False
+        return True
+
+    @staticmethod
+    def build(request: EngineRequest) -> SpecializedEngine:
+        return SpecializedEngine(
+            request.config,
+            request.trace,
+            start_pc=request.start_pc,
+            update_predictor_at_commit=request.update_predictor_at_commit,
+            wrong_path_free=request.wrong_path_free,
+        )
+
+
+def create_engine(
+    name: str, request: EngineRequest
+) -> ReSimEngine | SpecializedEngine:
+    """Build the requested tier's engine for this run, transparently
+    falling back to the reference tier when the request cannot be
+    specialized (the fallback is behaviour-preserving: both tiers are
+    bit-identical)."""
+    tier = ENGINES.get(name)
+    if not tier.supports(request):
+        tier = ENGINES.get("reference")
+    return tier.build(request)
+
+
+def selected_tier(name: str, request: EngineRequest) -> str:
+    """The tier :func:`create_engine` would actually use."""
+    tier = ENGINES.get(name)
+    if not tier.supports(request):
+        return "reference"
+    return tier.name

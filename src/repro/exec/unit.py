@@ -130,15 +130,25 @@ class WorkUnit:
         segments: tuple[int, int] | None = None,
         start_pc: int | None = None,
         tags: Mapping | None = None,
+        engine: str | None = None,
     ) -> WorkUnit:
         """Convenience constructor for the common shape: one stored
         trace (optionally a segment shard of it) simulated under one
-        config dict or registered config name."""
+        config dict or registered config name.
+
+        ``engine`` selects the engine tier executing the unit (a
+        :data:`repro.core.specialize.ENGINES` name); the default
+        reference tier is omitted from the spec so specs stay stable
+        across versions.  Tiers are bit-identical, so results and
+        checkpoints do not depend on the choice.
+        """
         spec: dict = {"trace_file": str(trace_path), "config": config}
         if segments is not None:
             spec["segments"] = [int(segments[0]), int(segments[1])]
         if start_pc is not None:
             spec["start_pc"] = int(start_pc)
+        if engine is not None and engine != "reference":
+            spec["engine"] = str(engine)
         return cls(unit_id=unit_id, spec=spec,
                    result_path=str(result_path), tags=dict(tags or {}))
 

@@ -40,6 +40,7 @@ import threading
 from pathlib import Path
 from collections.abc import Mapping
 
+from repro.core.specialize import ENGINES
 from repro.exec import (
     ExecutionBackend,
     ProcessPoolBackend,
@@ -73,6 +74,23 @@ REQUEST_KINDS = ("simulate", "sweep", "search")
 
 class ServiceError(ValueError):
     """Raised for malformed submissions (the HTTP 4xx family)."""
+
+
+def _validate_engine(value: object) -> str:
+    """Check an engine-tier name against the ENGINES registry.
+
+    Tiers are bit-identical by contract, so the tier never reaches a
+    cache key — it is carried beside the canonical spec and re-applied
+    at execution time."""
+    if not isinstance(value, str):
+        raise ServiceError(
+            f"request field 'engine' must be an engine tier name, "
+            f"got {value!r}")
+    try:
+        ENGINES.get(value)
+    except RegistryError as error:
+        raise ServiceError(str(error)) from error
+    return value
 
 
 class _JobProgress(SweepProgress):
@@ -180,7 +198,14 @@ class CampaignService:
             raise ServiceError(
                 "a simulate request needs a 'spec' object "
                 "(a Simulation.from_spec document)")
-        return {"kind": "simulate", "spec": canonical_spec(spec)}
+        normalized = {"kind": "simulate", "spec": canonical_spec(spec)}
+        # canonical_spec() drops the engine tier (tiers are
+        # bit-identical, so cache keys must not depend on it); carry
+        # it beside the spec so execution still honors the choice.
+        engine = _validate_engine(spec.get("engine", "reference"))
+        if engine != "reference":
+            normalized["engine"] = engine
+        return normalized
 
     def _base_config(self, value: object):
         if isinstance(value, str):
@@ -231,6 +256,9 @@ class CampaignService:
             "seed": _require_int(request, "seed", 7),
             "shards": _require_int(request, "shards", 1),
         }
+        engine = _validate_engine(request.get("engine", "reference"))
+        if engine != "reference":
+            normalized["engine"] = engine
         if kind == "search":
             strategy = request.get("strategy", "hillclimb")
             try:
@@ -282,8 +310,12 @@ class CampaignService:
 
     def _run_simulate(self, job: Job, context: JobContext) -> dict:
         backend = self._caching_backend(context)
+        spec = dict(job.request["spec"])
+        engine = job.request.get("engine", "reference")
+        if engine != "reference":
+            spec["engine"] = engine
         unit = WorkUnit(
-            unit_id=job.job_id, spec=job.request["spec"],
+            unit_id=job.job_id, spec=spec,
             result_path=str(self._workdir(job) / "result.json"))
         context.emit(event="start", label="simulate", total=1)
         outcome = backend.run_units([unit])[unit.unit_id]
@@ -307,7 +339,8 @@ class CampaignService:
             self._sweep_spec(request), request["workload"],
             results_dir=self._workdir(job), budget=request["budget"],
             seed=request["seed"], backend=backend,
-            progress=_JobProgress(context), shards=request["shards"])
+            progress=_JobProgress(context), shards=request["shards"],
+            engine=request.get("engine", "reference"))
         outcome = runner.run()
         context.set_cache_tally(backend.hits, backend.misses)
         return {"kind": "sweep", "sweep": json.loads(outcome.to_json())}
@@ -332,7 +365,8 @@ class CampaignService:
             strategy, request["workload"],
             results_dir=self._workdir(job), budget=request["budget"],
             seed=request["seed"], backend=backend,
-            progress=_JobProgress(context), shards=request["shards"])
+            progress=_JobProgress(context), shards=request["shards"],
+            engine=request.get("engine", "reference"))
         outcome = runner.run()
         context.set_cache_tally(backend.hits, backend.misses)
         best = outcome.best

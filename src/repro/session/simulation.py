@@ -57,6 +57,12 @@ from repro.core.config import (
     ProcessorConfig,
 )
 from repro.core.engine import EngineObserver, ReSimEngine, SimulationResult
+from repro.core.specialize import (
+    ENGINES,
+    EngineRequest,
+    SpecializedEngine,
+    create_engine,
+)
 from repro.fpga.device import DEVICES, FpgaDevice
 from repro.isa.program import Program
 from repro.serialize import (
@@ -73,7 +79,7 @@ from repro.trace.fileio import (
 from repro.trace.record import TraceRecord
 from repro.trace.source import FileSource, InMemorySource, TraceSource
 from repro.trace.stats import TraceStatistics, measure_trace
-from repro.utils.registry import Registry
+from repro.utils.registry import Registry, RegistryError
 from repro.workloads.tracegen import build_tracer, generate_workload_trace
 
 #: Named processor configurations (Table 1's two machines).  Register
@@ -90,8 +96,21 @@ _SPEC_KEYS = frozenset((
     "schema", "workload", "trace_file", "config", "budget", "seed",
     "start_pc", "update_predictor_at_commit", "warmup_instructions",
     "roi_instructions", "devices", "max_cycles", "streaming",
-    "segments",
+    "segments", "engine",
 ))
+
+
+def _coerce_engine(value: object) -> str:
+    """Validate an engine-tier name from a spec or keyword."""
+    if not isinstance(value, str):
+        raise SessionError(
+            f"spec 'engine' must be a registered engine-tier name, "
+            f"got {value!r}")
+    try:
+        ENGINES.get(value)
+    except RegistryError as error:
+        raise SessionError(str(error)) from None
+    return value
 
 
 def _coerce_segments(value: object) -> tuple[int, int]:
@@ -304,6 +323,12 @@ class SessionResult:
     trace_stats: TraceStatistics | None = None
     start_pc: int | None = None
     spec: dict | None = None
+    #: The engine tier that actually executed the run ("reference" |
+    #: "specialized") — may differ from the requested tier when tier
+    #: selection fell back; informational only, deliberately absent
+    #: from :meth:`to_dict` (both tiers are bit-identical, so result
+    #: documents must not differ by tier).
+    engine_tier: str = "reference"
 
     @property
     def config(self) -> ProcessorConfig:
@@ -381,6 +406,7 @@ class Simulation:
         roi_instructions: int | None = None,
         stop_when: Callable[[ReSimEngine], bool] | None = None,
         max_cycles: int | None = None,
+        engine: str = "reference",
     ) -> None:
         if source is None:
             raise SessionError(
@@ -388,6 +414,7 @@ class Simulation:
                 "for_workload / for_trace_file / for_records / "
                 "for_program or from_spec"
             )
+        self._engine = _coerce_engine(engine)
         self._config = config
         self._source = source
         self._budget = budget
@@ -559,6 +586,7 @@ class Simulation:
                     spec.get("warmup_instructions", 0)),
                 roi_instructions=optional_int("roi_instructions"),
                 max_cycles=optional_int("max_cycles"),
+                engine=spec.get("engine", "reference"),
             )
         except (TypeError, ValueError) as error:
             if isinstance(error, SessionError):
@@ -598,6 +626,8 @@ class Simulation:
             spec["roi_instructions"] = self._roi
         if self._max_cycles is not None:
             spec["max_cycles"] = self._max_cycles
+        if self._engine != "reference":
+            spec["engine"] = self._engine
         return spec
 
     def canonical_spec(self) -> dict:
@@ -613,7 +643,11 @@ class Simulation:
         source keys (``workload`` / ``trace_file`` / ``segments``,
         unused ones ``None``).  The ``streaming`` flag is dropped: it
         selects an I/O strategy with bit-identical statistics, so two
-        specs differing only there describe the same result.
+        specs differing only there describe the same result.  The
+        ``engine`` tier is dropped for the same reason: every tier is
+        bit-identical by contract, so a campaign run with
+        ``--engine specialized`` shares its cache keys (and cached
+        results) with the reference run it reproduces.
 
         This is the spec half of the campaign-service cache key (see
         :mod:`repro.serve.canon`); :meth:`spec_key` hashes it.
@@ -738,6 +772,15 @@ class Simulation:
         bit-for-bit)."""
         return self._replace(_update_at_commit=at_commit)
 
+    def with_engine(self, engine: str) -> Simulation:
+        """Select the engine tier executing this run (a name from
+        :data:`repro.core.specialize.ENGINES`; ``"specialized"`` is
+        the config-compiled fast path).  Every tier is bit-identical
+        to the reference engine; requests a tier cannot honour
+        (observers, warmup/ROI windows, subclassed configs) fall back
+        to the reference tier transparently."""
+        return self._replace(_engine=_coerce_engine(engine))
+
     # -- introspection -------------------------------------------------
 
     @property
@@ -755,6 +798,12 @@ class Simulation:
     @property
     def devices(self) -> tuple[FpgaDevice, ...]:
         return self._devices
+
+    @property
+    def engine(self) -> str:
+        """The requested engine tier (tier selection may still fall
+        back to ``"reference"`` at :meth:`build_engine` time)."""
+        return self._engine
 
     def describe(self) -> str:
         return (f"Simulation({self._source.describe()} on "
@@ -784,18 +833,36 @@ class Simulation:
     def build_engine(
             self,
             trace: Sequence[TraceRecord] | TraceSource | None = None,
-    ) -> ReSimEngine:
+    ) -> ReSimEngine | SpecializedEngine:
         """Construct the configured engine, observers attached.
 
         ``trace`` overrides the prepared source — the streaming
         co-simulation driver passes its growing input FIFO here while
-        keeping the facade's start PC and observer wiring.
+        keeping the facade's start PC and observer wiring.  A trace
+        override always uses the reference engine (step-wise driving
+        is a reference-tier feature); otherwise the requested tier is
+        resolved through :func:`repro.core.specialize.create_engine`,
+        which falls back to the reference tier for requests the
+        specialized tier cannot honour.
         """
         if trace is None:
             prepared = self.prepare()
             trace = prepared.open_source()
             start_pc = (self._start_pc if self._start_pc is not None
                         else prepared.start_pc)
+            if self._engine != "reference":
+                request = EngineRequest(
+                    config=self._config,
+                    trace=trace,
+                    start_pc=start_pc,
+                    update_predictor_at_commit=self._update_at_commit,
+                    observers=self._observers,
+                    warmup_instructions=self._warmup,
+                    roi_instructions=self._roi,
+                    stop_when=self._stop_when,
+                    wrong_path_free=self._wrong_path_free(prepared),
+                )
+                return create_engine(self._engine, request)
         else:
             start_pc = (self._start_pc if self._start_pc is not None
                         else self.prepare().start_pc)
@@ -806,6 +873,29 @@ class Simulation:
         for observer in self._observers:
             engine.add_observer(observer)
         return engine
+
+    @staticmethod
+    def _wrong_path_free(prepared: PreparedTrace) -> bool:
+        """True only when the prepared trace *provably* contains no
+        tagged (wrong-path) records, letting the specialized tier
+        compile out speculative fetch and recovery.
+
+        Sound sources of that fact: the generator's own trace
+        statistics, or a v2 file header whose committed-count
+        consistency field equals the record count (every record
+        untagged).  Anything unprovable stays False — the wrong-path
+        variant is still bit-identical, just slightly slower; and the
+        generated code re-checks the claim per record, failing loudly
+        rather than silently diverging.
+        """
+        if prepared.trace_stats is not None:
+            return prepared.trace_stats.wrong_path_records == 0
+        source = prepared.source
+        if isinstance(source, FileSource):
+            header = source.header
+            return (header.record_count < (1 << 32)
+                    and header.record_count == header.committed_low32)
+        return False
 
     def run(self, max_cycles: int | None = None) -> SessionResult:
         """Prepare, simulate, and project — the whole pipeline."""
@@ -833,6 +923,7 @@ class Simulation:
             start_pc=(self._start_pc if self._start_pc is not None
                       else prepared.start_pc),
             spec=spec,
+            engine_tier=getattr(engine, "tier", "reference"),
         )
 
     def save_trace(self, path: str | Path, *,

@@ -56,6 +56,8 @@ from pathlib import Path
 from collections.abc import Callable, Sequence
 
 from repro.bpred.unit import PredictorConfig
+from repro.core.specialize import ENGINES
+from repro.utils.registry import RegistryError
 from repro.exec import (
     ExecutionBackend,
     ProcessPoolBackend,
@@ -183,6 +185,7 @@ class SweepRunner:
         progress: SweepProgress | None = None,
         shards: int = 1,
         segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        engine: str = "reference",
     ) -> None:
         if backend is None:
             backend = default_backend(workers)
@@ -193,9 +196,14 @@ class SweepRunner:
         if segment_records < 1:
             raise SweepError(
                 f"segment_records must be >= 1, got {segment_records}")
+        try:
+            ENGINES.get(engine)
+        except RegistryError as error:
+            raise SweepError(str(error)) from None
         self._is_synthetic = workload in SPECINT_PROFILES
         self.spec = spec
         self.workload = workload
+        self.engine = engine
         self.results_dir = Path(results_dir)
         self.budget = budget
         self.seed = seed
@@ -378,6 +386,7 @@ class SweepRunner:
             self._checkpoint_path(point).resolve(),
             start_pc=trace.start_pc,
             tags={"sweep": provenance},
+            engine=self.engine,
         )
 
     # -- execution -----------------------------------------------------
@@ -542,10 +551,12 @@ def run_sweep(
     progress: SweepProgress | None = None,
     shards: int = 1,
     segment_records: int = DEFAULT_SEGMENT_RECORDS,
+    engine: str = "reference",
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     runner = SweepRunner(spec, workload, results_dir=results_dir,
                          budget=budget, seed=seed, workers=workers,
                          backend=backend, progress=progress,
-                         shards=shards, segment_records=segment_records)
+                         shards=shards, segment_records=segment_records,
+                         engine=engine)
     return runner.run()

@@ -416,6 +416,7 @@ class SearchRunner:
         progress: SweepProgress | None = None,
         shards: int = 1,
         segment_records: int | None = None,
+        engine: str = "reference",
     ) -> None:
         self.strategy = strategy
         extra = {} if segment_records is None \
@@ -424,6 +425,7 @@ class SearchRunner:
             strategy.spec, workload, results_dir=results_dir,
             budget=budget, seed=seed, workers=workers,
             backend=backend, progress=progress, shards=shards,
+            engine=engine,
             **extra,
         )
 
@@ -504,10 +506,11 @@ def run_search(
     progress: SweepProgress | None = None,
     shards: int = 1,
     segment_records: int | None = None,
+    engine: str = "reference",
 ) -> SearchResult:
     """One-call convenience wrapper around :class:`SearchRunner`."""
     return SearchRunner(
         strategy, workload, results_dir=results_dir, budget=budget,
         seed=seed, workers=workers, backend=backend, progress=progress,
-        shards=shards, segment_records=segment_records,
+        shards=shards, segment_records=segment_records, engine=engine,
     ).run()

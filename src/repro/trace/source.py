@@ -139,6 +139,12 @@ class InMemorySource(TraceSource):
     def total_records(self) -> int:
         return len(self._records)
 
+    @property
+    def records(self) -> Sequence[TraceRecord]:
+        """The wrapped sequence (shared, not copied) — lets the
+        specialized engine index it directly."""
+        return self._records
+
     def fresh(self) -> InMemorySource:
         return InMemorySource(self._records)
 

@@ -422,6 +422,53 @@ class TestMergeCompleteness:
 
 
 # ---------------------------------------------------------------------
+# X303 — specialized-engine counter coverage (project rule)
+# ---------------------------------------------------------------------
+
+
+def _specialize_contexts(stats_source: str, specialize_source: str):
+    return [
+        FileContext("stats.py", "repro.core.stats", stats_source),
+        FileContext("specialize.py", "repro.core.specialize",
+                    specialize_source),
+    ]
+
+
+class TestSpecializedCounterCoverage:
+    STATS = (SRC / "repro/core/stats.py").read_text()
+    SPECIALIZE = (SRC / "repro/core/specialize.py").read_text()
+
+    def test_real_sources_are_complete(self):
+        findings = lint_contexts(
+            _specialize_contexts(self.STATS, self.SPECIALIZE)).findings
+        assert [f for f in findings if f.rule == "X303"] == []
+
+    def test_missing_raw_counter_fires(self):
+        mutated = self.SPECIALIZE.replace('"taken_branches",', '')
+        assert mutated != self.SPECIALIZE, "anchor drifted"
+        findings = [f for f in lint_contexts(
+            _specialize_contexts(self.STATS, mutated)).findings
+            if f.rule == "X303"]
+        assert len(findings) == 1
+        assert "taken_branches" in findings[0].message
+
+    def test_non_counter_raw_entry_fires(self):
+        mutated = self.SPECIALIZE.replace('"taken_branches",',
+                                          '"ifq_occupancy",')
+        findings = [f for f in lint_contexts(
+            _specialize_contexts(self.STATS, mutated)).findings
+            if f.rule == "X303"]
+        # ifq_occupancy is a sampler, and taken_branches went missing.
+        assert len(findings) == 2
+
+    def test_subset_without_specialize_is_silent(self):
+        findings = lint_contexts([
+            FileContext("stats.py", "repro.core.stats", self.STATS),
+        ]).findings
+        assert [f for f in findings if f.rule == "X303"] == []
+
+
+# ---------------------------------------------------------------------
 # Suppression mechanics
 # ---------------------------------------------------------------------
 
@@ -498,7 +545,8 @@ class TestFramework:
         ids = [rule.id for rule in rules]
         assert ids == sorted(ids)
         for family in ("D101", "D102", "D103", "D104", "D105",
-                       "S201", "S202", "S203", "X301", "X302"):
+                       "S201", "S202", "S203", "X301", "X302",
+                       "X303"):
             assert family in ids
         for rule in rules:
             assert rule.title, rule.id

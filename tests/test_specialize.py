@@ -1,0 +1,416 @@
+"""Config-specialized engine generation: the differential contract.
+
+The specialized tier is only allowed to exist because it is
+**bit-identical** to the reference interpreter — same
+``SimulationStatistics`` document, byte for byte, on every config,
+workload, trace source, and training mode.  These tests enforce that
+contract with the reference engine as oracle, then cover the
+machinery around it: the codegen cache, tier selection and fallback,
+spec round-trips, work-unit / sweep / CLI / service wiring.
+"""
+
+import dataclasses
+import json
+import threading
+from functools import lru_cache
+
+import pytest
+
+from repro.core import (
+    PAPER_2WIDE_CACHE,
+    PAPER_4WIDE_PERFECT,
+    ProcessorConfig,
+    ReSimEngine,
+    SpecializationError,
+    SpecializedEngine,
+)
+from repro.core.observers import ProgressObserver
+from repro.core.specialize import (
+    ENGINES,
+    EngineRequest,
+    clear_codegen_cache,
+    codegen_cache_info,
+    compile_engine,
+    create_engine,
+    engine_cache_key,
+    selected_tier,
+)
+from repro.exec import (
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkUnit,
+    execute_unit,
+)
+from repro.serialize import stats_to_dict
+from repro.session import CONFIGS, SessionError, Simulation
+from repro.trace.fileio import write_trace_file
+from repro.trace.source import FileSource
+from repro.workloads import SyntheticWorkload, get_profile
+
+WORKLOADS = ("bzip2", "gzip", "parser", "vortex", "vpr")
+BUDGET = 1200
+
+
+@lru_cache(maxsize=None)
+def _records(workload: str, budget: int = BUDGET) -> tuple:
+    generation = SyntheticWorkload(get_profile(workload),
+                                   seed=7).generate(budget)
+    return tuple(generation.records)
+
+
+def _doc(stats) -> str:
+    """The canonical byte form both tiers must agree on."""
+    return json.dumps(stats_to_dict(stats), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# the differential suite: reference engine as oracle
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    def test_every_config_and_workload(self, config_name, workload):
+        config = CONFIGS.get(config_name)
+        records = _records(workload)
+        reference = ReSimEngine(config, list(records)).run()
+        specialized = SpecializedEngine(config, list(records)).run()
+        assert _doc(specialized.stats) == _doc(reference.stats)
+
+    @pytest.mark.parametrize("config", (PAPER_4WIDE_PERFECT,
+                                        PAPER_2WIDE_CACHE),
+                             ids=("perfect", "cache"))
+    def test_fetch_time_predictor_training(self, config):
+        records = _records("gzip")
+        reference = ReSimEngine(
+            config, list(records),
+            update_predictor_at_commit=False).run()
+        specialized = SpecializedEngine(
+            config, list(records),
+            update_predictor_at_commit=False).run()
+        assert _doc(specialized.stats) == _doc(reference.stats)
+
+    def test_streaming_and_sharded_file_sources(self, tmp_path):
+        records = list(_records("gzip"))
+        v1 = tmp_path / "trace.v1"
+        v2 = tmp_path / "trace.v2"
+        write_trace_file(v1, records, version=1)
+        write_trace_file(v2, records, segment_records=256)
+        sources = [
+            lambda: FileSource(v1),
+            lambda: FileSource(v2),
+            lambda: FileSource(v2, segments=(1, 3)),
+        ]
+        for config in (PAPER_4WIDE_PERFECT, PAPER_2WIDE_CACHE):
+            for make in sources:
+                reference = ReSimEngine(config, make()).run()
+                specialized = SpecializedEngine(config, make()).run()
+                assert _doc(specialized.stats) == _doc(reference.stats)
+
+    def test_session_runs_identical_across_tiers(self):
+        base = Simulation.for_workload("gzip", PAPER_4WIDE_PERFECT,
+                                       budget=BUDGET)
+        reference = base.run()
+        specialized = base.with_engine("specialized").run()
+        assert reference.engine_tier == "reference"
+        assert specialized.engine_tier == "specialized"
+        assert _doc(specialized.stats) == _doc(reference.stats)
+        # The result documents agree everywhere except the spec's
+        # provenance record of which tier ran it.
+        ref_doc, spec_doc = reference.to_dict(), specialized.to_dict()
+        assert spec_doc.pop("spec")["engine"] == "specialized"
+        assert "engine" not in ref_doc.pop("spec")
+        assert spec_doc == ref_doc
+
+    def test_sharded_sweep_merges_identically(self, tmp_path):
+        from repro.sweep import SweepRunner, SweepSpec
+
+        spec = SweepSpec(axes={"rob_entries": (8, 16)})
+        outcomes = {}
+        for engine in ("reference", "specialized"):
+            runner = SweepRunner(
+                spec, "gzip", results_dir=tmp_path / engine,
+                budget=BUDGET, shards=2, engine=engine)
+            outcomes[engine] = json.loads(runner.run().to_json())
+        assert outcomes["specialized"] == outcomes["reference"]
+
+
+# ---------------------------------------------------------------------------
+# the specialized engine's own guard rails
+
+
+class TestSpecializedEngineGuards:
+    def test_single_run(self):
+        engine = SpecializedEngine(PAPER_4WIDE_PERFECT,
+                                   list(_records("gzip")))
+        engine.run()
+        with pytest.raises(SpecializationError):
+            engine.run()
+
+    def test_instrumentation_windows_rejected(self):
+        engine = SpecializedEngine(PAPER_4WIDE_PERFECT,
+                                   list(_records("gzip")))
+        with pytest.raises(SpecializationError):
+            engine.run(warmup_instructions=10)
+
+    def test_wrong_path_free_guard_trips_on_tagged_records(self):
+        records = list(_records("gzip"))
+        assert any(r.tag for r in records), "gzip trace must speculate"
+        engine = SpecializedEngine(PAPER_4WIDE_PERFECT, records,
+                                   wrong_path_free=True)
+        with pytest.raises(SpecializationError):
+            engine.run()
+
+    def test_generated_source_is_inspectable(self):
+        engine = SpecializedEngine(PAPER_4WIDE_PERFECT,
+                                   list(_records("gzip", 64)))
+        source = engine.generated_source
+        assert "def run_trace(" in source
+        # Config constants are baked in as literals.
+        assert str(PAPER_4WIDE_PERFECT.rob_entries) in source
+
+
+# ---------------------------------------------------------------------------
+# codegen cache
+
+
+class TestCodegenCache:
+    def setup_method(self):
+        clear_codegen_cache()
+
+    def teardown_method(self):
+        clear_codegen_cache()
+
+    def test_hit_on_same_config(self):
+        first = compile_engine(PAPER_4WIDE_PERFECT)
+        second = compile_engine(PAPER_4WIDE_PERFECT)
+        assert first is second
+        info = codegen_cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["entries"] == 1
+
+    def test_rekeyed_on_config_change(self):
+        base = compile_engine(PAPER_4WIDE_PERFECT)
+        grown = dataclasses.replace(PAPER_4WIDE_PERFECT,
+                                    rob_entries=64)
+        assert compile_engine(grown) is not base
+        assert codegen_cache_info()["entries"] == 2
+
+    def test_key_covers_every_variant_axis(self):
+        keys = {
+            engine_cache_key(PAPER_4WIDE_PERFECT,
+                             update_at_commit=at_commit,
+                             wrong_path=wrong_path,
+                             inline_source=inline)
+            for at_commit in (True, False)
+            for wrong_path in (True, False)
+            for inline in (True, False)
+        }
+        assert len(keys) == 8
+
+    def test_thread_safe_compilation(self):
+        results = []
+
+        def compile_one():
+            results.append(compile_engine(PAPER_2WIDE_CACHE))
+
+        threads = [threading.Thread(target=compile_one)
+                   for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(map(id, results))) == 1
+        assert codegen_cache_info()["entries"] == 1
+
+    def test_process_pool_execution(self, tmp_path):
+        """Units carrying the specialized tier pickle cleanly and
+        compile independently in each pool worker."""
+        trace = tmp_path / "gzip.trace"
+        write_trace_file(trace, list(_records("gzip")))
+        units = {}
+        for engine in ("reference", "specialized"):
+            units[engine] = [
+                WorkUnit.for_trace(
+                    f"{engine}-{index}", trace, name,
+                    tmp_path / f"{engine}-{index}.json", engine=engine)
+                for index, name in enumerate(sorted(CONFIGS))
+            ]
+        serial = SerialBackend().run_units(units["reference"])
+        pooled = ProcessPoolBackend(2).run_units(units["specialized"])
+        for index in range(len(CONFIGS)):
+            assert pooled[f"specialized-{index}"]["stats"] == \
+                serial[f"reference-{index}"]["stats"]
+
+
+# ---------------------------------------------------------------------------
+# tier selection and fallback
+
+
+def _request(**overrides) -> EngineRequest:
+    defaults = dict(config=PAPER_4WIDE_PERFECT,
+                    trace=list(_records("gzip", 64)))
+    defaults.update(overrides)
+    return EngineRequest(**defaults)
+
+
+class TestTierSelection:
+    def test_registry_names(self):
+        assert sorted(ENGINES) == ["reference", "specialized"]
+
+    def test_plain_request_specializes(self):
+        assert selected_tier("specialized", _request()) == "specialized"
+        engine = create_engine("specialized", _request())
+        assert isinstance(engine, SpecializedEngine)
+
+    def test_observers_force_reference(self):
+        request = _request(observers=(ProgressObserver(100),))
+        assert selected_tier("specialized", request) == "reference"
+        assert isinstance(create_engine("specialized", request),
+                          ReSimEngine)
+
+    @pytest.mark.parametrize("overrides", (
+        {"warmup_instructions": 50},
+        {"roi_instructions": 100},
+        {"stop_when": lambda engine: False},
+    ), ids=("warmup", "roi", "stop_when"))
+    def test_instrumentation_windows_force_reference(self, overrides):
+        assert selected_tier("specialized",
+                             _request(**overrides)) == "reference"
+
+    def test_subclassed_config_forces_reference(self):
+        class TweakedConfig(ProcessorConfig):
+            pass
+
+        fields = {f.name: getattr(PAPER_4WIDE_PERFECT, f.name)
+                  for f in dataclasses.fields(ProcessorConfig)}
+        request = _request(config=TweakedConfig(**fields))
+        assert selected_tier("specialized", request) == "reference"
+
+    def test_session_fallback_is_observable(self):
+        base = Simulation.for_workload("gzip", PAPER_4WIDE_PERFECT,
+                                       budget=200)
+        specialized = base.with_engine("specialized")
+        assert specialized.run().engine_tier == "specialized"
+        observed = specialized.with_observer(ProgressObserver(10_000))
+        assert observed.run().engine_tier == "reference"
+        windowed = specialized.with_warmup(50)
+        assert windowed.run().engine_tier == "reference"
+
+
+# ---------------------------------------------------------------------------
+# spec round-trips and cache-key stability
+
+
+class TestSpecWiring:
+    def test_engine_round_trips_through_spec(self):
+        simulation = Simulation.for_workload(
+            "gzip", PAPER_4WIDE_PERFECT,
+            budget=200).with_engine("specialized")
+        spec = simulation.to_spec()
+        assert spec["engine"] == "specialized"
+        assert Simulation.from_spec(spec).engine == "specialized"
+
+    def test_reference_tier_omitted_from_spec(self):
+        simulation = Simulation.for_workload("gzip",
+                                             PAPER_4WIDE_PERFECT,
+                                             budget=200)
+        assert "engine" not in simulation.to_spec()
+
+    def test_unknown_engine_rejected(self):
+        simulation = Simulation.for_workload("gzip",
+                                             PAPER_4WIDE_PERFECT,
+                                             budget=200)
+        with pytest.raises(SessionError):
+            simulation.with_engine("turbo")
+        spec = simulation.to_spec()
+        spec["engine"] = "turbo"
+        with pytest.raises(SessionError):
+            Simulation.from_spec(spec)
+
+    def test_spec_key_shared_across_tiers(self):
+        """Tiers are bit-identical, so the campaign cache must hand a
+        specialized submission the result a reference run produced."""
+        base = Simulation.for_workload("gzip", PAPER_4WIDE_PERFECT,
+                                       budget=200)
+        specialized = base.with_engine("specialized")
+        assert specialized.spec_key() == base.spec_key()
+        assert "engine" not in specialized.canonical_spec()
+
+    def test_work_unit_carries_engine(self, tmp_path):
+        unit = WorkUnit.for_trace("u1", tmp_path / "t.trace",
+                                  "4wide-perfect",
+                                  tmp_path / "u1.json",
+                                  engine="specialized")
+        assert unit.spec["engine"] == "specialized"
+        default = WorkUnit.for_trace("u2", tmp_path / "t.trace",
+                                     "4wide-perfect",
+                                     tmp_path / "u2.json",
+                                     engine="reference")
+        assert "engine" not in default.spec
+
+    def test_execute_unit_honors_engine(self, tmp_path):
+        trace = tmp_path / "gzip.trace"
+        write_trace_file(trace, list(_records("gzip")))
+        reference = execute_unit(WorkUnit.for_trace(
+            "ref", trace, "4wide-perfect", tmp_path / "ref.json"))
+        specialized = execute_unit(WorkUnit.for_trace(
+            "spec", trace, "4wide-perfect", tmp_path / "spec.json",
+            engine="specialized"))
+        assert specialized["stats"] == reference["stats"]
+
+    def test_sweep_runner_rejects_unknown_engine(self, tmp_path):
+        from repro.sweep import SweepError, SweepRunner, SweepSpec
+
+        with pytest.raises(SweepError):
+            SweepRunner(SweepSpec(axes={"rob_entries": (8,)}), "gzip",
+                        results_dir=tmp_path, engine="turbo")
+
+
+# ---------------------------------------------------------------------------
+# CLI and service wiring
+
+
+class TestEndToEnd:
+    def test_cli_simulate_engine_flag(self, capsys):
+        from repro.cli import main
+
+        argv = ["simulate", "gzip", "--budget", "400"]
+        assert main(argv) == 0
+        reference = capsys.readouterr().out
+        assert main(argv + ["--engine", "specialized"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_cli_rejects_unknown_engine(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["simulate", "gzip", "--budget", "400",
+                  "--engine", "turbo"])
+
+    def test_service_validates_and_carries_engine(self, tmp_path):
+        from repro.serve.app import CampaignService
+
+        service = CampaignService(tmp_path, autostart=False)
+        try:
+            bulk = {"kind": "sweep",
+                    "axes": {"rob_entries": [8]},
+                    "budget": 200, "engine": "specialized"}
+            normalized = service.validate_request(bulk)
+            assert normalized["engine"] == "specialized"
+            assert "engine" not in service.validate_request(
+                {**bulk, "engine": "reference"})
+            with pytest.raises(ValueError):
+                service.validate_request({**bulk, "engine": "turbo"})
+
+            spec = Simulation.for_workload(
+                "gzip", PAPER_4WIDE_PERFECT,
+                budget=200).with_engine("specialized").to_spec()
+            simulate = service.validate_request(
+                {"kind": "simulate", "spec": spec})
+            assert simulate["engine"] == "specialized"
+            # The canonical spec (the cache identity) drops the tier.
+            assert "engine" not in simulate["spec"]
+        finally:
+            service.close()

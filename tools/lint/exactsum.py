@@ -12,10 +12,16 @@ name.  Two failure modes are invisible to the type system:
 * ``X302`` — a field added to ``SimulationStatistics`` that
   ``merge()`` does not know how to reduce, or an
   ``EXACT_SUM_COUNTERS`` entry naming a non-counter field (the
-  conformance suite would assert over garbage).
+  conformance suite would assert over garbage);
+* ``X303`` — drift between ``SimulationStatistics`` and the
+  specialized engine generator's ``_RAW_COUNTERS`` tuple (a counter
+  the generated code never produces would silently stay zero in the
+  specialized tier, breaking the bit-identity contract).
 
-``X302`` is a project rule: it cross-checks ``repro.core.stats``
-against ``repro.exec.shard`` and fires whenever the two drift.
+``X302``/``X303`` are project rules: they cross-check
+``repro.core.stats`` against ``repro.exec.shard`` and
+``repro.core.specialize`` respectively, firing whenever the pair
+drifts.
 """
 
 from __future__ import annotations
@@ -131,13 +137,14 @@ def _merge_special_cases(cls: ast.ClassDef) -> set[str]:
     return handled
 
 
-def _exact_sum_counters(ctx: FileContext) -> tuple[ast.Assign | None,
-                                                   list[str]]:
-    """The EXACT_SUM_COUNTERS assignment and its entries."""
+def _string_tuple(ctx: FileContext,
+                  name: str) -> tuple[ast.Assign | None, list[str]]:
+    """A module-level ``NAME = ("a", "b", ...)`` assignment and its
+    string entries."""
     for node in ctx.walk(ast.Assign):
         for target in node.targets:
             if isinstance(target, ast.Name) \
-                    and target.id == "EXACT_SUM_COUNTERS":
+                    and target.id == name:
                 names = [
                     element.value
                     for element in ast.walk(node.value)
@@ -205,7 +212,8 @@ class MergeCompletenessRule(ProjectRule):
                           if ctx.module == "repro.exec.shard"), None)
         if shard_ctx is None:
             return
-        assign, counters = _exact_sum_counters(shard_ctx)
+        assign, counters = _string_tuple(shard_ctx,
+                                         "EXACT_SUM_COUNTERS")
         if assign is None:
             yield Finding(
                 path=shard_ctx.path, line=1, col=1, rule=self.id,
@@ -224,3 +232,69 @@ class MergeCompletenessRule(ProjectRule):
                             f"(found: {fields.get(name)!r}); the "
                             f"conformance suite would assert over "
                             f"garbage")
+
+
+@register
+class SpecializedCounterCoverageRule(ProjectRule):
+    """X303: the specialized engine must produce every counter."""
+
+    id = "X303"
+    title = "SimulationStatistics counter not produced by the " \
+            "specialized engine generator"
+    rationale = (
+        "The specialized tier is only admissible because it is "
+        "bit-identical to the reference engine; its generated code "
+        "returns a raw tuple that repro.core.specialize rebuilds "
+        "into SimulationStatistics via the _RAW_COUNTERS name list.  "
+        "A Counter64 field added to the statistics without a "
+        "matching _RAW_COUNTERS entry (and generator support) would "
+        "silently stay zero in specialized runs — a bit-identity "
+        "break the type system cannot see.  Conversely, a "
+        "_RAW_COUNTERS entry naming a non-counter field would "
+        "crash (or corrupt) statistics reconstruction."
+    )
+
+    def check_project(self,
+                      contexts: list[FileContext]) -> Iterable[Finding]:
+        stats_ctx = next((ctx for ctx in contexts
+                          if ctx.module == "repro.core.stats"), None)
+        spec_ctx = next((ctx for ctx in contexts
+                         if ctx.module == "repro.core.specialize"),
+                        None)
+        if stats_ctx is None or spec_ctx is None:
+            return  # linting a subset that excludes one side
+        cls = _class_def(stats_ctx, "SimulationStatistics")
+        if cls is None:
+            return  # X302 already reports the missing class
+        fields = _stats_fields(cls)
+        assign, raw_counters = _string_tuple(spec_ctx, "_RAW_COUNTERS")
+        if assign is None:
+            yield Finding(
+                path=spec_ctx.path, line=1, col=1, rule=self.id,
+                message="repro.core.specialize no longer defines "
+                        "_RAW_COUNTERS; X303 cannot verify that the "
+                        "generated engines produce every counter")
+            return
+        for name, annotation in fields.items():
+            if annotation.split("|")[0].strip() != "Counter64":
+                continue
+            if name not in raw_counters:
+                yield Finding(
+                    path=spec_ctx.path, line=assign.lineno, col=1,
+                    rule=self.id,
+                    message=f"Counter64 field {name!r} of "
+                            f"SimulationStatistics is missing from "
+                            f"_RAW_COUNTERS; specialized runs would "
+                            f"leave it zero and break bit-identity "
+                            f"with the reference engine")
+        for name in raw_counters:
+            if fields.get(name) != "Counter64":
+                yield Finding(
+                    path=spec_ctx.path, line=assign.lineno, col=1,
+                    rule=self.id,
+                    message=f"_RAW_COUNTERS entry {name!r} is not a "
+                            f"Counter64 field of "
+                            f"SimulationStatistics "
+                            f"(found: {fields.get(name)!r}); "
+                            f"statistics reconstruction would be "
+                            f"wrong")
