@@ -108,6 +108,8 @@ def _workload_simulation(args, config) -> Simulation:
 def cmd_trace(args) -> int:
     if args.workload == "info":
         return cmd_trace_info(args)
+    if args.workload == "analyze":
+        return cmd_trace_analyze(args)
     config = _config(args.config)
     try:
         written = write_workload_trace(
@@ -204,12 +206,96 @@ def cmd_trace_info(args) -> int:
     return 0
 
 
+def cmd_trace_analyze(args) -> int:
+    """``resim trace analyze <file>``: profile a stored trace into its
+    ``.rprof`` sidecar (reused when digest-fresh) and summarize it."""
+    from repro.trace.analyze import ensure_profile, profile_path
+
+    path = Path(args.output)
+    try:
+        profile = ensure_profile(path, force=args.force)
+    except OSError as error:
+        raise SystemExit(f"{path}: {error.strerror or error}") from error
+    except (TraceFileError, ValueError) as error:
+        raise SystemExit(f"{path}: {error}") from error
+    if args.format == "json":
+        import json as _json
+        print(_json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(profile.summary())
+    print(f"  profile sidecar      : {profile_path(path)}")
+    return 0
+
+
+def _simulate_regions(args, config) -> int:
+    """``resim simulate --trace-file F --sample-regions N``: profile,
+    plan, run the representative regions, report the weighted
+    estimate."""
+    import tempfile
+    from repro.exec import (
+        ExecError,
+        RegionReducer,
+        WorkUnit,
+        execute_unit,
+        plan_regions,
+        region_units,
+    )
+    from repro.serialize import config_to_dict, stats_from_dict
+    from repro.trace.analyze import ensure_profile
+
+    if not args.trace_file:
+        raise SystemExit("--sample-regions needs --trace-file: region "
+                         "sampling plans over a stored segmented "
+                         "trace's profile")
+    if args.sample_regions < 1:
+        raise SystemExit(f"--sample-regions must be positive, "
+                         f"got {args.sample_regions}")
+    if args.region_warmup < 0:
+        raise SystemExit(f"--region-warmup must be >= 0, "
+                         f"got {args.region_warmup}")
+    trace = Path(args.trace_file)
+    try:
+        profile = ensure_profile(trace)
+        plan = plan_regions(trace, profile,
+                            regions=args.sample_regions,
+                            seed=args.region_seed,
+                            warmup_segments=args.region_warmup)
+    except OSError as error:
+        raise SystemExit(
+            f"{trace}: {error.strerror or error}") from error
+    except (TraceFileError, ExecError, ValueError) as error:
+        raise SystemExit(f"{trace}: {error}") from error
+    print(plan.describe(), file=sys.stderr)
+    with tempfile.TemporaryDirectory(prefix="resim-regions-") as work:
+        base = WorkUnit.for_trace(
+            "point", trace.resolve(), config_to_dict(config),
+            Path(work) / "point.json", engine=args.engine)
+        try:
+            reducer = RegionReducer(base, plan)
+            for unit in region_units(base, plan):
+                reducer.add(execute_unit(unit))
+            merged = reducer.merged()
+        except TraceFileError as error:
+            raise SystemExit(f"{trace}: {error}") from error
+        except ExecError as error:
+            raise SystemExit(str(error)) from error
+    stats = stats_from_dict(merged["stats"])
+    print(stats.report())
+    print(f"\nregion-sampled ESTIMATE: {plan.count} region(s) stood "
+          f"for {plan.total_segments} segment(s); "
+          f"{100.0 * plan.coverage:.1f}% of trace records executed "
+          f"(rerun without --sample-regions for exact statistics)")
+    return 0
+
+
 def cmd_simulate(args) -> int:
     config = _config(args.config)
     if args.progress_records < 1:
         raise SystemExit(
             f"--progress-records must be positive, "
             f"got {args.progress_records}")
+    if args.sample_regions is not None:
+        return _simulate_regions(args, config)
     if args.trace_file:
         simulation = Simulation.for_trace_file(
             args.trace_file, config=config,
@@ -447,6 +533,24 @@ def _export_bulk_result(args, result, device) -> None:
         print(f"wrote {args.json}")
 
 
+def _sampling_options(args) -> dict:
+    """Runner kwargs for the shared --sample-regions bulk options."""
+    if args.sample_regions is None:
+        return {}
+    if args.sample_regions < 1:
+        raise SystemExit(f"--sample-regions must be positive, "
+                         f"got {args.sample_regions}")
+    if args.region_warmup < 0:
+        raise SystemExit(f"--region-warmup must be >= 0, "
+                         f"got {args.region_warmup}")
+    return {
+        "sampling": "regions",
+        "regions": args.sample_regions,
+        "region_seed": args.region_seed,
+        "region_warmup": args.region_warmup,
+    }
+
+
 def cmd_sweep(args) -> int:
     from repro.perf.tables import sweep_table  # heavy import, lazy
     from repro.exec import ExecError
@@ -465,7 +569,7 @@ def cmd_sweep(args) -> int:
             budget=args.budget, seed=args.seed, workers=args.workers,
             backend=backend, progress=_bulk_progress(args),
             shards=args.shards, segment_records=args.segment_records,
-            engine=args.engine,
+            engine=args.engine, **_sampling_options(args),
         )
         result = runner.run()
     except (SweepError, ExecError) as error:
@@ -478,6 +582,9 @@ def cmd_sweep(args) -> int:
         notes.append(f"backend {backend.name}")
     if args.shards > 1:
         notes.append(f"{args.shards} shards per point")
+    if args.sample_regions is not None:
+        notes.append(f"region-sampled estimates "
+                     f"({args.sample_regions} regions requested)")
     if result.resumed_count:
         notes.append(f"{result.resumed_count} resumed from checkpoints")
     if result.skipped_invalid:
@@ -536,7 +643,7 @@ def cmd_search(args) -> int:
             budget=args.budget, seed=args.seed, workers=args.workers,
             backend=backend, progress=_bulk_progress(args),
             shards=args.shards, segment_records=args.segment_records,
-            engine=args.engine,
+            engine=args.engine, **_sampling_options(args),
         )
         search = runner.run()
     except (SweepError, ExecError) as error:
@@ -785,19 +892,23 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "workload",
         help="benchmark profile or kernel name, or the literal 'info' "
-             "to inspect an existing trace file")
+             "/ 'analyze' to inspect / profile an existing trace file")
     trace.add_argument(
         "output",
-        help="output trace file path (with 'info': the file to inspect)")
+        help="output trace file path (with 'info'/'analyze': the file "
+             "to inspect)")
     trace.add_argument("--segment-records", type=int,
                        default=DEFAULT_SEGMENT_RECORDS,
                        help="records per v2 segment (decode granularity "
                             "of streaming readers)")
     trace.add_argument("--format", choices=("text", "json"),
                        default="text",
-                       help="with 'info': output format (json includes "
-                            "the trace content digest the campaign "
-                            "cache keys on)")
+                       help="with 'info'/'analyze': output format "
+                            "(json includes the trace content digest "
+                            "the campaign cache keys on)")
+    trace.add_argument("--force", action="store_true",
+                       help="with 'analyze': re-profile even when a "
+                            "digest-fresh .rprof sidecar exists")
     trace.set_defaults(func=cmd_trace)
 
     simulate = sub.add_parser("simulate", help="run the timing engine")
@@ -817,6 +928,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help=f"engine tier ({', '.join(ENGINES)}); "
                                f"tiers are bit-identical, 'specialized' "
                                f"compiles the config into a fast path")
+    simulate.add_argument("--sample-regions", type=int, default=None,
+                          metavar="N",
+                          help="with --trace-file: estimate the run "
+                               "from N weighted representative regions "
+                               "instead of replaying every record (an "
+                               "approximation; see README "
+                               "'Region-sampled simulation')")
+    simulate.add_argument("--region-seed", type=int, default=0,
+                          help="k-means seed for --sample-regions")
+    simulate.add_argument("--region-warmup", type=int, default=1,
+                          metavar="SEGMENTS",
+                          help="warmup segments replayed (uncounted) "
+                               "before each representative region")
     simulate.set_defaults(func=cmd_simulate)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -893,6 +1017,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="records per v2 trace segment when the "
                             "sweep generates its trace (the shard "
                             "planner's boundary granularity)")
+        p.add_argument("--sample-regions", type=int, default=None,
+                       metavar="N",
+                       help="estimate every design point from N "
+                            "weighted representative regions instead "
+                            "of replaying the whole trace (an "
+                            "approximation; see README "
+                            "'Region-sampled simulation'; mutually "
+                            "exclusive with --shards)")
+        p.add_argument("--region-seed", type=int, default=0,
+                       help="k-means seed for --sample-regions; fixed "
+                            "seed = identical plan")
+        p.add_argument("--region-warmup", type=int, default=1,
+                       metavar="SEGMENTS",
+                       help="warmup segments replayed (uncounted) "
+                            "before each representative region")
         p.add_argument("--engine", default="reference",
                        help=f"engine tier executing every point "
                             f"({', '.join(ENGINES)}); tiers are "

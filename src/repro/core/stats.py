@@ -16,6 +16,18 @@ cycle-weighted mean of the shards, derived rates (IPC, misprediction
 and miss rates) recompute from the merged raw counters, and the
 :attr:`~SimulationStatistics.shards` field records the provenance of
 how the result was produced.
+
+Merges may be **weighted** (``merge(weights=...)``): each part's
+counter contributions scale by a non-negative *integer* weight before
+summing (still modulo 2^64), and samplers pool weight-scaled raw
+state.  Weight 1 on every part is bit-identical to the unweighted
+merge; weight 0 erases a part.  Region-sampled simulation
+(:mod:`repro.exec.regions`) uses this to extrapolate a cluster of
+statistically similar trace segments from one simulated
+representative.  Weights are integers by contract — resim-lint rule
+X304 rejects float weight expressions, for the same reason X301
+rejects float counter arithmetic: one float in the sum breaks the
+exact-arithmetic contract every reducer relies on.
 """
 
 from __future__ import annotations
@@ -24,6 +36,33 @@ from dataclasses import dataclass, field, fields
 from collections.abc import Iterable, Sequence
 
 _MASK64 = (1 << 64) - 1
+
+
+def _validate_weights(weights: Sequence[int], parts: int) -> tuple[int, ...]:
+    """Coerce merge weights to a tuple of plain non-negative ints.
+
+    Weights scale exact 64-bit counter sums, so they must be integers:
+    a float weight would silently round large counts (X301's failure
+    mode, one level up).  ``bool`` is rejected too — ``True`` works
+    arithmetically but almost always means a caller passed a predicate
+    where a multiplicity belongs.
+    """
+    cleaned = []
+    for weight in weights:
+        if isinstance(weight, bool) or not isinstance(weight, int):
+            raise TypeError(
+                f"merge weights must be plain ints (counters are exact "
+                f"64-bit registers; float weights would round), got "
+                f"{weight!r}")
+        if weight < 0:
+            raise ValueError(
+                f"merge weights must be >= 0, got {weight}")
+        cleaned.append(weight)
+    if len(cleaned) != parts:
+        raise ValueError(
+            f"got {len(cleaned)} weight(s) for {parts} part(s); pass "
+            f"exactly one weight per merged statistics object")
+    return tuple(cleaned)
 
 
 class Counter64:
@@ -157,6 +196,7 @@ class SimulationStatistics:
     # -- reduction -----------------------------------------------------
 
     def merge(self, others: Sequence[SimulationStatistics] = (), *,
+              weights: Sequence[int] | None = None,
               shards: Sequence[dict] | None = None,
               ) -> SimulationStatistics:
         """Reduce this object and ``others`` into one new statistics
@@ -178,6 +218,15 @@ class SimulationStatistics:
           concatenate, so merging merged results keeps a flat record
           of every original shard.
 
+        ``weights`` (one non-negative **integer** per part, ``self``
+        first) scales each part's contribution: counters add
+        ``weight * value`` (still modulo 2^64), samplers pool
+        ``weight``-scaled raw state, and a zero-weight part's peaks
+        are ignored.  ``weights=None`` and all-ones weights are
+        bit-identical — weighting strictly generalizes the exact
+        merge.  Region-sampled runs use weights to extrapolate a
+        cluster of similar trace segments from one representative.
+
         Merging with no ``others`` and no ``shards`` is the identity
         (a copy that compares equal to ``self``).  Which counters of a
         *sharded simulation* sum exactly to the monolithic run's and
@@ -185,16 +234,34 @@ class SimulationStatistics:
         in :mod:`repro.exec.shard`.
         """
         parts = (self, *others)
+        scale = (None if weights is None
+                 else _validate_weights(weights, len(parts)))
         merged = SimulationStatistics()
         for spec in fields(self):
             if spec.name == "shards":
                 continue
             values = [getattr(part, spec.name) for part in parts]
             if isinstance(values[0], Counter64):
-                setattr(merged, spec.name,
-                        Counter64(sum(int(value) for value in values)))
-            else:
+                if scale is None:
+                    setattr(merged, spec.name,
+                            Counter64(sum(int(value) for value in values)))
+                else:
+                    setattr(merged, spec.name, Counter64(
+                        sum(weight * int(value) for weight, value
+                            in zip(scale, values, strict=True))))
+            elif scale is None:
                 setattr(merged, spec.name, values[0].merge(values[1:]))
+            else:
+                total = samples = peak = 0
+                for weight, value in zip(scale, values, strict=True):
+                    part_total, part_samples = value.raw()
+                    total += weight * part_total
+                    samples += weight * part_samples
+                    if weight and value.peak > peak:
+                        peak = value.peak
+                setattr(merged, spec.name,
+                        OccupancySampler(total=total, samples=samples,
+                                         peak=peak))
         if shards is not None:
             merged.shards = [dict(entry) for entry in shards]
         else:
@@ -245,7 +312,13 @@ class SimulationStatistics:
         return int(self.icache_misses) / accesses if accesses else 0.0
 
     def report(self) -> str:
-        """Multi-line human-readable statistics dump."""
+        """Multi-line human-readable statistics dump.
+
+        Every :class:`Counter64` field's value appears verbatim in the
+        rendered text (a drift-guard test asserts it, mirroring lint
+        rule X303): a counter the report silently drops is a counter
+        nobody ever reads.
+        """
         lines = [
             f"major cycles            : {int(self.major_cycles)}",
             f"committed instructions  : {int(self.committed_instructions)}"
@@ -259,21 +332,33 @@ class SimulationStatistics:
             f"mispredictions          : {int(self.mispredictions)}"
             f"  (rate {self.misprediction_rate:.4f})",
             f"misfetches              : {int(self.misfetches)}",
+            f"prediction divergence   : "
+            f"{int(self.prediction_divergence)}",
             f"loads / stores          : {int(self.committed_loads)} /"
             f" {int(self.committed_stores)}"
             f"  ({int(self.load_forwards)} forwarded)",
             f"I-cache                 : {int(self.icache_accesses)} accesses,"
-            f" miss rate {self.icache_miss_rate:.4f}",
+            f" {int(self.icache_misses)} misses"
+            f" (rate {self.icache_miss_rate:.4f})",
             f"D-cache                 : {int(self.dcache_accesses)} accesses,"
-            f" miss rate {self.dcache_miss_rate:.4f}",
+            f" {int(self.dcache_misses)} misses"
+            f" (rate {self.dcache_miss_rate:.4f})",
             f"IFQ / ROB / LSQ avg occ : {self.ifq_occupancy.average:.2f} /"
             f" {self.rob_occupancy.average:.2f} /"
             f" {self.lsq_occupancy.average:.2f}",
+            f"IFQ / ROB / LSQ peak occ: {self.ifq_occupancy.peak} /"
+            f" {self.rob_occupancy.peak} /"
+            f" {self.lsq_occupancy.peak}",
             f"fetch stalls (cycles)   : {int(self.fetch_stall_cycles)}"
             f"  (misfetch {int(self.misfetch_stall_cycles)},"
             f" recovery {int(self.recovery_stall_cycles)})",
         ]
         if self.sharded:
+            # Weighted (region-sampled) provenance entries carry a
+            # "weight" key; exact shard merges never do.
+            weighted = any(isinstance(entry, dict) and "weight" in entry
+                           for entry in self.shards)
+            noun = "regions" if weighted else "shards"
             lines.append(
-                f"merged from shards      : {len(self.shards)}")
+                f"merged from {noun:12s}: {len(self.shards)}")
         return "\n".join(lines)

@@ -19,7 +19,12 @@ pieces:
 * :class:`~repro.exec.shard.ShardPlan` /
   :class:`~repro.exec.shard.ShardReducer` (:mod:`repro.exec.shard`) —
   split one design point into segment-range shard units and merge
-  their statistics back into one point result.
+  their statistics back into one point result;
+* :class:`~repro.exec.regions.RegionPlan` /
+  :class:`~repro.exec.regions.RegionReducer`
+  (:mod:`repro.exec.regions`) — region-sampled execution: simulate
+  one warmup-prefixed representative range per behaviour cluster and
+  extrapolate the full-trace statistics through the weighted merge.
 
 Backends are named in :data:`~repro.exec.backends.BACKENDS`.  Because
 work units are deterministic and results are written atomically,
@@ -39,6 +44,17 @@ from repro.exec.queue import (
     enqueue,
     queue_paths,
     reclaim_stale,
+)
+from repro.exec.regions import (
+    DEFAULT_REGIONS,
+    DEFAULT_WARMUP_SEGMENTS,
+    IPC_ERROR_BOUND,
+    Region,
+    RegionPlan,
+    RegionReducer,
+    merge_region_documents,
+    plan_regions,
+    region_units,
 )
 from repro.exec.shard import (
     EXACT_SUM_COUNTERS,
@@ -64,13 +80,19 @@ from repro.exec.worker import LeaseHeartbeat, run_worker
 __all__ = [
     "BACKENDS",
     "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_REGIONS",
+    "DEFAULT_WARMUP_SEGMENTS",
     "DirectoryQueueBackend",
     "EXACT_SUM_COUNTERS",
     "ExecError",
     "ExecutionBackend",
+    "IPC_ERROR_BOUND",
     "LeaseHeartbeat",
     "ProcessPoolBackend",
     "RESULT_SCHEMA",
+    "Region",
+    "RegionPlan",
+    "RegionReducer",
     "SerialBackend",
     "ShardPlan",
     "ShardReducer",
@@ -81,7 +103,9 @@ __all__ = [
     "error_document",
     "execute_unit",
     "load_unit_result",
+    "merge_region_documents",
     "merge_result_documents",
+    "plan_regions",
     "plan_shards",
     "queue_paths",
     "reclaim_stale",

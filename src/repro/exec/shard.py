@@ -183,15 +183,27 @@ def plan_shards(trace_path: str | Path, shards: int) -> ShardPlan:
         target = (total * k) // effective
         candidate = bisect_left(cumulative, target)
         candidate = min(max(candidate, previous + 1), segments - 1)
-        clean = next(
-            (index for index in range(candidate, segments)
-             if _segment_is_clean(trace_path, table, index, cache)),
-            None)
-        if clean is None:
-            clean = next(
-                (index for index in range(candidate - 1, previous, -1)
-                 if _segment_is_clean(trace_path, table, index, cache)),
-                None)
+        # Nearest clean segment in *either* direction (forward wins
+        # ties).  Scanning all the way forward before ever looking
+        # backward would let one dirty stretch push this boundary far
+        # past later targets and starve the trailing shards down to
+        # single segments.  Backward stops at previous + 1 (a boundary
+        # equal to the previous one would make an empty shard);
+        # forward stops at segments - 1 (the last segment belongs to
+        # the final shard).
+        clean = None
+        for distance in range(segments):
+            forward = candidate + distance
+            if forward <= segments - 1 and _segment_is_clean(
+                    trace_path, table, forward, cache):
+                clean = forward
+                break
+            backward = candidate - distance
+            if distance and backward >= previous + 1 \
+                    and _segment_is_clean(
+                        trace_path, table, backward, cache):
+                clean = backward
+                break
         if clean is None:
             continue  # no clean cut in this span: merge into neighbor
         boundaries.append(clean)

@@ -42,11 +42,12 @@ RESULT_SCHEMA = 1
 #: Keys the executor itself writes into a result document; tags may
 #: not shadow them (a tag silently overwriting "stats" would corrupt
 #: every consumer downstream).  "sharded" belongs to the shard
-#: reducer (:mod:`repro.exec.shard`), which stamps it on merged
-#: point documents.
+#: reducer (:mod:`repro.exec.shard`) and "sampled" to the region
+#: reducer (:mod:`repro.exec.regions`); each stamps its key on the
+#: merged point documents it emits.
 RESERVED_RESULT_KEYS = frozenset(
     ("schema", "unit_id", "spec", "config", "stats", "error",
-     "sharded"))
+     "sharded", "sampled"))
 
 #: Unit identifiers become queue/result filenames; restrict them to
 #: characters that cannot traverse paths or collide across platforms.

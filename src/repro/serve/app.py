@@ -259,6 +259,29 @@ class CampaignService:
         engine = _validate_engine(request.get("engine", "reference"))
         if engine != "reference":
             normalized["engine"] = engine
+        # Region sampling changes what the job *computes* (estimates,
+        # not exact statistics), so every sampling parameter is part
+        # of the normalized document — a sampled and an exact
+        # submission of the same grid must never coalesce into one
+        # job.  Full replay (the default) is normalized by omission,
+        # keeping pre-sampling submissions byte-identical.
+        sampling = request.get("sampling", "full")
+        if sampling not in ("full", "regions"):
+            raise ServiceError(
+                f"request field 'sampling' must be 'full' or "
+                f"'regions', got {sampling!r}")
+        if sampling == "regions":
+            if normalized["shards"] > 1:
+                raise ServiceError(
+                    "'shards' and sampling='regions' are mutually "
+                    "exclusive: sharding is exact, sampling estimates")
+            normalized["sampling"] = {
+                "mode": "regions",
+                "regions": _require_int(request, "regions", 8),
+                "seed": _require_int(request, "region_seed", 0),
+                "warmup_segments":
+                    _require_int(request, "region_warmup", 1),
+            }
         if kind == "search":
             strategy = request.get("strategy", "hillclimb")
             try:
@@ -332,6 +355,19 @@ class CampaignService:
         return SweepSpec(axes=dict(request["axes"]),
                          base=config_from_dict(request["config"]))
 
+    @staticmethod
+    def _sampling_kwargs(request: Mapping) -> dict:
+        """Runner kwargs for a normalized request's sampling entry."""
+        sampling = request.get("sampling")
+        if not sampling:
+            return {}
+        return {
+            "sampling": sampling["mode"],
+            "regions": sampling["regions"],
+            "region_seed": sampling["seed"],
+            "region_warmup": sampling["warmup_segments"],
+        }
+
     def _run_sweep(self, job: Job, context: JobContext) -> dict:
         request = job.request
         backend = self._caching_backend(context)
@@ -340,7 +376,8 @@ class CampaignService:
             results_dir=self._workdir(job), budget=request["budget"],
             seed=request["seed"], backend=backend,
             progress=_JobProgress(context), shards=request["shards"],
-            engine=request.get("engine", "reference"))
+            engine=request.get("engine", "reference"),
+            **self._sampling_kwargs(request))
         outcome = runner.run()
         context.set_cache_tally(backend.hits, backend.misses)
         return {"kind": "sweep", "sweep": json.loads(outcome.to_json())}
@@ -366,7 +403,8 @@ class CampaignService:
             results_dir=self._workdir(job), budget=request["budget"],
             seed=request["seed"], backend=backend,
             progress=_JobProgress(context), shards=request["shards"],
-            engine=request.get("engine", "reference"))
+            engine=request.get("engine", "reference"),
+            **self._sampling_kwargs(request))
         outcome = runner.run()
         context.set_cache_tally(backend.hits, backend.misses)
         best = outcome.best

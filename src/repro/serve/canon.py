@@ -28,13 +28,13 @@ identifier in the repo uses.
 
 from __future__ import annotations
 
-import hashlib
 from pathlib import Path
 from collections.abc import Mapping
 
 from repro import __version__ as ENGINE_VERSION
 from repro.serialize import canonical_digest
 from repro.session import SessionError, Simulation
+from repro.trace.analyze import ProfileError, trace_content_digest
 
 #: Hex digits of a cache key (160 bits of SHA-256): long enough that
 #: collisions are not a practical concern, short enough for filenames.
@@ -56,18 +56,16 @@ def trace_digest(path: str | Path, *, chunk_bytes: int = 1 << 20) -> str:
 
     This is the digest ``resim trace info`` surfaces and the one the
     campaign-service cache key folds in — byte-identical trace files
-    digest identically wherever they live.
+    digest identically wherever they live.  The derivation is shared
+    with the trace profiler
+    (:func:`repro.trace.analyze.trace_content_digest`), so a
+    ``.rprof`` sidecar and a cached result that agree on a digest
+    agree on the trace bytes.
     """
-    digest = hashlib.sha256()
     try:
-        with open(path, "rb") as handle:
-            while chunk := handle.read(chunk_bytes):
-                digest.update(chunk)
-    except OSError as error:
-        raise CanonError(
-            f"cannot digest trace file {path}: "
-            f"{error.strerror or error}") from error
-    return f"sha256:{digest.hexdigest()}"
+        return trace_content_digest(path, chunk_bytes=chunk_bytes)
+    except ProfileError as error:
+        raise CanonError(str(error)) from error
 
 
 def canonical_spec(spec: Mapping) -> dict:

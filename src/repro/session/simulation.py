@@ -127,9 +127,12 @@ def _coerce_segments(value: object) -> tuple[int, int]:
         raise SessionError(
             f"segment range bounds must be integers, got {value!r}"
         ) from None
-    if lo < 0 or hi < lo:
+    if lo < 0 or hi <= lo:
+        # An empty range (lo == hi) is rejected too: it would simulate
+        # zero records yet produce a structurally valid result document
+        # that checkpoints and caches as a "successful" run.
         raise SessionError(
-            f"segment range needs 0 <= lo <= hi, got ({lo}, {hi})")
+            f"segment range needs 0 <= lo < hi, got ({lo}, {hi})")
     return (lo, hi)
 
 

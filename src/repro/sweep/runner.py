@@ -59,15 +59,21 @@ from repro.bpred.unit import PredictorConfig
 from repro.core.specialize import ENGINES
 from repro.utils.registry import RegistryError
 from repro.exec import (
+    DEFAULT_REGIONS,
+    DEFAULT_WARMUP_SEGMENTS,
     ExecutionBackend,
     ProcessPoolBackend,
+    RegionPlan,
+    RegionReducer,
     SerialBackend,
     ShardPlan,
     ShardReducer,
     UnitExecutionError,
     WorkUnit,
     load_unit_result,
+    plan_regions,
     plan_shards,
+    region_units,
     shard_units,
 )
 from repro.exec.unit import result_matches_unit
@@ -79,6 +85,7 @@ from repro.serialize import (
 from repro.sweep.progress import SweepProgress
 from repro.sweep.result import SweepOutcome, SweepResult
 from repro.sweep.spec import SweepError, SweepPoint, SweepSpec
+from repro.trace.analyze import ensure_profile
 from repro.trace.fileio import (
     DEFAULT_SEGMENT_RECORDS,
     TraceFileError,
@@ -170,6 +177,20 @@ class SweepRunner:
         Records per segment when this runner generates a trace —
         the shard planner's boundary granularity (a trace shorter
         than one segment cannot shard).
+    sampling:
+        ``"full"`` (default) replays every trace record per design
+        point; ``"regions"`` estimates each point from weighted
+        representative regions (``resim sweep --sample-regions``,
+        see :mod:`repro.exec.regions`) — the per-point cost drops to
+        the plan's coverage, the results become *estimates* (merged
+        documents carry a ``"sampled"`` marker, the manifest records
+        the sampling parameters so sampled and exact results never
+        share a results directory).  Mutually exclusive with
+        ``shards > 1``: sharding exists for exactness, sampling
+        deliberately gives it up.
+    regions / region_seed / region_warmup:
+        Sampling-plan parameters (cluster count, k-means seed, warmup
+        segments per representative); ignored under full replay.
     """
 
     def __init__(
@@ -186,6 +207,10 @@ class SweepRunner:
         shards: int = 1,
         segment_records: int = DEFAULT_SEGMENT_RECORDS,
         engine: str = "reference",
+        sampling: str = "full",
+        regions: int = DEFAULT_REGIONS,
+        region_seed: int = 0,
+        region_warmup: int = DEFAULT_WARMUP_SEGMENTS,
     ) -> None:
         if backend is None:
             backend = default_backend(workers)
@@ -196,6 +221,22 @@ class SweepRunner:
         if segment_records < 1:
             raise SweepError(
                 f"segment_records must be >= 1, got {segment_records}")
+        if sampling not in ("full", "regions"):
+            raise SweepError(
+                f"sampling must be 'full' or 'regions', got "
+                f"{sampling!r}")
+        if sampling == "regions":
+            if shards > 1:
+                raise SweepError(
+                    "shards and region sampling are mutually "
+                    "exclusive: sharding exists for exact merges, "
+                    "sampling estimates (drop one of --shards / "
+                    "--sample-regions)")
+            if regions < 1:
+                raise SweepError(f"regions must be >= 1, got {regions}")
+            if region_warmup < 0:
+                raise SweepError(
+                    f"region_warmup must be >= 0, got {region_warmup}")
         try:
             ENGINES.get(engine)
         except RegistryError as error:
@@ -213,8 +254,13 @@ class SweepRunner:
             else SweepProgress()
         self.shards = shards
         self.segment_records = segment_records
+        self.sampling = sampling
+        self.regions = regions
+        self.region_seed = region_seed
+        self.region_warmup = region_warmup
         self._traces: dict[str, _TraceInfo] = {}
         self._plans: dict[str, ShardPlan] = {}
+        self._region_plans: dict[str, RegionPlan] = {}
 
     # -- trace management ---------------------------------------------
 
@@ -227,7 +273,7 @@ class SweepRunner:
         # completion deterministically, so both are normalized out
         # for them rather than spuriously refusing a resume).
         base = self.spec.base
-        return {
+        manifest = {
             "workload": self.workload,
             "budget": self.budget if self._is_synthetic else None,
             "seed": self.seed if self._is_synthetic else None,
@@ -236,6 +282,19 @@ class SweepRunner:
                 "ifq_entries": base.ifq_entries,
             },
         }
+        # Only sampled sweeps record a sampling entry: full-replay
+        # manifests keep their historical shape (old results
+        # directories stay resumable), and a sampled directory can
+        # never be resumed as an exact one — or under different
+        # sampling parameters — because the manifests differ.
+        if self.sampling == "regions":
+            manifest["sampling"] = {
+                "mode": "regions",
+                "regions": self.regions,
+                "seed": self.region_seed,
+                "warmup_segments": self.region_warmup,
+            }
+        return manifest
 
     def _check_manifest(self) -> None:
         manifest_path = self.results_dir / MANIFEST_FILENAME
@@ -364,6 +423,22 @@ class SweepRunner:
             self._plans[key] = plan_shards(trace.path, self.shards)
         return self._plans[key]
 
+    # -- region sampling -----------------------------------------------
+
+    def _region_plan_for(self, trace: _TraceInfo) -> RegionPlan:
+        """Memoizing region planner: one trace is profiled (reusing a
+        digest-fresh ``.rprof`` sidecar when present) and clustered
+        once per runner, shared by every design point simulated over
+        it — the plan depends only on the trace, not the config."""
+        key = str(trace.path)
+        if key not in self._region_plans:
+            profile = ensure_profile(trace.path)
+            self._region_plans[key] = plan_regions(
+                trace.path, profile, regions=self.regions,
+                seed=self.region_seed,
+                warmup_segments=self.region_warmup)
+        return self._region_plans[key]
+
     # -- unit building -------------------------------------------------
 
     def _unit_for(self, point: SweepPoint, trace: _TraceInfo,
@@ -411,8 +486,8 @@ class SweepRunner:
         outcomes: dict[str, SweepOutcome] = {}
         units: list[WorkUnit] = []
         by_id: dict[str, SweepPoint] = {}
-        reducers: dict[str, ShardReducer] = {}
-        shard_point: dict[str, str] = {}  # shard unit id -> point key
+        reducers: dict[str, ShardReducer | RegionReducer] = {}
+        shard_point: dict[str, str] = {}  # split unit id -> point key
 
         def finish(point: SweepPoint, payload: dict,
                    from_checkpoint: bool) -> None:
@@ -437,18 +512,31 @@ class SweepRunner:
                 continue
             by_id[point.key] = point
             base_unit = self._unit_for(point, trace, provenance)
-            plan = self._plan_for(trace) if self.shards > 1 else None
-            if plan is None or plan.shards == 1:
-                # Monolithic (or unsplittable trace): bit-identical to
-                # the pre-shard path, including the unit's identity.
-                units.append(base_unit)
-                continue
-            # Sharded: per-shard results are checkpoints too — reuse
-            # the ones a previous (interrupted) run already computed
-            # and submit only the missing slices.
-            reducer = ShardReducer(base_unit, plan)
+            reducer: ShardReducer | RegionReducer
+            if self.sampling == "regions":
+                # Sampled: every point runs as region units — even a
+                # one-region plan stays an estimate (its checkpoint
+                # carries the "sampled" marker), never a full replay.
+                region_plan = self._region_plan_for(trace)
+                reducer = RegionReducer(base_unit, region_plan)
+                split = region_units(base_unit, region_plan)
+            else:
+                plan = self._plan_for(trace) if self.shards > 1 \
+                    else None
+                if plan is None or plan.shards == 1:
+                    # Monolithic (or unsplittable trace):
+                    # bit-identical to the pre-shard path, including
+                    # the unit's identity.
+                    units.append(base_unit)
+                    continue
+                reducer = ShardReducer(base_unit, plan)
+                split = shard_units(base_unit, plan)
+            # Split (sharded or sampled): per-slice results are
+            # checkpoints too — reuse the ones a previous
+            # (interrupted) run already computed and submit only the
+            # missing slices.
             pending = []
-            for shard_unit in shard_units(base_unit, plan):
+            for shard_unit in split:
                 existing = load_unit_result(shard_unit.result_path)
                 if existing is not None and "error" not in existing \
                         and result_matches_unit(existing, shard_unit):
@@ -552,11 +640,17 @@ def run_sweep(
     shards: int = 1,
     segment_records: int = DEFAULT_SEGMENT_RECORDS,
     engine: str = "reference",
+    sampling: str = "full",
+    regions: int = DEFAULT_REGIONS,
+    region_seed: int = 0,
+    region_warmup: int = DEFAULT_WARMUP_SEGMENTS,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     runner = SweepRunner(spec, workload, results_dir=results_dir,
                          budget=budget, seed=seed, workers=workers,
                          backend=backend, progress=progress,
                          shards=shards, segment_records=segment_records,
-                         engine=engine)
+                         engine=engine, sampling=sampling,
+                         regions=regions, region_seed=region_seed,
+                         region_warmup=region_warmup)
     return runner.run()

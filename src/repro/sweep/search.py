@@ -40,7 +40,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from collections.abc import Callable, Mapping, Sequence
 
-from repro.exec import ExecutionBackend
+from repro.exec import (
+    DEFAULT_REGIONS,
+    DEFAULT_WARMUP_SEGMENTS,
+    ExecutionBackend,
+)
 from repro.sweep.progress import SweepProgress
 from repro.sweep.result import SORT_KEYS, SweepOutcome, SweepResult
 from repro.sweep.runner import SweepRunner
@@ -417,6 +421,10 @@ class SearchRunner:
         shards: int = 1,
         segment_records: int | None = None,
         engine: str = "reference",
+        sampling: str = "full",
+        regions: int = DEFAULT_REGIONS,
+        region_seed: int = 0,
+        region_warmup: int = DEFAULT_WARMUP_SEGMENTS,
     ) -> None:
         self.strategy = strategy
         extra = {} if segment_records is None \
@@ -425,7 +433,8 @@ class SearchRunner:
             strategy.spec, workload, results_dir=results_dir,
             budget=budget, seed=seed, workers=workers,
             backend=backend, progress=progress, shards=shards,
-            engine=engine,
+            engine=engine, sampling=sampling, regions=regions,
+            region_seed=region_seed, region_warmup=region_warmup,
             **extra,
         )
 
@@ -507,10 +516,16 @@ def run_search(
     shards: int = 1,
     segment_records: int | None = None,
     engine: str = "reference",
+    sampling: str = "full",
+    regions: int = DEFAULT_REGIONS,
+    region_seed: int = 0,
+    region_warmup: int = DEFAULT_WARMUP_SEGMENTS,
 ) -> SearchResult:
     """One-call convenience wrapper around :class:`SearchRunner`."""
     return SearchRunner(
         strategy, workload, results_dir=results_dir, budget=budget,
         seed=seed, workers=workers, backend=backend, progress=progress,
         shards=shards, segment_records=segment_records, engine=engine,
+        sampling=sampling, regions=regions, region_seed=region_seed,
+        region_warmup=region_warmup,
     ).run()

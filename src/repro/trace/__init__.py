@@ -24,10 +24,27 @@ This package provides:
   concatenation);
 * :mod:`repro.trace.stats` — per-trace statistics (record mix, bits per
   instruction, wrong-path fraction) feeding the Table 3 reproduction;
+* :mod:`repro.trace.analyze` — per-segment behaviour profiles (record
+  mix, misprediction density, basic-block vectors) persisted as
+  content-digest-keyed ``.rprof`` sidecars — the measurement half of
+  region-sampled simulation (:mod:`repro.exec.regions`);
 * :mod:`repro.trace.wrongpath` — wrong-path block sizing and injection
   helpers shared by the functional and synthetic trace generators.
 """
 
+from repro.trace.analyze import (
+    DEFAULT_BBV_DIM,
+    PROFILE_SCHEMA,
+    ProfileError,
+    SegmentProfile,
+    TraceProfile,
+    analyze_trace,
+    ensure_profile,
+    load_profile,
+    profile_path,
+    trace_content_digest,
+    write_profile,
+)
 from repro.trace.fileio import (
     DEFAULT_SEGMENT_RECORDS,
     SegmentedTraceWriter,
@@ -69,12 +86,16 @@ from repro.trace.wrongpath import conservative_block_size
 __all__ = [
     "BranchRecord",
     "ConcatSource",
+    "DEFAULT_BBV_DIM",
     "DEFAULT_SEGMENT_RECORDS",
     "FileSource",
     "InMemorySource",
     "MemoryRecord",
     "OtherRecord",
+    "PROFILE_SCHEMA",
+    "ProfileError",
     "RecordKind",
+    "SegmentProfile",
     "SegmentedTraceWriter",
     "TraceDecoder",
     "TraceEncoder",
@@ -82,19 +103,26 @@ __all__ = [
     "TraceFileHeader",
     "TraceRecord",
     "TraceSegment",
+    "TraceProfile",
     "TraceSource",
     "TraceSourceError",
     "TraceStatistics",
+    "analyze_trace",
     "as_source",
     "conservative_block_size",
     "decode_record",
     "decode_trace",
     "encode_trace",
+    "ensure_profile",
     "iter_trace_records",
+    "load_profile",
     "measure_trace",
+    "profile_path",
     "read_segment_table",
     "read_trace_file",
     "read_trace_header",
     "record_bit_length",
+    "trace_content_digest",
+    "write_profile",
     "write_trace_file",
 ]

@@ -178,9 +178,13 @@ class FileSource(TraceSource):
         if segments is not None:
             table = read_segment_table(self._path)
             lo, hi = segments
-            if not (0 <= lo <= hi <= len(table)):
+            if not (0 <= lo < hi <= len(table)):
+                # `lo < hi` (not `<=`): an empty range replays zero
+                # records but still looks like a successful run to
+                # every consumer downstream — reject it here, matching
+                # ShardPlan and the session spec validation.
                 raise TraceSourceError(
-                    f"segment range {segments} outside the "
+                    f"segment range {segments} empty or outside the "
                     f"{len(table)}-segment table of {self._path}"
                 )
             if self._header.version == 1 and (lo, hi) != (0, 1):

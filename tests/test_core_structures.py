@@ -1,6 +1,8 @@
 """Tests for the engine's building blocks: in-flight ops, rename table,
 functional-unit pool, statistics registers, pipeline configs."""
 
+from dataclasses import fields
+
 import pytest
 
 from repro.bpred.unit import PERFECT_PREDICTOR
@@ -232,3 +234,42 @@ class TestStatistics:
         stats.committed_instructions.increment(15)
         text = stats.report()
         assert "IPC 1.500" in text
+
+    def test_report_covers_every_field(self):
+        # Drift guard: a Counter64 field (or sampler peak) added to
+        # SimulationStatistics without a report() line would silently
+        # vanish from every CLI run.  Give each field a distinct
+        # value and require that value (or for samplers: the peak) to
+        # appear somewhere in the rendered report.
+        stats = SimulationStatistics()
+        value = 1_000_003  # large primes: never rendering artifacts
+        expected: dict[str, int] = {}
+        for spec in fields(SimulationStatistics):
+            if spec.name == "shards":
+                continue
+            slot = getattr(stats, spec.name)
+            if isinstance(slot, Counter64):
+                slot.increment(value)
+                expected[spec.name] = value
+            else:  # OccupancySampler: the peak must be reported
+                for _ in range(7):
+                    slot.sample(value)
+                expected[spec.name] = value
+            value += 1_000_033
+        text = stats.report()
+        for name, rendered in expected.items():
+            assert str(rendered) in text, (
+                f"SimulationStatistics.{name} (value {rendered}) "
+                f"does not appear in report(); update report() when "
+                f"adding statistics fields")
+
+    def test_report_distinguishes_region_merges(self):
+        base = SimulationStatistics()
+        exact = base.merge([SimulationStatistics()],
+                           shards=[{"index": 0}, {"index": 1}])
+        assert "merged from shards" in exact.report()
+        sampled = base.merge(
+            [SimulationStatistics()], weights=[2, 3],
+            shards=[{"index": 0, "weight": 2},
+                    {"index": 1, "weight": 3}])
+        assert "merged from regions" in sampled.report()

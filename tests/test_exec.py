@@ -14,6 +14,7 @@ from dataclasses import replace
 from pathlib import Path
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.config import PAPER_4WIDE_PERFECT
 from repro.exec import (
@@ -533,6 +534,102 @@ class TestShardPlan:
         write_trace_file(path, generation.records, version=1)
         plan = plan_shards(path, 4)  # cannot split a v1 payload
         assert plan.shards == 1
+
+
+class TestShardPlanAdversarial:
+    """Boundary snapping against traces *built* to have dirty
+    stretches exactly where the record-balanced cuts want to land.
+
+    Regression for the planner's forward-only boundary scan: one long
+    dirty stretch used to push a boundary past every later target,
+    starving all trailing shards down to single segments."""
+
+    SEGMENT_RECORDS = 8
+
+    def _tagged_trace(self, directory, dirty, *, segments=16):
+        """A v2 trace whose segment ``i`` opens wrong-path (dirty)
+        exactly when ``i in dirty`` — the only thing the planner's
+        cleanliness probe looks at."""
+        from repro.trace.fileio import write_trace_file
+        from repro.trace.record import OtherRecord
+        records = [
+            OtherRecord(tag=(slot == 0 and segment in dirty))
+            for segment in range(segments)
+            for slot in range(self.SEGMENT_RECORDS)]
+        path = Path(directory) / "adversarial.rtrc"
+        write_trace_file(path, records,
+                         segment_records=self.SEGMENT_RECORDS)
+        return path
+
+    def _assert_boundaries_clean(self, plan, dirty):
+        for lo, _ in plan.ranges[1:]:
+            assert lo not in dirty, f"boundary {lo} is dirty"
+
+    def test_dirty_stretch_does_not_starve_trailing_shards(
+            self, tmp_path):
+        # Targets for 4 shards over 16 uniform segments: 4, 8, 12.
+        # Segments 4..11 are dirty; the nearest-in-either-direction
+        # search lands 3 / 12 / 13, keeping four shards alive.  The
+        # old forward-only scan slid the first boundary to 12 and
+        # left every trailing shard a single segment.
+        dirty = set(range(4, 12))
+        plan = plan_shards(self._tagged_trace(tmp_path, dirty), 4)
+        assert plan.ranges == ((0, 3), (3, 12), (12, 13), (13, 16))
+        self._assert_boundaries_clean(plan, dirty)
+
+    def test_all_dirty_interior_collapses_to_one_shard(self, tmp_path):
+        # No clean cut exists at all: merging into one shard is the
+        # only sound plan (never an empty or dirty-opening shard).
+        dirty = set(range(1, 16))
+        plan = plan_shards(self._tagged_trace(tmp_path, dirty), 4)
+        assert plan.ranges == ((0, 16),)
+
+    @given(data=st.data(),
+           shards=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_boundaries_are_nearest_clean_cuts(self, data, shards,
+                                               tmp_path_factory):
+        """Property: every chosen boundary is clean, respects the
+        previous boundary's floor, and no *closer* admissible clean
+        segment to the record-balanced target exists (the
+        nearest-in-either-direction contract)."""
+        segments = data.draw(st.integers(min_value=4, max_value=24))
+        dirty = data.draw(st.sets(
+            st.integers(min_value=1, max_value=segments - 1)))
+        trace = self._tagged_trace(
+            tmp_path_factory.mktemp("adv"), dirty, segments=segments)
+        plan = plan_shards(trace, shards)
+        assert plan.ranges[0][0] == 0
+        assert plan.ranges[-1][1] == segments
+        assert all(hi > lo for lo, hi in plan.ranges)
+        self._assert_boundaries_clean(plan, dirty)
+        # Replay the target rule; check nearest-ness of each cut.
+        effective = min(shards, segments)
+        boundaries = [lo for lo, _ in plan.ranges[1:]]
+        previous = 0
+        from bisect import bisect_left
+        cumulative = [self.SEGMENT_RECORDS * index
+                      for index in range(segments + 1)]
+        total = cumulative[-1]
+        for k in range(1, effective):
+            if previous + 1 > segments - 1 or not boundaries:
+                break
+            target = (total * k) // effective
+            candidate = min(max(bisect_left(cumulative, target),
+                                previous + 1), segments - 1)
+            admissible = [index for index in range(previous + 1,
+                                                   segments)
+                          if index not in dirty]
+            if not admissible:
+                continue  # planner merged this cut into a neighbor
+            chosen = boundaries.pop(0)
+            best = min(abs(index - candidate) for index in admissible)
+            assert abs(chosen - candidate) == best, (
+                f"boundary {chosen} is {abs(chosen - candidate)} "
+                f"segments from target {candidate}; a clean cut "
+                f"{best} away existed (dirty={sorted(dirty)})")
+            previous = chosen
+        assert not boundaries, "planner produced unexplained cuts"
 
 
 class TestShardUnits:

@@ -363,6 +363,41 @@ class TestFloatIntoCounter:
 
 
 # ---------------------------------------------------------------------
+# X304 — float weights into a weighted merge
+# ---------------------------------------------------------------------
+
+
+class TestFloatWeightsIntoMerge:
+    def test_float_literal_weight_fires(self):
+        assert fires("stats.merge(parts, weights=[0.5, 0.5])\n",
+                     "X304")
+
+    def test_division_weight_fires(self):
+        assert fires(
+            "m = base.merge(rest, weights=[w / total for w in ws])\n",
+            "X304")
+
+    def test_float_conversion_fires(self):
+        assert fires(
+            "base.merge(rest, weights=[float(w) for w in ws])\n",
+            "X304")
+
+    def test_integer_weights_are_silent(self):
+        good = ("stats.merge(parts, weights=[1, 2, 3])\n"
+                "base.merge(rest, weights=[int(w) for w in ws])\n"
+                "base.merge(rest, weights=sizes)\n")
+        assert not fires(good, "X304")
+
+    def test_unweighted_merge_is_silent(self):
+        assert not fires("stats.merge(parts, shards=prov)\n", "X304")
+
+    def test_float_elsewhere_in_call_is_silent(self):
+        # Only the weights keyword is counter-scaling; other float
+        # arguments to some unrelated .merge() are not X304's business.
+        assert not fires("frames.merge(other, alpha=0.5)\n", "X304")
+
+
+# ---------------------------------------------------------------------
 # X302 — merge completeness (project rule over the real sources)
 # ---------------------------------------------------------------------
 
@@ -546,7 +581,7 @@ class TestFramework:
         assert ids == sorted(ids)
         for family in ("D101", "D102", "D103", "D104", "D105",
                        "S201", "S202", "S203", "X301", "X302",
-                       "X303"):
+                       "X303", "X304"):
             assert family in ids
         for rule in rules:
             assert rule.title, rule.id

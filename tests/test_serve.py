@@ -259,6 +259,46 @@ class TestCampaignService:
         finally:
             service.close()
 
+    def test_sampling_is_part_of_the_job_identity(self, tmp_path):
+        service = CampaignService(tmp_path, autostart=False)
+        try:
+            # Full replay normalizes by omission: a pre-sampling
+            # submission document is unchanged, so old clients keep
+            # coalescing with explicit sampling="full" ones.
+            exact = service.validate_request(sweep_request())
+            assert "sampling" not in exact
+            assert exact == service.validate_request(
+                {**sweep_request(), "sampling": "full"})
+            sampled = service.validate_request(
+                {**sweep_request(), "sampling": "regions",
+                 "regions": 4})
+            assert sampled["sampling"] == {
+                "mode": "regions", "regions": 4, "seed": 0,
+                "warmup_segments": 1}
+            # An estimate and an exact run are different jobs.
+            exact_job, _ = service.submit(sweep_request())
+            sampled_job, coalesced = service.submit(
+                {**sweep_request(), "sampling": "regions"})
+            assert not coalesced
+            assert sampled_job.job_id != exact_job.job_id
+        finally:
+            service.close()
+
+    def test_sampling_request_validation(self, tmp_path):
+        service = CampaignService(tmp_path, autostart=False)
+        try:
+            for bad in (
+                {**sweep_request(), "sampling": "nearest"},
+                {**sweep_request(), "sampling": "regions",
+                 "shards": 2},
+                {**sweep_request(), "sampling": "regions",
+                 "regions": "many"},
+            ):
+                with pytest.raises(ValueError):
+                    service.validate_request(bad)
+        finally:
+            service.close()
+
     def test_terminal_jobs_do_not_coalesce(self, tmp_path):
         service = CampaignService(tmp_path)
         try:

@@ -457,6 +457,29 @@ class TestSegmentRanges:
                 Simulation.for_trace_file(segmented_trace,
                                           segments=bad)
 
+    def test_empty_ranges_rejected(self, segmented_trace):
+        # Regression: lo == hi used to slip through range coercion and
+        # produce a silent zero-record run — a cacheable "result" of
+        # nothing.  Empty is malformed on every entry path.
+        for lo in (0, 1, 3):
+            with pytest.raises(SessionError, match="lo < hi"):
+                Simulation.for_trace_file(segmented_trace,
+                                          segments=(lo, lo))
+            with pytest.raises(SessionError, match="lo < hi"):
+                Simulation.from_spec({
+                    "trace_file": str(segmented_trace),
+                    "segments": [lo, lo]})
+
+    def test_empty_range_rejected_in_work_units(self, segmented_trace,
+                                                tmp_path):
+        from repro.exec import WorkUnit, execute_unit
+        unit = WorkUnit.for_trace(
+            "empty", segmented_trace, "4wide-perfect",
+            tmp_path / "empty.json", segments=(2, 2))
+        with pytest.raises(SessionError, match="lo < hi"):
+            execute_unit(unit)
+        assert not (tmp_path / "empty.json").exists()
+
     def test_describe_mentions_the_range(self, segmented_trace):
         sim = Simulation.for_trace_file(segmented_trace,
                                         segments=(0, 2))

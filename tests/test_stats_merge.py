@@ -93,6 +93,84 @@ class TestMergeAlgebra:
             [SimulationStatistics()]).sharded
 
 
+_weight = st.integers(min_value=0, max_value=1 << 20)
+
+
+class TestWeightedMergeAlgebra:
+    """The weighted merge (region sampling's reducer) must stay
+    anchored to the exact merge: all-ones weights ARE the exact merge,
+    weights scale counters exactly (mod 2^64), zero weight means zero
+    contribution, and weighted provenance survives serialization."""
+
+    @given(a=statistics(), b=statistics(), c=statistics())
+    def test_unit_weights_reduce_to_exact_merge(self, a, b, c):
+        exact = a.merge([b, c])
+        weighted = a.merge([b, c], weights=[1, 1, 1])
+        assert weighted == exact
+        assert stats_to_dict(weighted) == stats_to_dict(exact)
+
+    @given(a=statistics(), b=statistics(),
+           wa=_weight, wb=_weight)
+    def test_counters_scale_then_wrap(self, a, b, wa, wb):
+        merged = a.merge([b], weights=[wa, wb])
+        for name in _COUNTER_NAMES:
+            expected = (wa * int(getattr(a, name))
+                        + wb * int(getattr(b, name))) & ((1 << 64) - 1)
+            assert int(getattr(merged, name)) == expected
+
+    @given(a=statistics(), b=statistics(), c=statistics(),
+           weights=st.tuples(_weight, _weight, _weight))
+    def test_weighted_merge_is_order_insensitive(self, a, b, c,
+                                                 weights):
+        wa, wb, wc = weights
+        forward = a.merge([b, c], weights=[wa, wb, wc])
+        backward = c.merge([b, a], weights=[wc, wb, wa])
+        assert forward == backward
+
+    @given(a=statistics(), b=statistics(), w=_weight)
+    def test_zero_weight_part_contributes_nothing(self, a, b, w):
+        alone = a.merge([], weights=[max(w, 1)])
+        with_ghost = a.merge([b], weights=[max(w, 1), 0])
+        # Counters and pooled samples agree; the ghost may only leave
+        # its (excluded-from-merge) structural trace nowhere.
+        assert stats_to_dict(alone) == stats_to_dict(with_ghost)
+
+    @given(a=statistics(), b=statistics(),
+           wa=st.integers(min_value=1, max_value=64),
+           wb=st.integers(min_value=1, max_value=64))
+    def test_samplers_pool_weight_scaled_raw_state(self, a, b, wa, wb):
+        merged = a.merge([b], weights=[wa, wb])
+        for name in _SAMPLER_NAMES:
+            total_a, samples_a = getattr(a, name).raw()
+            total_b, samples_b = getattr(b, name).raw()
+            assert getattr(merged, name).raw() == (
+                wa * total_a + wb * total_b,
+                wa * samples_a + wb * samples_b)
+            assert getattr(merged, name).peak == max(
+                getattr(a, name).peak, getattr(b, name).peak)
+
+    @given(a=statistics(), b=statistics(),
+           weights=st.tuples(_weight, _weight))
+    def test_weighted_provenance_round_trips(self, a, b, weights):
+        provenance = [{"index": 0, "weight": weights[0]},
+                      {"index": 1, "weight": weights[1]}]
+        merged = a.merge([b], weights=list(weights), shards=provenance)
+        restored = stats_from_dict(stats_to_dict(merged))
+        assert restored == merged
+        assert restored.shards == provenance
+
+    def test_weight_validation(self):
+        a, b = SimulationStatistics(), SimulationStatistics()
+        with pytest.raises(ValueError):
+            a.merge([b], weights=[1])          # wrong count
+        with pytest.raises(ValueError):
+            a.merge([b], weights=[1, -2])      # negative
+        with pytest.raises(TypeError):
+            a.merge([b], weights=[1, True])    # bool is not a count
+        with pytest.raises(TypeError):
+            a.merge([b], weights=[1, 2.0])     # float rounds
+
+
 class TestOccupancyPooling:
     @given(samplers=st.lists(_sampler, min_size=1, max_size=6))
     def test_pooled_average_is_weighted_mean(self, samplers):

@@ -1,0 +1,166 @@
+"""The trace profiler: per-segment behaviour profiles and their
+``.rprof`` sidecars.
+
+The profiler is the measurement half of region sampling
+(:mod:`repro.exec.regions`): its per-segment sums must agree with the
+independent whole-trace measurement (:func:`measure_trace`), its
+output must be a deterministic pure function of the trace bytes, and
+its sidecar cache must never serve a profile for different bytes than
+the ones on disk (content-digest staleness).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import PAPER_4WIDE_PERFECT
+from repro.trace import (
+    RecordKind,
+    analyze_trace,
+    ensure_profile,
+    iter_trace_records,
+    load_profile,
+    measure_trace,
+    profile_path,
+    read_segment_table,
+    trace_content_digest,
+    write_profile,
+)
+from repro.trace.analyze import ProfileError, TraceProfile
+from repro.workloads.tracegen import write_workload_trace
+
+BUDGET = 6_000
+SEGMENT_RECORDS = 256
+
+
+@pytest.fixture(scope="module")
+def trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("analyze") / "gzip.rtrc"
+    write_workload_trace("gzip", PAPER_4WIDE_PERFECT, path,
+                         budget=BUDGET, seed=7,
+                         segment_records=SEGMENT_RECORDS)
+    return path
+
+
+@pytest.fixture(scope="module")
+def profile(trace):
+    return analyze_trace(trace)
+
+
+class TestAnalyzeTrace:
+    def test_segment_sums_match_whole_trace_measurement(self, trace,
+                                                        profile):
+        measured = measure_trace(iter_trace_records(trace))
+        assert profile.total_records == measured.total_records
+        assert sum(s.wrong_path for s in profile.segments) == \
+            measured.wrong_path_records
+        assert profile.total_committed == measured.correct_path_records
+
+    def test_segment_mix_sums_match_committed_path(self, trace,
+                                                   profile):
+        # The analyzer profiles the *committed* mix (wrong-path
+        # records never reach it), so recompute that independently.
+        committed = [r for r in iter_trace_records(trace) if not r.tag]
+        branches = [r for r in committed
+                    if r.kind is RecordKind.BRANCH]
+        memory = [r for r in committed if r.kind is RecordKind.MEMORY]
+        assert sum(s.branches for s in profile.segments) == \
+            len(branches)
+        assert sum(s.taken_branches for s in profile.segments) == \
+            sum(1 for r in branches if r.taken)
+        assert sum(s.stores for s in profile.segments) == \
+            sum(1 for r in memory if r.is_store)
+        assert sum(s.loads + s.stores for s in profile.segments) == \
+            len(memory)
+
+    def test_segments_follow_the_segment_table(self, trace, profile):
+        table = read_segment_table(trace)
+        assert len(profile.segments) == len(table)
+        for segment, entry in zip(profile.segments, table,
+                                  strict=True):
+            assert segment.index == entry.index
+            assert segment.records == entry.record_count
+
+    def test_profile_is_deterministic(self, trace, profile):
+        again = analyze_trace(trace)
+        assert again.to_dict() == profile.to_dict()
+
+    def test_digest_matches_streamed_content_digest(self, trace,
+                                                    profile):
+        assert profile.digest == trace_content_digest(trace)
+        assert profile.digest.startswith("sha256:")
+
+    def test_features_are_normalized(self, profile):
+        for segment in profile.segments:
+            vector = segment.features()
+            assert all(0.0 <= value <= 1.0 for value in vector)
+            assert len(vector) == 6 + profile.bbv_dim
+
+    def test_round_trip_through_dict(self, profile):
+        assert TraceProfile.from_dict(profile.to_dict()).to_dict() \
+            == profile.to_dict()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            analyze_trace(tmp_path / "nope.rtrc")
+
+    def test_content_digest_rejects_directories(self, tmp_path):
+        with pytest.raises(ProfileError):
+            trace_content_digest(tmp_path)
+
+
+class TestSidecar:
+    def test_write_then_load(self, trace, profile, tmp_path):
+        sidecar = tmp_path / "copy.rprof"
+        write_profile(profile, sidecar)
+        # load_profile keys on the digest of the *trace* next to the
+        # sidecar, so exercise the real location too.
+        write_profile(profile, profile_path(trace))
+        assert load_profile(trace).to_dict() == profile.to_dict()
+        assert json.loads(sidecar.read_text())["schema"] >= 1
+
+    def test_stale_sidecar_ignored_on_digest_mismatch(self, profile,
+                                                      tmp_path):
+        # Same filename, different trace bytes: the sidecar was
+        # profiled from *other* content and must read as absent.
+        path = tmp_path / "other.rtrc"
+        write_workload_trace("gzip", PAPER_4WIDE_PERFECT, path,
+                             budget=BUDGET, seed=8,
+                             segment_records=SEGMENT_RECORDS)
+        write_profile(profile, profile_path(path))
+        assert load_profile(path) is None
+
+    def test_malformed_sidecar_reads_as_absent(self, trace, profile):
+        sidecar = profile_path(trace)
+        sidecar.write_text("{not json")
+        assert load_profile(trace) is None
+        sidecar.write_text(json.dumps({"schema": 999}))
+        assert load_profile(trace) is None
+
+    def test_ensure_profile_reuses_then_reanalyzes(self, trace):
+        first = ensure_profile(trace)
+        assert profile_path(trace).exists()
+        # A fresh sidecar short-circuits the streaming pass...
+        assert ensure_profile(trace).to_dict() == first.to_dict()
+        # ...and force re-measures (identically, by determinism).
+        assert ensure_profile(trace,
+                              force=True).to_dict() == first.to_dict()
+
+
+class TestAnalyzeCli:
+    def test_text_and_json_output(self, trace, capsys):
+        from repro.cli import main
+        assert main(["trace", "analyze", str(trace)]) == 0
+        text = capsys.readouterr().out
+        assert "segments" in text and "trace digest" in text
+        assert main(["trace", "analyze", str(trace),
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["trace"]["digest"] == trace_content_digest(trace)
+
+    def test_missing_file_exits_cleanly(self, tmp_path):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["trace", "analyze", str(tmp_path / "nope.rtrc")])

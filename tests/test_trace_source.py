@@ -162,10 +162,19 @@ class TestFileSource:
 
     def test_v1_whole_file_pseudo_segment(self, v1_path, records):
         """A v1 payload is one pseudo-segment: the full range streams
-        the whole file, any real sub-range is refused."""
+        the whole file, any other range is refused (empty ones as
+        empty, like every v2 range)."""
         assert list(FileSource(v1_path, segments=(0, 1))) == records
-        with pytest.raises(TraceSourceError, match="v2"):
+        with pytest.raises(TraceSourceError, match="empty"):
             FileSource(v1_path, segments=(0, 0))
+
+    def test_empty_ranges_rejected(self, v2_path):
+        # Regression: lo == hi used to stream zero records while
+        # looking like a successful run to every consumer downstream.
+        table = read_segment_table(v2_path)
+        for lo in (0, 1, len(table) - 1):
+            with pytest.raises(TraceSourceError, match="empty"):
+                FileSource(v2_path, segments=(lo, lo))
 
 
 class TestConcatSource:

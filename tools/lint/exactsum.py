@@ -16,7 +16,12 @@ name.  Two failure modes are invisible to the type system:
 * ``X303`` — drift between ``SimulationStatistics`` and the
   specialized engine generator's ``_RAW_COUNTERS`` tuple (a counter
   the generated code never produces would silently stay zero in the
-  specialized tier, breaking the bit-identity contract).
+  specialized tier, breaking the bit-identity contract);
+* ``X304`` — float arithmetic leaking into the *weights* of a
+  weighted ``merge(weights=...)`` (region sampling scales counters by
+  integer cluster weights; a float weight would round the scaled
+  counts and un-anchor the ``weights=1 == exact merge`` identity the
+  regression suite pins).
 
 ``X302``/``X303`` are project rules: they cross-check
 ``repro.core.stats`` against ``repro.exec.shard`` and
@@ -93,6 +98,41 @@ class FloatIntoCounterRule(Rule):
                         f"64-bit integer registers — keep float math "
                         f"out of accumulation")
                     break
+
+
+@register
+class FloatWeightsIntoMergeRule(Rule):
+    """X304: float arithmetic reaching merge(weights=...)."""
+
+    id = "X304"
+    title = "float arithmetic mixed into weighted-merge weights"
+    rationale = (
+        "A weighted merge scales each part's Counter64 values by an "
+        "integer weight before the exact modulo-2^64 sum — that is "
+        "what keeps weights=1 bit-identical to the unweighted merge "
+        "and region estimates deterministic.  A float weight (a "
+        "coverage fraction, a normalized cluster share) would round "
+        "the scaled counts; derive integer weights (cluster sizes, "
+        "segment counts) instead and normalize on the way out."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ctx.walk(ast.Call):
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "merge"):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "weights":
+                    continue
+                taint = _float_taint(keyword.value)
+                if taint is not None:
+                    yield self.finding(
+                        ctx, node,
+                        f"{taint} feeds merge(weights=...); weights "
+                        f"scale exact 64-bit counters and must be "
+                        f"integers (cluster sizes, segment counts) — "
+                        f"normalize after merging, not before")
 
 
 def _class_def(ctx: FileContext, name: str) -> ast.ClassDef | None:
